@@ -1,0 +1,392 @@
+// Benchmarks regenerating the paper's evaluation. Each BenchmarkFigNN runs
+// the corresponding figure driver (internal/experiment) and reports its
+// headline metric via b.ReportMetric, in addition to Go's wall-clock ns/op
+// for the simulation itself. `go test -bench . -benchmem` prints every
+// figure's key numbers; `cmd/faspbench` prints the full tables.
+//
+// Scale note: benchmarks default to 2,000 transactions per data point
+// (the paper uses 100,000) so a full -bench=. run stays in seconds; the
+// shapes are stable from ~1,000 transactions up.
+package fasp_test
+
+import (
+	"testing"
+
+	"fasp"
+	"fasp/internal/btree"
+	"fasp/internal/experiment"
+	"fasp/internal/fast"
+	"fasp/internal/pmem"
+	"fasp/internal/workload"
+)
+
+const benchN = 2000
+
+func benchParams() experiment.Params {
+	return experiment.Params{N: benchN, PageSize: 4096, Seed: 42}
+}
+
+// BenchmarkInsert measures the end-to-end single-insert transaction on each
+// scheme at the paper's default PM 300/300 point, reporting simulated
+// microseconds per transaction alongside Go ns/op.
+func BenchmarkInsert(b *testing.B) {
+	for _, s := range experiment.AllSchemes {
+		b.Run(s.String(), func(b *testing.B) {
+			// Size the page space for the iteration count Go chose.
+			p := benchParams()
+			p.N = b.N + benchN
+			p.MaxPages = 0 // derive from N
+			e := experiment.NewEnv(s, pmem.DefaultLatencies(300, 300), p)
+			gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
+			start := e.Sys.Clock().Now()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				if err := e.Tree.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			sim := e.Sys.Clock().Now() - start
+			b.ReportMetric(float64(sim)/float64(b.N)/1000, "sim-us/txn")
+		})
+	}
+}
+
+// BenchmarkGet measures point lookups on a pre-populated FAST+ tree.
+func BenchmarkGet(b *testing.B) {
+	e := experiment.NewEnv(experiment.FASTPlus, pmem.DefaultLatencies(300, 300), benchParams())
+	gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
+	var keys [][]byte
+	for i := 0; i < benchN; i++ {
+		k := gen.NextKey()
+		keys = append(keys, k)
+		if err := e.Tree.Insert(k, gen.NextValue()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	start := e.Sys.Clock().Now()
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		if _, ok, err := e.Tree.Get(keys[i%len(keys)]); err != nil || !ok {
+			b.Fatal(err)
+		}
+	}
+	b.StopTimer()
+	sim := e.Sys.Clock().Now() - start
+	b.ReportMetric(float64(sim)/float64(b.N)/1000, "sim-us/get")
+}
+
+// BenchmarkSQLInsert measures the full SQL path (Figures 11–12's subject).
+func BenchmarkSQLInsert(b *testing.B) {
+	for _, scheme := range []string{fasp.SchemeNVWAL, fasp.SchemeFAST, fasp.SchemeFASTPlus} {
+		b.Run(scheme, func(b *testing.B) {
+			db, err := fasp.Open(fasp.Options{Scheme: scheme})
+			if err != nil {
+				b.Fatal(err)
+			}
+			db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, payload BLOB)`)
+			gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
+			start := db.SimulatedNS()
+			b.ResetTimer()
+			for i := 0; i < b.N; i++ {
+				stmt := workload.SQLInsert("t", uint64(i+1), gen.NextValue())
+				if _, err := db.Exec(stmt); err != nil {
+					b.Fatal(err)
+				}
+			}
+			b.StopTimer()
+			b.ReportMetric(float64(db.SimulatedNS()-start)/float64(b.N)/1000, "sim-us/stmt")
+		})
+	}
+}
+
+// BenchmarkFig06 regenerates Figure 6 and reports the FAST+ vs NVWAL
+// total-time speedup at the 300/300 point.
+func BenchmarkFig06(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig6(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nv, fp int64
+		for _, r := range rows {
+			if r.Latency == 300 && r.Scheme == experiment.NVWAL {
+				nv = r.TotalNS
+			}
+			if r.Latency == 300 && r.Scheme == experiment.FASTPlus {
+				fp = r.TotalNS
+			}
+		}
+		b.ReportMetric(float64(nv)/float64(fp), "speedup@300")
+	}
+}
+
+// BenchmarkFig07 regenerates Figure 7 and reports FAST+'s clflush(record)
+// share of Page Update at 300/300.
+func BenchmarkFig07(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig7(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Latency == 300 && r.Scheme == experiment.FASTPlus && r.UpdateNS > 0 {
+				b.ReportMetric(100*float64(r.FlushRecordNS)/float64(r.UpdateNS), "clflush-pct")
+			}
+		}
+	}
+}
+
+// BenchmarkFig08 regenerates Figure 8 and reports the paper's headline:
+// NVWAL commit overhead / FAST+ commit overhead (paper: ~6x).
+func BenchmarkFig08(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig8(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nv, fp int64
+		for _, r := range rows {
+			if r.WriteLatency == 900 && r.Scheme == experiment.NVWAL {
+				nv = r.CommitNS
+			}
+			if r.WriteLatency == 900 && r.Scheme == experiment.FASTPlus {
+				fp = r.CommitNS
+			}
+		}
+		b.ReportMetric(float64(nv)/float64(fp), "commit-ratio@900w")
+	}
+}
+
+// BenchmarkFig09 regenerates Figure 9 and reports clflush/insert for FAST+
+// at 64-byte records.
+func BenchmarkFig09(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig9(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.RecordSize == 64 && r.Scheme == experiment.FASTPlus {
+				b.ReportMetric(r.Flushes, "clflush/insert")
+			}
+		}
+	}
+}
+
+// BenchmarkFig10 regenerates Figure 10 and reports the per-record cost of
+// 8-insert transactions under FAST+ (the slot-header-logging fallback).
+func BenchmarkFig10(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig10(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Batch == 8 && r.Scheme == experiment.FASTPlus {
+				b.ReportMetric(float64(r.PerOpNS)/1000, "sim-us/record@8")
+			}
+		}
+	}
+}
+
+// BenchmarkFig11 regenerates Figure 11 and reports FAST+'s end-to-end
+// response-time improvement over NVWAL at 300/300 (paper: up to 33%).
+func BenchmarkFig11(b *testing.B) {
+	p := benchParams()
+	p.N = 1000
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig11(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Latency == 300 && r.Scheme == experiment.FASTPlus {
+				b.ReportMetric(r.ImprovementPct, "improvement-pct@300")
+			}
+		}
+	}
+}
+
+// BenchmarkFig12 regenerates Figure 12 and reports FAST+'s mixed-workload
+// throughput at 300/300.
+func BenchmarkFig12(b *testing.B) {
+	p := benchParams()
+	p.N = 1000
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunFig12(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Latency == 300 && r.Scheme == experiment.FASTPlus && r.Mix == "mixed-crud" {
+				b.ReportMetric(r.ThroughputKTPS, "sim-kTPS")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationSchemes compares all five recovery schemes.
+func BenchmarkAblationSchemes(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunAblationSchemes(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == experiment.Journal {
+				b.ReportMetric(float64(r.BytesLog), "journalB/insert")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationPageSize sweeps the page size.
+func BenchmarkAblationPageSize(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunAblationPageSize(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.PageSize == 16384 && r.Scheme == experiment.FASTPlus {
+				b.ReportMetric(float64(r.TotalNS)/1000, "sim-us@16K")
+			}
+		}
+	}
+}
+
+// BenchmarkAblationHTMAborts quantifies the retry cost of best-effort HTM.
+func BenchmarkAblationHTMAborts(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunAblationHTMAborts(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		base, worst := rows[0].TotalNS, rows[len(rows)-1].TotalNS
+		b.ReportMetric(100*(float64(worst)/float64(base)-1), "slowdown-pct@p0.5")
+	}
+}
+
+// BenchmarkHashVsBTree compares point operations on the two index
+// structures built on the same failure-atomic slotted pages (the paper's
+// §2.2 claim that the optimisation generalises to hash-based indexes).
+func BenchmarkHashVsBTree(b *testing.B) {
+	b.Run("btree-put", func(b *testing.B) {
+		kv, err := fasp.OpenKV(fasp.Options{MaxPages: b.N/4 + 8192})
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
+		start := kv.SimulatedNS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := kv.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(kv.SimulatedNS()-start)/float64(b.N)/1000, "sim-us/op")
+	})
+	b.Run("hash-put", func(b *testing.B) {
+		h, err := fasp.OpenHash(fasp.Options{MaxPages: b.N/4 + 8192}, 1024)
+		if err != nil {
+			b.Fatal(err)
+		}
+		gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
+		start := h.SimulatedNS()
+		b.ResetTimer()
+		for i := 0; i < b.N; i++ {
+			if err := h.Put(gen.NextKey(), gen.NextValue()); err != nil {
+				b.Fatal(err)
+			}
+		}
+		b.StopTimer()
+		b.ReportMetric(float64(h.SimulatedNS()-start)/float64(b.N)/1000, "sim-us/op")
+	})
+}
+
+// BenchmarkRecovery measures crash recovery itself: the time to recover a
+// store whose crash interrupted a committing transaction. The crashed PM
+// image is prepared once; every iteration restores it and runs recovery,
+// as a real restart would.
+func BenchmarkRecovery(b *testing.B) {
+	cfg := fast.Config{PageSize: 4096, MaxPages: 1024, Variant: fast.InPlaceCommit}
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := fast.Create(sys, cfg)
+	tree := btree.New(st)
+	gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
+	for j := 0; j < 200; j++ {
+		if err := tree.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+			b.Fatal(err)
+		}
+	}
+	// Crash in the middle of the next transaction's commit.
+	sys.CrashAfter(150)
+	sys.RunToCrash(func() {
+		for {
+			if err := tree.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+				b.Fatal(err)
+			}
+		}
+	})
+	sys.Crash(pmem.CrashOptions{Seed: 42, EvictProb: 0.5})
+	img := st.Arena().MediumSnapshot()
+
+	b.ResetTimer()
+	for i := 0; i < b.N; i++ {
+		b.StopTimer()
+		if err := st.Arena().RestoreMedium(img); err != nil {
+			b.Fatal(err)
+		}
+		b.StartTimer()
+		ns, err := fast.Attach(st.Arena(), cfg)
+		if err != nil {
+			b.Fatal(err)
+		}
+		if err := ns.Recover(); err != nil {
+			b.Fatal(err)
+		}
+	}
+}
+
+// BenchmarkRecoverySweep runs the recovery-time experiment and reports the
+// ratio between NVWAL's WAL replay and FAST+'s constant-time recovery at
+// the largest uncheckpointed-work point.
+func BenchmarkRecoverySweep(b *testing.B) {
+	p := benchParams()
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunRecovery(p)
+		if err != nil {
+			b.Fatal(err)
+		}
+		var nv, fp int64
+		last := experiment.RecoveryPoints[len(experiment.RecoveryPoints)-1]
+		for _, r := range rows {
+			if r.Txns == last && r.Scheme == experiment.NVWAL {
+				nv = r.NS
+			}
+			if r.Txns == last && r.Scheme == experiment.FASTPlus {
+				fp = r.NS + 1
+			}
+		}
+		b.ReportMetric(float64(nv)/float64(fp), "replay-ratio")
+	}
+}
+
+// BenchmarkWriteAmplification reports FAST+'s PM write amplification
+// (physical PM bytes per logical byte inserted).
+func BenchmarkWriteAmplification(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		rows, err := experiment.RunWriteAmplification(benchParams())
+		if err != nil {
+			b.Fatal(err)
+		}
+		for _, r := range rows {
+			if r.Scheme == experiment.FASTPlus {
+				b.ReportMetric(r.Amplification, "amplification")
+			}
+		}
+	}
+}

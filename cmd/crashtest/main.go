@@ -1,0 +1,171 @@
+// Command crashtest is a randomised crash-injection recovery checker: it
+// runs a workload on a chosen scheme, fires a simulated power failure at a
+// random architectural event (word store or cache-line flush), applies an
+// adversarial eviction lottery, recovers, and verifies that the recovered
+// tree is structurally valid and contains exactly the committed
+// transactions. It repeats for -rounds rounds and reports a summary.
+//
+// Usage:
+//
+//	crashtest -rounds 200 -scheme fast+ -seed 1
+package main
+
+import (
+	"bytes"
+	"flag"
+	"fmt"
+	"math/rand"
+	"os"
+
+	"fasp/internal/btree"
+	"fasp/internal/fast"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+	"fasp/internal/wal"
+)
+
+func main() {
+	var (
+		rounds = flag.Int("rounds", 100, "crash rounds to run")
+		scheme = flag.String("scheme", "fast+", "fast+|fast|nvwal|wal|journal")
+		seed   = flag.Int64("seed", 1, "master seed")
+		txns   = flag.Int("txns", 30, "insert transactions per round")
+	)
+	flag.Parse()
+
+	cfgPageSize := 256
+	master := rand.New(rand.NewSource(*seed))
+
+	// Learn the crash-point budget from one uncrashed run.
+	total := measure(*scheme, cfgPageSize, *txns)
+	fmt.Printf("crashtest: %s, %d txns/round, %d crash points per run, %d rounds\n",
+		*scheme, *txns, total, *rounds)
+
+	failures := 0
+	evictHist := map[string]int{}
+	for round := 0; round < *rounds; round++ {
+		kpt := master.Int63n(total)
+		prob := []float64{0, 0.5, 1}[master.Intn(3)]
+		evictHist[fmt.Sprintf("p=%.1f", prob)]++
+		if err := oneRound(*scheme, cfgPageSize, *txns, kpt, pmem.CrashOptions{Seed: master.Int63(), EvictProb: prob}); err != nil {
+			failures++
+			fmt.Printf("round %d: crash@%d evict=%.1f: %v\n", round, kpt, prob, err)
+		}
+	}
+	fmt.Printf("crashtest: %d/%d rounds passed (%v)\n", *rounds-failures, *rounds, evictHist)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }
+func val(i int) []byte { return bytes.Repeat([]byte{byte('a' + i%26)}, 40) }
+func mkStore(scheme string, pageSize int, sys *pmem.System) pager.Store {
+	switch scheme {
+	case "fast":
+		return fast.Create(sys, fast.Config{PageSize: pageSize, MaxPages: 4096, Variant: fast.SlotHeaderLogging})
+	case "fast+":
+		return fast.Create(sys, fast.Config{PageSize: pageSize, MaxPages: 4096, Variant: fast.InPlaceCommit})
+	case "nvwal":
+		return wal.Create(sys, wal.Config{PageSize: pageSize, MaxPages: 4096, Kind: wal.NVWAL})
+	case "wal":
+		return wal.Create(sys, wal.Config{PageSize: pageSize, MaxPages: 4096, Kind: wal.FullWAL})
+	case "journal":
+		return wal.Create(sys, wal.Config{PageSize: pageSize, MaxPages: 4096, Kind: wal.Journal})
+	default:
+		fmt.Fprintf(os.Stderr, "crashtest: unknown scheme %q\n", scheme)
+		os.Exit(2)
+		return nil
+	}
+}
+
+func reattach(scheme string, pageSize int, st pager.Store) (pager.Store, error) {
+	switch s := st.(type) {
+	case *fast.Store:
+		variant := fast.InPlaceCommit
+		if scheme == "fast" {
+			variant = fast.SlotHeaderLogging
+		}
+		ns, err := fast.Attach(s.Arena(), fast.Config{PageSize: pageSize, MaxPages: 4096, Variant: variant})
+		if err != nil {
+			return nil, err
+		}
+		return ns, ns.Recover()
+	case *wal.Store:
+		kind := wal.NVWAL
+		switch scheme {
+		case "wal":
+			kind = wal.FullWAL
+		case "journal":
+			kind = wal.Journal
+		}
+		ns, err := wal.Attach(s.Arena(), wal.Config{PageSize: pageSize, MaxPages: 4096, Kind: kind})
+		if err != nil {
+			return nil, err
+		}
+		return ns, ns.Recover()
+	}
+	return nil, fmt.Errorf("unknown store")
+}
+
+func measure(scheme string, pageSize, txns int) int64 {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := mkStore(scheme, pageSize, sys)
+	tr := btree.New(st)
+	base := sys.CrashPoints()
+	for i := 0; i < txns; i++ {
+		if err := tr.Insert(key(i), val(i)); err != nil {
+			fmt.Fprintf(os.Stderr, "crashtest: measure: %v\n", err)
+			os.Exit(1)
+		}
+	}
+	return sys.CrashPoints() - base
+}
+
+func oneRound(scheme string, pageSize, txns int, kpt int64, opts pmem.CrashOptions) error {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := mkStore(scheme, pageSize, sys)
+	tr := btree.New(st)
+	committed := 0
+	sys.CrashAfter(kpt)
+	sys.RunToCrash(func() {
+		for i := 0; i < txns; i++ {
+			if err := tr.Insert(key(i), val(i)); err != nil {
+				panic(err)
+			}
+			committed++
+		}
+	})
+	sys.Crash(opts)
+
+	st2, err := reattach(scheme, pageSize, st)
+	if err != nil {
+		return fmt.Errorf("recover: %w", err)
+	}
+	tr2 := btree.New(st2)
+	tx, err := tr2.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	if err := tx.Validate(); err != nil {
+		return fmt.Errorf("tree invalid: %w", err)
+	}
+	count, err := tx.Count()
+	if err != nil {
+		return err
+	}
+	for i := 0; i < committed; i++ {
+		got, ok, err := tx.Get(key(i))
+		if err != nil || !ok {
+			return fmt.Errorf("committed key %d missing", i)
+		}
+		if !bytes.Equal(got, val(i)) {
+			return fmt.Errorf("committed key %d corrupt", i)
+		}
+	}
+	if count != committed && count != committed+1 {
+		return fmt.Errorf("recovered %d keys, committed %d", count, committed)
+	}
+	return nil
+}

@@ -1,0 +1,171 @@
+// Command faspbench regenerates the paper's evaluation: one table per
+// figure (6–12) plus the ablation studies. Times are simulated nanoseconds
+// from the PM emulator, so results are machine-independent and
+// deterministic for a given seed.
+//
+// Usage:
+//
+//	faspbench -fig 6            # one figure
+//	faspbench -all              # figures 6..12
+//	faspbench -ablations        # the three ablation tables
+//	faspbench -all -n 100000    # paper-scale transaction counts
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+
+	"fasp/internal/experiment"
+)
+
+func main() {
+	var (
+		fig       = flag.Int("fig", 0, "figure to reproduce (6..12)")
+		all       = flag.Bool("all", false, "run every figure")
+		ablations = flag.Bool("ablations", false, "run the ablation studies")
+		recovery  = flag.Bool("recovery", false, "run the recovery-time experiment")
+		n         = flag.Int("n", 10000, "transactions per data point (paper: 100000)")
+		pageSize  = flag.Int("pagesize", 4096, "database page size in bytes")
+		seed      = flag.Int64("seed", 42, "workload seed")
+	)
+	flag.Parse()
+
+	p := experiment.Params{N: *n, PageSize: *pageSize, Seed: *seed}
+	figs := map[int]func() error{
+		6: func() error {
+			rows, err := experiment.RunFig6(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig6(rows, os.Stdout)
+			return nil
+		},
+		7: func() error {
+			rows, err := experiment.RunFig7(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig7(rows, os.Stdout)
+			return nil
+		},
+		8: func() error {
+			rows, err := experiment.RunFig8(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig8(rows, os.Stdout)
+			return nil
+		},
+		9: func() error {
+			rows, err := experiment.RunFig9(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig9(rows, os.Stdout)
+			return nil
+		},
+		10: func() error {
+			rows, err := experiment.RunFig10(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig10(rows, os.Stdout)
+			return nil
+		},
+		11: func() error {
+			rows, err := experiment.RunFig11(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig11(rows, os.Stdout)
+			return nil
+		},
+		12: func() error {
+			rows, err := experiment.RunFig12(p)
+			if err != nil {
+				return err
+			}
+			experiment.PrintFig12(rows, os.Stdout)
+			return nil
+		},
+	}
+
+	run := func(id int) {
+		fmt.Println()
+		if err := figs[id](); err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: figure %d: %v\n", id, err)
+			os.Exit(1)
+		}
+	}
+
+	switch {
+	case *all:
+		for id := 6; id <= 12; id++ {
+			run(id)
+		}
+		if *ablations {
+			runAblations(p)
+		}
+		if *recovery {
+			runRecovery(p)
+		}
+	case *ablations:
+		runAblations(p)
+		if *recovery {
+			runRecovery(p)
+		}
+	case *recovery:
+		runRecovery(p)
+	case *fig != 0:
+		if _, ok := figs[*fig]; !ok {
+			fmt.Fprintf(os.Stderr, "faspbench: no figure %d (have 6..12)\n", *fig)
+			os.Exit(2)
+		}
+		run(*fig)
+	default:
+		flag.Usage()
+		os.Exit(2)
+	}
+}
+
+func runRecovery(p experiment.Params) {
+	fmt.Println()
+	rows, err := experiment.RunRecovery(p)
+	if err != nil {
+		fmt.Fprintf(os.Stderr, "faspbench: recovery: %v\n", err)
+		os.Exit(1)
+	}
+	experiment.PrintRecovery(rows, os.Stdout)
+}
+
+func runAblations(p experiment.Params) {
+	fmt.Println()
+	if rows, err := experiment.RunAblationSchemes(p); err == nil {
+		experiment.PrintAblationSchemes(rows, os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "faspbench: ablation schemes: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if rows, err := experiment.RunAblationPageSize(p); err == nil {
+		experiment.PrintAblationPageSize(rows, os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "faspbench: ablation page size: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if rows, err := experiment.RunAblationHTMAborts(p); err == nil {
+		experiment.PrintAblationHTMAborts(rows, os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "faspbench: ablation HTM: %v\n", err)
+		os.Exit(1)
+	}
+	fmt.Println()
+	if rows, err := experiment.RunWriteAmplification(p); err == nil {
+		experiment.PrintWriteAmplification(rows, os.Stdout)
+	} else {
+		fmt.Fprintf(os.Stderr, "faspbench: write amplification: %v\n", err)
+		os.Exit(1)
+	}
+}

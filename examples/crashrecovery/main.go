@@ -1,0 +1,85 @@
+// CrashRecovery: demonstrate the failure-atomicity story end to end. A
+// power failure is injected in the middle of a committing transaction —
+// at a random word-store or cache-line-flush — with an adversarial cache
+// eviction lottery, and recovery (§4.4) restores a consistent database:
+// committed transactions durable, the torn one absent (or complete, if its
+// commit mark made it out).
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fasp/internal/btree"
+	"fasp/internal/fast"
+	"fasp/internal/pmem"
+)
+
+func main() {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	cfg := fast.Config{PageSize: 512, MaxPages: 4096, Variant: fast.InPlaceCommit}
+	st := fast.Create(sys, cfg)
+	tree := btree.New(st)
+
+	committed := 0
+	insert := func(i int) error {
+		return tree.Insert(
+			[]byte(fmt.Sprintf("key-%03d", i)),
+			[]byte(fmt.Sprintf("value for record %03d", i)))
+	}
+
+	// Phase 1: commit 20 transactions safely.
+	for i := 0; i < 20; i++ {
+		if err := insert(i); err != nil {
+			log.Fatal(err)
+		}
+		committed++
+	}
+	fmt.Printf("committed %d transactions\n", committed)
+
+	// Phase 2: arm the crash injector — the power fails 137 architectural
+	// events (stores/flushes) into the next batch, mid-protocol.
+	sys.CrashAfter(137)
+	crashed := sys.RunToCrash(func() {
+		for i := 20; i < 40; i++ {
+			if err := insert(i); err != nil {
+				panic(err)
+			}
+			committed++
+		}
+	})
+	fmt.Printf("power failed mid-run: %v (after %d committed txns)\n", crashed, committed)
+
+	// Phase 3: the crash. Each unflushed dirty cache line survives with
+	// probability 0.5 — the adversarial "hardware may have evicted it"
+	// semantics of §3.2.
+	sys.Crash(pmem.CrashOptions{Seed: 7, EvictProb: 0.5})
+
+	// Phase 4: recovery. If the slot-header log holds a commit mark, the
+	// checkpoint is replayed; otherwise the torn transaction vanishes.
+	st2, err := fast.Attach(st.Arena(), cfg)
+	if err != nil {
+		log.Fatal(err)
+	}
+	if err := st2.Recover(); err != nil {
+		log.Fatal(err)
+	}
+	tree2 := btree.New(st2)
+	tx, err := tree2.Begin()
+	if err != nil {
+		log.Fatal(err)
+	}
+	defer tx.Rollback()
+	if err := tx.Validate(); err != nil {
+		log.Fatalf("recovered tree is invalid: %v", err)
+	}
+	count, _ := tx.Count()
+	fmt.Printf("after recovery: %d records (committed %d, in-flight may round up)\n", count, committed)
+	for i := 0; i < committed; i++ {
+		if _, ok, _ := tx.Get([]byte(fmt.Sprintf("key-%03d", i))); !ok {
+			log.Fatalf("committed key %d lost!", i)
+		}
+	}
+	fmt.Println("every committed record verified; structure valid — recovery OK")
+	fmt.Printf("(store stats: %+v)\n", st2.Stats())
+}

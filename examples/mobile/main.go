@@ -1,0 +1,58 @@
+// Mobile: the paper's motivating workload. Android applications mostly run
+// single-INSERT transactions against SQLite ("as if it is a flat file
+// interface", §3.2) — the case where FAST+'s in-place commit is optimal:
+// no journal, no WAL frame, just the record bytes plus one failure-atomic
+// slot-header write.
+//
+// This example runs the same message-log insert stream on FAST+ and on
+// NVWAL and prints the per-transaction commit breakdown side by side.
+package main
+
+import (
+	"fmt"
+	"log"
+
+	"fasp"
+	"fasp/internal/phase"
+)
+
+const nMessages = 2000
+
+func run(scheme string) (*fasp.DB, int64) {
+	db, err := fasp.Open(fasp.Options{Scheme: scheme, PMReadNS: 300, PMWriteNS: 300})
+	if err != nil {
+		log.Fatal(err)
+	}
+	db.MustExec(`CREATE TABLE messages (id INTEGER PRIMARY KEY, sender TEXT, body TEXT)`)
+	start := db.SimulatedNS()
+	for i := 1; i <= nMessages; i++ {
+		db.MustExec(fmt.Sprintf(
+			`INSERT INTO messages VALUES (%d, 'user%d', 'message body number %d — the quick brown fox')`,
+			i, i%17, i))
+	}
+	return db, db.SimulatedNS() - start
+}
+
+func main() {
+	fmt.Printf("mobile workload: %d single-insert transactions\n\n", nMessages)
+	var base int64
+	for _, scheme := range []string{fasp.SchemeNVWAL, fasp.SchemeFAST, fasp.SchemeFASTPlus} {
+		db, elapsed := run(scheme)
+		per := elapsed / nMessages
+		phases := db.System().Clock().Phases()
+		fmt.Printf("%-8s %6.2f us/txn   commit=%.2f  (log-flush=%.2f checkpoint=%.2f atomic-write=%.2f heap=%.2f)\n",
+			db.SchemeName(), float64(per)/1000,
+			float64(phases[phase.Commit])/float64(nMessages)/1000,
+			float64(phases[phase.LogFlush])/float64(nMessages)/1000,
+			float64(phases[phase.Checkpoint])/float64(nMessages)/1000,
+			float64(phases[phase.AtomicWrite])/float64(nMessages)/1000,
+			float64(phases[phase.Heap])/float64(nMessages)/1000)
+		if scheme == fasp.SchemeNVWAL {
+			base = per
+		} else {
+			fmt.Printf("         -> %.1f%% faster than NVWAL\n", 100*(1-float64(per)/float64(base)))
+		}
+	}
+	fmt.Println("\n(the paper reports FAST+ cutting commit overhead to ~1/6 of NVWAL's,")
+	fmt.Println(" and end-to-end response time by up to 33%)")
+}

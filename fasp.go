@@ -1,0 +1,477 @@
+// Package fasp is the public API of the failure-atomic slotted paging
+// library — a Go reproduction of "Failure-Atomic Slotted Paging for
+// Persistent Memory" (ASPLOS 2017).
+//
+// It bundles a simulated persistent-memory machine (internal/pmem), the
+// paper's FAST and FAST+ commit schemes plus the NVWAL / WAL / rollback
+// journal baselines, a slotted-page B-tree, and a small SQLite-like SQL
+// engine, behind two entry points:
+//
+//   - Open — a SQL database (Exec/Query) on a chosen scheme;
+//   - OpenKV — a raw ordered key/value store over the same B-tree.
+//
+// Both run on a deterministic simulated clock: configure PM latencies,
+// run a workload, and read simulated-time phase breakdowns that reproduce
+// the paper's figures. Crash / Reopen simulate power failure and recovery.
+package fasp
+
+import (
+	"errors"
+	"fmt"
+	"strings"
+	"sync"
+
+	"fasp/internal/btree"
+	"fasp/internal/engine"
+	"fasp/internal/fast"
+	"fasp/internal/hashidx"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+	"fasp/internal/sql"
+	"fasp/internal/wal"
+)
+
+// Scheme names accepted by Options.Scheme.
+const (
+	SchemeFASTPlus = "fast+"
+	SchemeFAST     = "fast"
+	SchemeNVWAL    = "nvwal"
+	SchemeWAL      = "wal"
+	SchemeJournal  = "journal"
+)
+
+// Options configures a database or KV store.
+type Options struct {
+	// Scheme selects the commit scheme (default "fast+").
+	Scheme string
+	// PageSize is the slotted-page size in bytes (default 4096).
+	PageSize int
+	// MaxPages bounds the page space (default 16384).
+	MaxPages int
+	// PMReadNS / PMWriteNS are the emulated PM latencies per cache line
+	// (default 300/300, the paper's default point; DRAM is 120).
+	PMReadNS, PMWriteNS int64
+	// CacheBytes bounds the emulated CPU cache per arena (default 2 MiB).
+	CacheBytes int64
+}
+
+func (o *Options) fill() {
+	if o.Scheme == "" {
+		o.Scheme = SchemeFASTPlus
+	}
+	if o.PageSize == 0 {
+		o.PageSize = 4096
+	}
+	if o.MaxPages == 0 {
+		o.MaxPages = 16384
+	}
+	if o.PMReadNS == 0 {
+		o.PMReadNS = 300
+	}
+	if o.PMWriteNS == 0 {
+		o.PMWriteNS = 300
+	}
+}
+
+// Value is a SQL value in query results.
+type Value = sql.Value
+
+// Result is the outcome of one SQL statement.
+type Result = engine.Result
+
+// CrashOptions re-exports the crash eviction lottery configuration.
+type CrashOptions = pmem.CrashOptions
+
+// base carries the machinery shared by DB and KV. The mutex serialises all
+// public operations: the simulated machine (clock, cache overlay) and the
+// single-writer stores are not internally synchronised, so the facade
+// provides SQLite-style one-at-a-time access that is safe to call from
+// multiple goroutines.
+type base struct {
+	mu    sync.Mutex
+	opts  Options
+	sys   *pmem.System
+	store pager.Store
+	arena *pmem.Arena
+}
+
+func newBase(opts Options) (*base, error) {
+	opts.fill()
+	lat := pmem.DefaultLatencies(opts.PMReadNS, opts.PMWriteNS)
+	lat.CacheBytes = opts.CacheBytes
+	sys := pmem.NewSystem(lat)
+	b := &base{opts: opts, sys: sys}
+	switch strings.ToLower(opts.Scheme) {
+	case SchemeFASTPlus, SchemeFAST:
+		variant := fast.InPlaceCommit
+		if strings.ToLower(opts.Scheme) == SchemeFAST {
+			variant = fast.SlotHeaderLogging
+		}
+		st := fast.Create(sys, fast.Config{
+			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Variant: variant,
+		})
+		b.store, b.arena = st, st.Arena()
+	case SchemeNVWAL, SchemeWAL, SchemeJournal:
+		kind := wal.NVWAL
+		switch strings.ToLower(opts.Scheme) {
+		case SchemeWAL:
+			kind = wal.FullWAL
+		case SchemeJournal:
+			kind = wal.Journal
+		}
+		st := wal.Create(sys, wal.Config{
+			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Kind: kind,
+		})
+		b.store, b.arena = st, st.Arena()
+	default:
+		return nil, fmt.Errorf("fasp: unknown scheme %q", opts.Scheme)
+	}
+	return b, nil
+}
+
+// reattach rebuilds the store over the surviving arena after a crash.
+func (b *base) reattach() error {
+	switch st := b.store.(type) {
+	case *fast.Store:
+		variant := fast.InPlaceCommit
+		if strings.ToLower(b.opts.Scheme) == SchemeFAST {
+			variant = fast.SlotHeaderLogging
+		}
+		ns, err := fast.Attach(b.arena, fast.Config{
+			PageSize: b.opts.PageSize, MaxPages: b.opts.MaxPages, Variant: variant,
+		})
+		if err != nil {
+			return err
+		}
+		b.store = ns
+		_ = st
+	case *wal.Store:
+		kind := wal.NVWAL
+		switch strings.ToLower(b.opts.Scheme) {
+		case SchemeWAL:
+			kind = wal.FullWAL
+		case SchemeJournal:
+			kind = wal.Journal
+		}
+		ns, err := wal.Attach(b.arena, wal.Config{
+			PageSize: b.opts.PageSize, MaxPages: b.opts.MaxPages, Kind: kind,
+		})
+		if err != nil {
+			return err
+		}
+		b.store = ns
+	default:
+		return errors.New("fasp: unknown store type")
+	}
+	return b.recover()
+}
+
+func (b *base) recover() error {
+	type recoverer interface{ Recover() error }
+	if r, ok := b.store.(recoverer); ok {
+		return r.Recover()
+	}
+	return nil
+}
+
+// System exposes the simulated machine (clock, latencies, crash control).
+func (b *base) System() *pmem.System { return b.sys }
+
+// SchemeName reports the active commit scheme.
+func (b *base) SchemeName() string { return b.store.Name() }
+
+// SimulatedNS returns the current simulated time in nanoseconds.
+func (b *base) SimulatedNS() int64 { return b.sys.Clock().Now() }
+
+// RawStore exposes the underlying pager store for inspection tooling
+// (cmd/faspinspect); application code should not need it.
+func (b *base) RawStore() pager.Store { return b.store }
+
+// PMStats returns the persistent-memory arena's architectural event
+// counters (line fills, stores, clflush calls, write-backs).
+func (b *base) PMStats() pmem.Stats { return b.arena.Stats() }
+
+// Crash simulates a power failure: volatile state is lost; each dirty PM
+// cache line independently survives per the eviction lottery. Call Reopen
+// (DB) / ReopenKV (KV) afterwards to run recovery.
+func (b *base) Crash(opts CrashOptions) {
+	b.mu.Lock()
+	defer b.mu.Unlock()
+	b.sys.Crash(opts)
+}
+
+// DB is a SQL database on a simulated PM machine.
+type DB struct {
+	*base
+	eng *engine.DB
+}
+
+// Open creates a fresh database with the given options.
+func Open(opts Options) (*DB, error) {
+	b, err := newBase(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &DB{base: b, eng: engine.Open(b.store)}, nil
+}
+
+// Exec parses and executes a semicolon-separated SQL batch.
+func (db *DB) Exec(src string) ([]Result, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Exec(src)
+}
+
+// MustExec runs Exec and panics on error (examples and tests).
+func (db *DB) MustExec(src string) []Result {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.MustExec(src)
+}
+
+// Query runs one SELECT and returns its rows.
+func (db *DB) Query(src string) ([][]Value, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.QueryRows(src)
+}
+
+// Tables lists the table names in the catalog.
+func (db *DB) Tables() ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Tables()
+}
+
+// Schema returns a table's stored CREATE TABLE statement.
+func (db *DB) Schema(table string) (string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Schema(table)
+}
+
+// Indexes lists the secondary-index names in the catalog.
+func (db *DB) Indexes() ([]string, error) {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	return db.eng.Indexes()
+}
+
+// Reopen recovers the database after Crash, reattaching engine state.
+func (db *DB) Reopen() error {
+	db.mu.Lock()
+	defer db.mu.Unlock()
+	if err := db.reattach(); err != nil {
+		return err
+	}
+	db.eng = engine.Open(db.store)
+	return nil
+}
+
+// KV is an ordered key/value store over the failure-atomic B-tree —
+// the paper's pager/B-tree layer without the SQL front end (the layer
+// Figures 6–10 measure).
+type KV struct {
+	*base
+	tree *btree.Tree
+}
+
+// OpenKV creates a fresh key/value store.
+func OpenKV(opts Options) (*KV, error) {
+	b, err := newBase(opts)
+	if err != nil {
+		return nil, err
+	}
+	return &KV{base: b, tree: btree.New(b.store)}, nil
+}
+
+// Put inserts or replaces key's value in one transaction.
+func (kv *KV) Put(key, val []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	err := kv.tree.Insert(key, val)
+	if err != nil && strings.Contains(err.Error(), "duplicate") {
+		return kv.tree.Update(key, val)
+	}
+	return err
+}
+
+// Insert adds a new key, failing on duplicates.
+func (kv *KV) Insert(key, val []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.tree.Insert(key, val)
+}
+
+// Get returns the value stored under key.
+func (kv *KV) Get(key []byte) ([]byte, bool, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.tree.Get(key)
+}
+
+// Delete removes key.
+func (kv *KV) Delete(key []byte) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.tree.Delete(key)
+}
+
+// Scan visits keys in [lo, hi] in order (nil bounds are open).
+func (kv *KV) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.tree.Scan(lo, hi, fn)
+}
+
+// ScanReverse visits keys in [lo, hi] in descending order.
+func (kv *KV) ScanReverse(lo, hi []byte, fn func(k, v []byte) bool) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	tx, err := kv.tree.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	return tx.ScanReverse(lo, hi, fn)
+}
+
+// BatchTx is the operation set available inside a KV.Batch transaction.
+type BatchTx interface {
+	// Insert adds a new key, failing on duplicates.
+	Insert(key, val []byte) error
+	// Update replaces an existing key's value.
+	Update(key, val []byte) error
+	// Delete removes a key.
+	Delete(key []byte) error
+	// Get reads a key (including this transaction's own writes).
+	Get(key []byte) ([]byte, bool, error)
+	// Scan visits keys in [lo, hi] in order.
+	Scan(lo, hi []byte, fn func(k, v []byte) bool) error
+}
+
+// Batch runs fn inside one transaction; all operations commit atomically.
+func (kv *KV) Batch(fn func(tx BatchTx) error) error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	tx, err := kv.tree.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Validate checks full structural integrity of the tree.
+func (kv *KV) Validate() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	tx, err := kv.tree.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	return tx.Validate()
+}
+
+// Count returns the number of records.
+func (kv *KV) Count() (int, error) {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	tx, err := kv.tree.Begin()
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Rollback()
+	return tx.Count()
+}
+
+// ReopenKV recovers the store after Crash.
+func (kv *KV) ReopenKV() error {
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	if err := kv.reattach(); err != nil {
+		return err
+	}
+	kv.tree = btree.New(kv.store)
+	return nil
+}
+
+// Hash is a persistent hash index over failure-atomic slotted pages — the
+// paper's observation that the persistent slotted-page optimisation also
+// applies to hash-based indexes (§2.2). Buckets are chains of slotted
+// pages; under FAST+ a single-page Put commits with one HTM cache-line
+// write, exactly like a B-tree leaf insert.
+type Hash struct {
+	*base
+	idx *hashidx.Index
+}
+
+// OpenHash creates a fresh hash index with the given bucket count.
+func OpenHash(opts Options, buckets uint32) (*Hash, error) {
+	b, err := newBase(opts)
+	if err != nil {
+		return nil, err
+	}
+	idx := hashidx.New(b.store)
+	if err := idx.Create(buckets); err != nil {
+		return nil, err
+	}
+	return &Hash{base: b, idx: idx}, nil
+}
+
+// Put inserts or replaces a key in one transaction.
+func (h *Hash) Put(key, val []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx.Put(key, val)
+}
+
+// Get returns the value stored under key.
+func (h *Hash) Get(key []byte) ([]byte, bool, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx.Get(key)
+}
+
+// Delete removes key.
+func (h *Hash) Delete(key []byte) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx.Delete(key)
+}
+
+// Len counts the records.
+func (h *Hash) Len() (int, error) {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx.Len()
+}
+
+// Rehash rebuilds the index with a new bucket count in one transaction.
+func (h *Hash) Rehash(buckets uint32) error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx.Rehash(buckets)
+}
+
+// Validate checks structural integrity (pages, chains, hash placement).
+func (h *Hash) Validate() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	return h.idx.Validate()
+}
+
+// ReopenHash recovers the index after Crash.
+func (h *Hash) ReopenHash() error {
+	h.mu.Lock()
+	defer h.mu.Unlock()
+	if err := h.reattach(); err != nil {
+		return err
+	}
+	h.idx = hashidx.New(h.store)
+	return nil
+}

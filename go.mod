@@ -1,0 +1,3 @@
+module fasp
+
+go 1.24

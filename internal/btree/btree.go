@@ -1,0 +1,424 @@
+// Package btree implements a B+-tree of slotted pages over the pager
+// abstraction, following the paper's SQLite case study (§4):
+//
+//   - variable-length records live in leaf pages; interior pages hold
+//     separator cells (key, child) where key is the largest key in the
+//     child's subtree, plus a rightmost-child pointer;
+//   - a page split allocates a new LEFT sibling, copies the keys smaller
+//     than the median into it, truncates the original page's offset array
+//     (a header-only change), and inserts the new separator into the
+//     parent's free space (Figure 4);
+//   - fragmentation is repaired by on-demand copy-on-write defragmentation:
+//     live cells are copied to a fresh page and the parent's child pointer
+//     is swapped out of place (§4.3).
+//
+// All mutations run inside a pager transaction; the commit scheme of the
+// underlying store (FAST, FAST+, NVWAL, …) decides how they become durable.
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+
+	"fasp/internal/pager"
+	"fasp/internal/phase"
+	"fasp/internal/slotted"
+)
+
+// Errors returned by tree operations.
+var (
+	// ErrKeyNotFound reports an Update/Delete of an absent key.
+	ErrKeyNotFound = errors.New("btree: key not found")
+	// ErrTooLarge reports a record that cannot fit in an empty page.
+	ErrTooLarge = errors.New("btree: record too large for page")
+)
+
+// Tree is a B+-tree bound to a store.
+type Tree struct {
+	st pager.Store
+}
+
+// New binds a tree to a store. The tree's root pointer lives in the store's
+// metadata; an empty store is an empty tree.
+func New(st pager.Store) *Tree { return &Tree{st: st} }
+
+// Store returns the underlying store.
+func (t *Tree) Store() pager.Store { return t.st }
+
+// Begin opens a read-write transaction on the tree. The tree's root is the
+// store's root pointer.
+func (t *Tree) Begin() (*Tx, error) {
+	ptx, err := t.st.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{st: t.st, p: ptx, root: ptx, owns: true}, nil
+}
+
+// RootRef locates a tree's root pointer. A pager.Txn is itself a RootRef
+// (the store's primary tree); the SQL engine supplies RootRefs backed by
+// catalog rows so that many trees share one transaction.
+type RootRef interface {
+	Root() uint32
+	SetRoot(no uint32)
+}
+
+// Attach opens a tree view over an existing pager transaction with an
+// external root pointer. The caller owns the transaction's lifecycle:
+// Commit and Rollback on an attached Tx are errors by construction and
+// must not be called.
+func Attach(st pager.Store, ptx pager.Txn, root RootRef) *Tx {
+	return &Tx{st: st, p: ptx, root: root}
+}
+
+// Insert runs a single-insert transaction — the paper's canonical mobile
+// workload (one INSERT statement per transaction).
+func (t *Tree) Insert(key, val []byte) error {
+	return t.inTx(func(tx *Tx) error { return tx.Insert(key, val) })
+}
+
+// Update runs a single-update transaction.
+func (t *Tree) Update(key, val []byte) error {
+	return t.inTx(func(tx *Tx) error { return tx.Update(key, val) })
+}
+
+// Delete runs a single-delete transaction.
+func (t *Tree) Delete(key []byte) error {
+	return t.inTx(func(tx *Tx) error { return tx.Delete(key) })
+}
+
+func (t *Tree) inTx(fn func(*Tx) error) error {
+	tx, err := t.Begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Get looks a key up in its own read-only transaction.
+func (t *Tree) Get(key []byte) ([]byte, bool, error) {
+	tx, err := t.Begin()
+	if err != nil {
+		return nil, false, err
+	}
+	defer tx.Rollback()
+	return tx.Get(key)
+}
+
+// Scan iterates records with keys in [lo, hi] (nil bounds are open) in key
+// order, stopping early if fn returns false.
+func (t *Tree) Scan(lo, hi []byte, fn func(key, val []byte) bool) error {
+	tx, err := t.Begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	return tx.Scan(lo, hi, fn)
+}
+
+// Tx is a transaction on the tree. All operations share the transaction's
+// working state and commit (or vanish) together.
+type Tx struct {
+	st   pager.Store
+	p    pager.Txn
+	root RootRef
+	owns bool // Tx owns the pager transaction's lifecycle
+	done bool
+}
+
+// Pager exposes the underlying pager transaction.
+func (x *Tx) Pager() pager.Txn { return x.p }
+
+// Commit commits the transaction through the store's scheme.
+func (x *Tx) Commit() error {
+	if !x.owns {
+		return fmt.Errorf("btree: commit on attached transaction")
+	}
+	x.done = true
+	return x.p.Commit()
+}
+
+// Rollback abandons the transaction.
+func (x *Tx) Rollback() {
+	if x.done || !x.owns {
+		return
+	}
+	x.done = true
+	x.p.Rollback()
+}
+
+// pathElem is one step of a root-to-leaf descent.
+type pathElem struct {
+	no     uint32
+	page   *slotted.Page
+	idx    int  // which cell was followed (when !viaAux)
+	viaAux bool // followed the rightmost-child pointer
+}
+
+// descend walks from the root to the leaf that owns key.
+func (x *Tx) descend(key []byte) ([]pathElem, error) {
+	no := x.root.Root()
+	if no == 0 {
+		return nil, nil
+	}
+	var path []pathElem
+	for {
+		p, err := x.p.Page(no)
+		if err != nil {
+			return nil, err
+		}
+		if p.Type() == slotted.TypeLeaf {
+			path = append(path, pathElem{no: no, page: p})
+			return path, nil
+		}
+		i, _ := p.Search(key)
+		if i < p.NCells() {
+			path = append(path, pathElem{no: no, page: p, idx: i})
+			no = p.Child(i)
+		} else {
+			path = append(path, pathElem{no: no, page: p, viaAux: true})
+			no = p.Aux()
+			if no == 0 {
+				return nil, fmt.Errorf("%w: interior page %d lacks rightmost child",
+					pager.ErrCorrupt, path[len(path)-1].no)
+			}
+		}
+		if len(path) > 64 {
+			return nil, fmt.Errorf("%w: descent too deep (cycle?)", pager.ErrCorrupt)
+		}
+	}
+}
+
+// Get returns the value stored under key.
+func (x *Tx) Get(key []byte) ([]byte, bool, error) {
+	clock := x.st.Sys().Clock()
+	clock.Enter(phase.Search)
+	path, err := x.descend(key)
+	clock.Exit(phase.Search)
+	if err != nil || path == nil {
+		return nil, false, err
+	}
+	leaf := path[len(path)-1].page
+	i, found := leaf.Search(key)
+	if !found {
+		return nil, false, nil
+	}
+	return leaf.Value(i), true, nil
+}
+
+// Insert adds a record; duplicate keys are rejected.
+func (x *Tx) Insert(key, val []byte) error {
+	if cellSize(key, val) > x.maxCell() {
+		return fmt.Errorf("%w: %d-byte cell", ErrTooLarge, cellSize(key, val))
+	}
+	clock := x.st.Sys().Clock()
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return fmt.Errorf("%w: insert did not converge", pager.ErrCorrupt)
+		}
+		clock.Enter(phase.Search)
+		path, err := x.descend(key)
+		clock.Exit(phase.Search)
+		if err != nil {
+			return err
+		}
+		if path == nil {
+			// Empty tree: allocate the root leaf.
+			_, _, err := x.allocRoot()
+			if err != nil {
+				return err
+			}
+			continue
+		}
+		var opErr error
+		clock.InPhase(phase.PageUpdate, func() {
+			opErr = x.insertAt(path, key, val)
+		})
+		switch {
+		case opErr == nil:
+			return nil
+		case errors.Is(opErr, errRetry):
+			continue
+		default:
+			return opErr
+		}
+	}
+}
+
+// errRetry asks the outer loop to re-descend after a structural change.
+var errRetry = errors.New("btree: retry after structural change")
+
+// leafCellCap returns the store's leaf-fanout bound (FAST+ keeps leaf
+// headers within one cache line so the in-place commit stays eligible).
+func (x *Tx) leafCellCap() int {
+	if c, ok := x.st.(interface{ LeafCellCap() int }); ok {
+		return c.LeafCellCap()
+	}
+	return 0
+}
+
+func (x *Tx) insertAt(path []pathElem, key, val []byte) error {
+	leaf := path[len(path)-1].page
+	if cap := x.leafCellCap(); cap > 0 && leaf.NCells() >= cap {
+		// The offset array is at its in-place commit limit: split early.
+		if serr := x.split(path); serr != nil {
+			return serr
+		}
+		return errRetry
+	}
+	var err error
+	x.st.Sys().Clock().InPhase(phase.RecordWrite, func() {
+		err = leaf.Insert(key, val)
+	})
+	switch {
+	case err == nil:
+		x.p.OpEnd()
+		return nil
+	case errors.Is(err, slotted.ErrDuplicate):
+		return err
+	case errors.Is(err, slotted.ErrNeedsDefrag):
+		if _, derr := x.defrag(path, len(path)-1); derr != nil {
+			return derr
+		}
+		return errRetry
+	case errors.Is(err, slotted.ErrPageFull):
+		if serr := x.split(path); serr != nil {
+			return serr
+		}
+		return errRetry
+	default:
+		return err
+	}
+}
+
+// Update replaces the value under key (out of place at the page level).
+func (x *Tx) Update(key, val []byte) error {
+	clock := x.st.Sys().Clock()
+	for attempt := 0; ; attempt++ {
+		if attempt > 64 {
+			return fmt.Errorf("%w: update did not converge", pager.ErrCorrupt)
+		}
+		clock.Enter(phase.Search)
+		path, err := x.descend(key)
+		clock.Exit(phase.Search)
+		if err != nil {
+			return err
+		}
+		if path == nil {
+			return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+		}
+		leaf := path[len(path)-1].page
+		i, found := leaf.Search(key)
+		if !found {
+			return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+		}
+		var opErr error
+		clock.InPhase(phase.PageUpdate, func() {
+			clock.InPhase(phase.RecordWrite, func() {
+				opErr = leaf.Update(i, val)
+			})
+			if opErr == nil {
+				x.p.OpEnd()
+			}
+		})
+		switch {
+		case opErr == nil:
+			return nil
+		case errors.Is(opErr, slotted.ErrNeedsDefrag):
+			clock.Enter(phase.PageUpdate)
+			_, derr := x.defrag(path, len(path)-1)
+			clock.Exit(phase.PageUpdate)
+			if derr != nil {
+				return derr
+			}
+		case errors.Is(opErr, slotted.ErrPageFull):
+			// Larger value that no longer fits: delete + reinsert (the
+			// reinsert may split).
+			if err := x.Delete(key); err != nil {
+				return err
+			}
+			return x.Insert(key, val)
+		default:
+			return opErr
+		}
+	}
+}
+
+// Delete removes the record under key. Leaves that become empty are
+// reclaimed when they are not the parent's rightmost child.
+func (x *Tx) Delete(key []byte) error {
+	clock := x.st.Sys().Clock()
+	clock.Enter(phase.Search)
+	path, err := x.descend(key)
+	clock.Exit(phase.Search)
+	if err != nil {
+		return err
+	}
+	if path == nil {
+		return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+	}
+	leaf := path[len(path)-1].page
+	i, found := leaf.Search(key)
+	if !found {
+		return fmt.Errorf("%w: %x", ErrKeyNotFound, key)
+	}
+	clock.InPhase(phase.PageUpdate, func() {
+		clock.InPhase(phase.RecordWrite, func() {
+			err = leaf.Delete(i)
+		})
+		if err == nil {
+			x.reclaimIfEmpty(path)
+			x.p.OpEnd()
+		}
+	})
+	return err
+}
+
+// reclaimIfEmpty frees an empty leaf that is addressed through a parent
+// cell (not the rightmost pointer), removing the separator. A root leaf
+// stays; an empty-celled interior root collapses to its rightmost child.
+func (x *Tx) reclaimIfEmpty(path []pathElem) {
+	leaf := path[len(path)-1].page
+	if leaf.NCells() != 0 || len(path) == 1 {
+		return
+	}
+	parentElem := path[len(path)-2]
+	if parentElem.viaAux {
+		return // rightmost child: keep as the insertion frontier
+	}
+	if err := parentElem.page.Delete(parentElem.idx); err != nil {
+		return // non-fatal: the empty leaf just stays
+	}
+	x.p.FreePage(path[len(path)-1].no)
+	// Collapse a rootward chain of empty interior pages.
+	if len(path) == 2 && parentElem.page.NCells() == 0 && parentElem.page.Aux() != 0 {
+		x.root.SetRoot(parentElem.page.Aux())
+		x.p.FreePage(parentElem.no)
+	}
+}
+
+// allocRoot creates the root leaf of an empty tree.
+func (x *Tx) allocRoot() (uint32, *slotted.Page, error) {
+	no, p, err := x.p.AllocPage(slotted.TypeLeaf)
+	if err != nil {
+		return 0, nil, err
+	}
+	x.root.SetRoot(no)
+	return no, p, nil
+}
+
+// cellSize mirrors the slotted leaf-cell layout.
+func cellSize(key, val []byte) int { return 4 + len(key) + len(val) }
+
+// maxCell is the largest leaf cell an empty page can host.
+func (x *Tx) maxCell() int {
+	return x.p.PageSize() - slotted.HeaderFixedSize - 2
+}
+
+// keyUpperBoundOK reports key order for validation.
+func keyLE(a, b []byte) bool { return bytes.Compare(a, b) <= 0 }

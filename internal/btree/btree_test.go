@@ -1,0 +1,596 @@
+package btree
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fasp/internal/fast"
+	"fasp/internal/pmem"
+	"fasp/internal/slotted"
+)
+
+func newFastTree(t testing.TB, variant fast.Variant) (*pmem.System, *fast.Store, *Tree) {
+	t.Helper()
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := fast.Create(sys, fast.Config{PageSize: 512, MaxPages: 4096, Variant: variant})
+	return sys, st, New(st)
+}
+
+func k(i int) []byte        { return []byte(fmt.Sprintf("k%08d", i)) }
+func v(i int, n int) []byte { return bytes.Repeat([]byte{byte('a' + i%26)}, n) }
+func mustInsert(t testing.TB, tr *Tree, i, n int) {
+	t.Helper()
+	if err := tr.Insert(k(i), v(i, n)); err != nil {
+		t.Fatalf("insert %d: %v", i, err)
+	}
+}
+
+func TestInsertGetSingle(t *testing.T) {
+	_, _, tr := newFastTree(t, fast.InPlaceCommit)
+	mustInsert(t, tr, 1, 20)
+	got, ok, err := tr.Get(k(1))
+	if err != nil || !ok {
+		t.Fatalf("get: %v %v", ok, err)
+	}
+	if !bytes.Equal(got, v(1, 20)) {
+		t.Fatalf("value = %q", got)
+	}
+	if _, ok, _ := tr.Get(k(2)); ok {
+		t.Fatal("phantom key")
+	}
+}
+
+func TestManyInsertsWithSplits(t *testing.T) {
+	for _, variant := range []fast.Variant{fast.SlotHeaderLogging, fast.InPlaceCommit} {
+		t.Run(variant.String(), func(t *testing.T) {
+			_, st, tr := newFastTree(t, variant)
+			const n = 500
+			perm := rand.New(rand.NewSource(1)).Perm(n)
+			for _, i := range perm {
+				mustInsert(t, tr, i, 30)
+			}
+			if st.Stats().Splits == 0 {
+				t.Fatal("no splits happened; test is vacuous")
+			}
+			// Every key readable.
+			for i := 0; i < n; i++ {
+				got, ok, err := tr.Get(k(i))
+				if err != nil || !ok {
+					t.Fatalf("get %d: %v %v", i, ok, err)
+				}
+				if !bytes.Equal(got, v(i, 30)) {
+					t.Fatalf("value %d mismatch", i)
+				}
+			}
+			// Scan yields all keys in order.
+			var keys [][]byte
+			if err := tr.Scan(nil, nil, func(key, _ []byte) bool {
+				keys = append(keys, append([]byte(nil), key...))
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(keys) != n {
+				t.Fatalf("scan found %d keys, want %d", len(keys), n)
+			}
+			for i := 1; i < len(keys); i++ {
+				if bytes.Compare(keys[i-1], keys[i]) >= 0 {
+					t.Fatal("scan out of order")
+				}
+			}
+			// Structural validation.
+			tx, err := tr.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tx.Rollback()
+			if err := tx.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestDuplicateInsertFails(t *testing.T) {
+	_, _, tr := newFastTree(t, fast.InPlaceCommit)
+	mustInsert(t, tr, 1, 10)
+	if err := tr.Insert(k(1), v(1, 10)); !errors.Is(err, slotted.ErrDuplicate) {
+		t.Fatalf("err = %v, want ErrDuplicate", err)
+	}
+	// The failed transaction rolled back; the tree still works.
+	mustInsert(t, tr, 2, 10)
+}
+
+func TestUpdateAndDelete(t *testing.T) {
+	_, _, tr := newFastTree(t, fast.InPlaceCommit)
+	for i := 0; i < 100; i++ {
+		mustInsert(t, tr, i, 25)
+	}
+	if err := tr.Update(k(7), []byte("updated")); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, _ := tr.Get(k(7))
+	if !ok || string(got) != "updated" {
+		t.Fatalf("after update: %q %v", got, ok)
+	}
+	if err := tr.Update(k(9999), []byte("x")); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("update missing: %v", err)
+	}
+	if err := tr.Delete(k(7)); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok, _ := tr.Get(k(7)); ok {
+		t.Fatal("deleted key still present")
+	}
+	if err := tr.Delete(k(7)); !errors.Is(err, ErrKeyNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+}
+
+func TestUpdateGrowingValueForcesDefrag(t *testing.T) {
+	_, st, tr := newFastTree(t, fast.InPlaceCommit)
+	// Fill one leaf nearly full, then grow a value so the update cannot fit
+	// without copy-on-write defragmentation.
+	for i := 0; i < 8; i++ {
+		mustInsert(t, tr, i, 40)
+	}
+	for size := 50; size <= 110; size += 30 {
+		if err := tr.Update(k(3), v(3, size)); err != nil {
+			t.Fatalf("grow to %d: %v", size, err)
+		}
+	}
+	got, ok, _ := tr.Get(k(3))
+	if !ok || len(got) != 110 {
+		t.Fatalf("after growth: len=%d ok=%v", len(got), ok)
+	}
+	if st.Stats().Defrags == 0 {
+		t.Fatal("defragmentation never triggered; test is vacuous")
+	}
+	tx, _ := tr.Begin()
+	defer tx.Rollback()
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMultiOpTransactionAtomicity(t *testing.T) {
+	_, _, tr := newFastTree(t, fast.InPlaceCommit)
+	tx, err := tr.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if err := tx.Insert(k(i), v(i, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Rollback()
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := tr.Get(k(i)); ok {
+			t.Fatalf("rolled-back key %d visible", i)
+		}
+	}
+	tx2, _ := tr.Begin()
+	for i := 0; i < 10; i++ {
+		if err := tx2.Insert(k(i), v(i, 20)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 10; i++ {
+		if _, ok, _ := tr.Get(k(i)); !ok {
+			t.Fatalf("committed key %d missing", i)
+		}
+	}
+}
+
+func TestFASTPlusUsesInPlaceCommits(t *testing.T) {
+	_, st, tr := newFastTree(t, fast.InPlaceCommit)
+	for i := 0; i < 12; i++ {
+		mustInsert(t, tr, i, 16)
+	}
+	s := st.Stats()
+	if s.InPlaceCommits == 0 {
+		t.Fatalf("no in-place commits: %+v", s)
+	}
+	// The first insert allocates the root (meta change → logged); later
+	// single-leaf inserts should all commit in place while the leaf fits.
+	if s.InPlaceCommits < 8 {
+		t.Fatalf("too few in-place commits: %+v", s)
+	}
+}
+
+func TestFASTNeverCommitsInPlace(t *testing.T) {
+	_, st, tr := newFastTree(t, fast.SlotHeaderLogging)
+	for i := 0; i < 12; i++ {
+		mustInsert(t, tr, i, 16)
+	}
+	if s := st.Stats(); s.InPlaceCommits != 0 || s.LogCommits != s.Commits {
+		t.Fatalf("FAST stats: %+v", s)
+	}
+}
+
+func TestVariantsProduceSameLogicalTree(t *testing.T) {
+	collect := func(variant fast.Variant) map[string]string {
+		_, _, tr := newFastTree(t, variant)
+		rng := rand.New(rand.NewSource(99))
+		live := map[string]string{}
+		for step := 0; step < 600; step++ {
+			i := rng.Intn(150)
+			switch rng.Intn(4) {
+			case 0, 1:
+				val := v(i, 10+rng.Intn(60))
+				if err := tr.Insert(k(i), val); err == nil {
+					live[string(k(i))] = string(val)
+				}
+			case 2:
+				val := v(i+1, 10+rng.Intn(60))
+				if err := tr.Update(k(i), val); err == nil {
+					live[string(k(i))] = string(val)
+				}
+			case 3:
+				if err := tr.Delete(k(i)); err == nil {
+					delete(live, string(k(i)))
+				}
+			}
+		}
+		got := map[string]string{}
+		if err := tr.Scan(nil, nil, func(key, val []byte) bool {
+			got[string(key)] = string(val)
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		// Cross-check scan against the op log.
+		if len(got) != len(live) {
+			t.Fatalf("%v: scan %d keys, model %d", variant, len(got), len(live))
+		}
+		for kk, vv := range live {
+			if got[kk] != vv {
+				t.Fatalf("%v: key %q = %q, want %q", variant, kk, got[kk], vv)
+			}
+		}
+		return got
+	}
+	a := collect(fast.SlotHeaderLogging)
+	b := collect(fast.InPlaceCommit)
+	if len(a) != len(b) {
+		t.Fatalf("variants diverge: %d vs %d keys", len(a), len(b))
+	}
+	for kk, vv := range a {
+		if b[kk] != vv {
+			t.Fatalf("variants diverge at %q", kk)
+		}
+	}
+}
+
+func TestScanRange(t *testing.T) {
+	_, _, tr := newFastTree(t, fast.InPlaceCommit)
+	for i := 0; i < 200; i++ {
+		mustInsert(t, tr, i, 12)
+	}
+	var got []string
+	if err := tr.Scan(k(50), k(59), func(key, _ []byte) bool {
+		got = append(got, string(key))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(got) != 10 || got[0] != string(k(50)) || got[9] != string(k(59)) {
+		t.Fatalf("range scan = %v", got)
+	}
+	// Early termination.
+	n := 0
+	_ = tr.Scan(nil, nil, func(_, _ []byte) bool { n++; return n < 5 })
+	if n != 5 {
+		t.Fatalf("early stop visited %d", n)
+	}
+}
+
+func TestReopenWithoutCrash(t *testing.T) {
+	_, st, tr := newFastTree(t, fast.InPlaceCommit)
+	for i := 0; i < 120; i++ {
+		mustInsert(t, tr, i, 30)
+	}
+	st2, err := fast.Attach(st.Arena(), fast.Config{PageSize: 512, MaxPages: 4096, Variant: fast.InPlaceCommit})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := New(st2)
+	for i := 0; i < 120; i++ {
+		if _, ok, _ := tr2.Get(k(i)); !ok {
+			t.Fatalf("key %d lost across reopen", i)
+		}
+	}
+	tx, _ := tr2.Begin()
+	defer tx.Rollback()
+	if err := tx.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestTooLargeRecordRejected(t *testing.T) {
+	_, _, tr := newFastTree(t, fast.InPlaceCommit)
+	err := tr.Insert(k(1), make([]byte, 4096))
+	if !errors.Is(err, ErrTooLarge) {
+		t.Fatalf("err = %v, want ErrTooLarge", err)
+	}
+}
+
+func TestReachableAndGarbage(t *testing.T) {
+	_, st, tr := newFastTree(t, fast.InPlaceCommit)
+	for i := 0; i < 300; i++ {
+		mustInsert(t, tr, i, 30)
+	}
+	tx, _ := tr.Begin()
+	defer tx.Rollback()
+	reach, err := tx.Reachable()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(reach) < 10 {
+		t.Fatalf("only %d reachable pages", len(reach))
+	}
+	meta := st.Meta()
+	// Every reachable page is within the allocated range.
+	for no := range reach {
+		if no == 0 || no >= meta.NPages {
+			t.Fatalf("reachable page %d outside [1,%d)", no, meta.NPages)
+		}
+	}
+}
+
+// checkRecovered validates a recovered store: structure intact, all
+// committed keys present with correct values, and at most the in-flight
+// transaction's key extra.
+func checkRecovered(t *testing.T, st *fast.Store, committed []int, inflight int, valSize int, label string) {
+	t.Helper()
+	tr := New(st)
+	tx, err := tr.Begin()
+	if err != nil {
+		t.Fatalf("%s: begin: %v", label, err)
+	}
+	defer tx.Rollback()
+	if err := tx.Validate(); err != nil {
+		t.Fatalf("%s: tree invalid after recovery: %v", label, err)
+	}
+	count, err := tx.Count()
+	if err != nil {
+		t.Fatalf("%s: count: %v", label, err)
+	}
+	for _, i := range committed {
+		got, ok, err := tx.Get(k(i))
+		if err != nil || !ok {
+			t.Fatalf("%s: committed key %d missing (err=%v)", label, i, err)
+		}
+		if !bytes.Equal(got, v(i, valSize)) {
+			t.Fatalf("%s: committed key %d corrupt", label, i)
+		}
+	}
+	switch count {
+	case len(committed):
+		// in-flight transaction absent: fine
+	case len(committed) + 1:
+		// in-flight transaction committed its mark before the crash: its
+		// key must be complete and correct.
+		got, ok, err := tx.Get(k(inflight))
+		if err != nil || !ok {
+			t.Fatalf("%s: count=%d but in-flight key %d absent", label, count, inflight)
+		}
+		if !bytes.Equal(got, v(inflight, valSize)) {
+			t.Fatalf("%s: in-flight key %d torn", label, inflight)
+		}
+	default:
+		t.Fatalf("%s: recovered %d keys, committed %d", label, count, len(committed))
+	}
+}
+
+// TestCrashRecoverySweep is the core durability property: at every sampled
+// crash point of a split-heavy insert workload, under adversarial eviction
+// choices, recovery yields a valid tree containing exactly the committed
+// transactions (plus possibly the marked-but-unchecked-pointed in-flight
+// one, complete).
+func TestCrashRecoverySweep(t *testing.T) {
+	const nTxns = 24
+	const valSize = 40
+	cfg := fast.Config{PageSize: 256, MaxPages: 1024, Variant: fast.InPlaceCommit}
+
+	for _, variant := range []fast.Variant{fast.SlotHeaderLogging, fast.InPlaceCommit} {
+		cfg.Variant = variant
+		// Learn the total crash points from one uncrashed run.
+		sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+		st := fast.Create(sys, cfg)
+		tr := New(st)
+		base := sys.CrashPoints()
+		for i := 0; i < nTxns; i++ {
+			mustInsert(t, tr, i, valSize)
+		}
+		total := sys.CrashPoints() - base
+		if total < 100 {
+			t.Fatalf("suspiciously few crash points: %d", total)
+		}
+		step := total / 160
+		if step == 0 {
+			step = 1
+		}
+		if testing.Short() {
+			step = total / 25
+		}
+		evictions := []pmem.CrashOptions{pmem.EvictNone, pmem.EvictAll, {Seed: 11, EvictProb: 0.5}}
+		for _, opts := range evictions {
+			for kpt := int64(0); kpt < total; kpt += step {
+				sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+				st := fast.Create(sys, cfg)
+				tr := New(st)
+				var committed []int
+				inflight := -1
+				sys.CrashAfter(kpt)
+				crashed := sys.RunToCrash(func() {
+					for i := 0; i < nTxns; i++ {
+						inflight = i
+						if err := tr.Insert(k(i), v(i, valSize)); err != nil {
+							panic(fmt.Sprintf("insert %d: %v", i, err))
+						}
+						committed = append(committed, i)
+					}
+				})
+				sys.Crash(opts)
+				if !crashed {
+					// Workload finished before the crash point; recovery on
+					// a cleanly committed image must still be exact.
+					inflight = -1
+				}
+				st2, err := fast.Attach(st.Arena(), cfg)
+				if err != nil {
+					t.Fatalf("%v crash@%d: attach: %v", variant, kpt, err)
+				}
+				if err := st2.Recover(); err != nil {
+					t.Fatalf("%v crash@%d: recover: %v", variant, kpt, err)
+				}
+				label := fmt.Sprintf("%v crash@%d evict=%.1f", variant, kpt, opts.EvictProb)
+				checkRecovered(t, st2, committed, inflight, valSize, label)
+			}
+		}
+	}
+}
+
+// TestCrashDuringMixedWorkload stresses recovery across updates and deletes
+// too: whatever the crash point, the recovered tree must equal the state at
+// some transaction boundary (the last committed one, or one later).
+func TestCrashDuringMixedWorkload(t *testing.T) {
+	cfg := fast.Config{PageSize: 256, MaxPages: 2048, Variant: fast.InPlaceCommit}
+	type op struct {
+		kind int // 0 insert, 1 update, 2 delete
+		i    int
+		size int
+	}
+	rng := rand.New(rand.NewSource(5))
+	var ops []op
+	for s := 0; s < 40; s++ {
+		ops = append(ops, op{kind: rng.Intn(3), i: rng.Intn(25), size: 10 + rng.Intn(50)})
+	}
+	apply := func(m map[string]string, o op) {
+		switch o.kind {
+		case 0:
+			if _, ok := m[string(k(o.i))]; !ok {
+				m[string(k(o.i))] = string(v(o.i, o.size))
+			}
+		case 1:
+			if _, ok := m[string(k(o.i))]; ok {
+				m[string(k(o.i))] = string(v(o.i, o.size))
+			}
+		case 2:
+			delete(m, string(k(o.i)))
+		}
+	}
+	run := func(tr *Tree, committed *int) {
+		for _, o := range ops {
+			var err error
+			switch o.kind {
+			case 0:
+				err = tr.Insert(k(o.i), v(o.i, o.size))
+			case 1:
+				err = tr.Update(k(o.i), v(o.i, o.size))
+			case 2:
+				err = tr.Delete(k(o.i))
+			}
+			// "key not found"/"duplicate" failures still commit boundaries
+			// in the model: the transaction was a no-op.
+			_ = err
+			*committed++
+		}
+	}
+	// Count crash points.
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := fast.Create(sys, cfg)
+	n := 0
+	base := sys.CrashPoints()
+	run(New(st), &n)
+	total := sys.CrashPoints() - base
+	step := total / 80
+	if step == 0 {
+		step = 1
+	}
+	if testing.Short() {
+		step = total / 15
+	}
+	for kpt := int64(0); kpt < total; kpt += step {
+		sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+		st := fast.Create(sys, cfg)
+		tr := New(st)
+		committed := 0
+		sys.CrashAfter(kpt)
+		sys.RunToCrash(func() { run(tr, &committed) })
+		sys.Crash(pmem.CrashOptions{Seed: kpt, EvictProb: 0.5})
+
+		st2, err := fast.Attach(st.Arena(), cfg)
+		if err != nil {
+			t.Fatalf("crash@%d: attach: %v", kpt, err)
+		}
+		if err := st2.Recover(); err != nil {
+			t.Fatalf("crash@%d: recover: %v", kpt, err)
+		}
+		tr2 := New(st2)
+		tx, err := tr2.Begin()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := tx.Validate(); err != nil {
+			t.Fatalf("crash@%d: invalid tree: %v", kpt, err)
+		}
+		got := map[string]string{}
+		if err := tx.Scan(nil, nil, func(key, val []byte) bool {
+			got[string(key)] = string(val)
+			return true
+		}); err != nil {
+			t.Fatalf("crash@%d: scan: %v", kpt, err)
+		}
+		tx.Rollback()
+		// The recovered state must equal the model at `committed` ops or at
+		// `committed+1` (mark written, Commit not yet returned).
+		model := map[string]string{}
+		for i := 0; i < committed && i < len(ops); i++ {
+			apply(model, ops[i])
+		}
+		if !mapsEqual(got, model) {
+			model2 := map[string]string{}
+			for i := 0; i <= committed && i < len(ops); i++ {
+				apply(model2, ops[i])
+			}
+			if !mapsEqual(got, model2) {
+				t.Fatalf("crash@%d: recovered state matches neither boundary (committed=%d)\n got: %v\n want: %v or %v",
+					kpt, committed, summarize(got), summarize(model), summarize(model2))
+			}
+		}
+	}
+}
+
+func mapsEqual(a, b map[string]string) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for k, v := range a {
+		if b[k] != v {
+			return false
+		}
+	}
+	return true
+}
+
+func summarize(m map[string]string) []string {
+	var out []string
+	for k, v := range m {
+		out = append(out, fmt.Sprintf("%s(%d)", k, len(v)))
+	}
+	sort.Strings(out)
+	return out
+}

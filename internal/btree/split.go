@@ -1,0 +1,188 @@
+package btree
+
+import (
+	"fmt"
+
+	"fasp/internal/pager"
+	"fasp/internal/phase"
+	"fasp/internal/slotted"
+)
+
+// split splits the leaf at the end of the descent path, following the
+// paper's Figure 4: allocate a new LEFT sibling, copy the keys below the
+// median into it, truncate the original page's offset array (header-only),
+// and add the separator to the parent — recursively splitting parents as
+// needed. The original page never moves, so ancestors' child references to
+// it stay valid throughout the cascade.
+func (x *Tx) split(path []pathElem) error {
+	_, _, err := x.splitLevel(path, len(path)-1)
+	return err
+}
+
+// splitLevel splits path[level], returning the new left sibling and its
+// separator key (the largest key it holds).
+func (x *Tx) splitLevel(path []pathElem, level int) (*slotted.Page, []byte, error) {
+	pg := path[level].page
+	n := pg.NCells()
+	if n < 2 {
+		return nil, nil, fmt.Errorf("%w: cannot split page with %d cells", ErrTooLarge, n)
+	}
+	m := n / 2
+	sep := pg.Key(m - 1)
+	newNo, left, err := x.p.AllocPage(pg.Type())
+	if err != nil {
+		return nil, nil, err
+	}
+	if pg.Type() == slotted.TypeInterior {
+		// The median cell's child becomes the left sibling's rightmost
+		// pointer: left covers (…, sep], keyed by cells [0, m-1).
+		if err := pg.CopyRangeTo(left, 0, m-1); err != nil {
+			return nil, nil, err
+		}
+		left.SetAux(pg.Child(m - 1))
+	} else if err := pg.CopyRangeTo(left, 0, m); err != nil {
+		return nil, nil, err
+	}
+	pg.TruncateKeepUpper(m)
+	if ns, ok := x.st.(interface{ NoteSplit() }); ok {
+		ns.NoteSplit()
+	}
+	if err := x.addSeparator(path, level-1, sep, newNo, path[level].no); err != nil {
+		return nil, nil, err
+	}
+	return left, sep, nil
+}
+
+// addSeparator inserts the cell (sep, childNo) into the interior page at
+// path[level]. level < 0 means childNo's right sibling rightNo was the
+// root: a new root is created above both.
+func (x *Tx) addSeparator(path []pathElem, level int, sep []byte, childNo, rightNo uint32) error {
+	if level < 0 {
+		rootNo, root, err := x.p.AllocPage(slotted.TypeInterior)
+		if err != nil {
+			return err
+		}
+		if err := root.InsertChild(sep, childNo); err != nil {
+			return err
+		}
+		root.SetAux(rightNo)
+		x.root.SetRoot(rootNo)
+		return nil
+	}
+	target := path[level].page
+	for try := 0; try < 16; try++ {
+		err := target.InsertChild(sep, childNo)
+		if err == nil {
+			return nil
+		}
+		if target != path[level].page {
+			// A freshly split-off sibling could not absorb one separator:
+			// pathological key sizes beyond the supported limits.
+			return fmt.Errorf("%w: separator does not fit a fresh sibling", ErrTooLarge)
+		}
+		switch {
+		case isNeedsDefrag(err):
+			np, derr := x.defrag(path, level)
+			if derr != nil {
+				return derr
+			}
+			target = np
+		case isPageFull(err):
+			left, leftSep, serr := x.splitLevel(path, level)
+			if serr != nil {
+				return serr
+			}
+			if keyLE(sep, leftSep) {
+				target = left
+			} else {
+				target = path[level].page
+			}
+		default:
+			return err
+		}
+	}
+	return fmt.Errorf("%w: separator insertion did not converge", pager.ErrCorrupt)
+}
+
+// defrag performs the paper's copy-on-write defragmentation (§4.3): live
+// cells are copied compactly to a fresh page, and the parent's reference is
+// swapped to the new page (out of place). The old page is freed at commit.
+// The descent path entry is updated in place.
+func (x *Tx) defrag(path []pathElem, level int) (*slotted.Page, error) {
+	var np *slotted.Page
+	var err error
+	x.st.Sys().Clock().InPhase(phase.Defrag, func() {
+		np, err = x.defragLocked(path, level)
+	})
+	return np, err
+}
+
+func (x *Tx) defragLocked(path []pathElem, level int) (*slotted.Page, error) {
+	old := path[level]
+	x.p.Defragged()
+	newNo, np, err := x.p.AllocPage(old.page.Type())
+	if err != nil {
+		return nil, err
+	}
+	if err := old.page.CopyRangeTo(np, 0, old.page.NCells()); err != nil {
+		return nil, err
+	}
+	np.SetAux(old.page.Aux())
+	if level == 0 {
+		x.root.SetRoot(newNo)
+	} else {
+		if err := x.relinkChild(path, level-1, old.no, newNo); err != nil {
+			return nil, err
+		}
+	}
+	x.p.FreePage(old.no)
+	path[level] = pathElem{no: newNo, page: np, idx: old.idx, viaAux: old.viaAux}
+	return np, nil
+}
+
+// relinkChild swaps the parent's reference from oldNo to newNo. The
+// rightmost pointer is a header field (atomic with the commit); a cell
+// reference is replaced out of place, falling back to delete+reinsert when
+// the parent itself lacks space.
+func (x *Tx) relinkChild(path []pathElem, parentLevel int, oldNo, newNo uint32) error {
+	parent := path[parentLevel].page
+	idx, viaAux, ok := findChildRef(parent, oldNo)
+	if !ok {
+		return fmt.Errorf("%w: page %d not referenced by its parent", pager.ErrCorrupt, oldNo)
+	}
+	if viaAux {
+		parent.SetAux(newNo)
+		return nil
+	}
+	err := parent.UpdateChild(idx, newNo)
+	if err == nil {
+		return nil
+	}
+	if !isNeedsDefrag(err) && !isPageFull(err) {
+		return err
+	}
+	// No in-page room for the replacement cell: remove the old cell and
+	// reinsert through the full separator machinery (may defrag or split
+	// the parent).
+	sepKey := parent.Key(idx)
+	if err := parent.Delete(idx); err != nil {
+		return err
+	}
+	return x.addSeparator(path, parentLevel, sepKey, newNo, 0)
+}
+
+// findChildRef locates the reference to child no in an interior page.
+func findChildRef(parent *slotted.Page, no uint32) (idx int, viaAux, ok bool) {
+	if parent.Aux() == no {
+		return 0, true, true
+	}
+	for i := 0; i < parent.NCells(); i++ {
+		if parent.Child(i) == no {
+			return i, false, true
+		}
+	}
+	return 0, false, false
+}
+
+func isNeedsDefrag(err error) bool { return errorsIs(err, slotted.ErrNeedsDefrag) }
+func isPageFull(err error) bool    { return errorsIs(err, slotted.ErrPageFull) }

@@ -1,0 +1,297 @@
+package engine
+
+import (
+	"errors"
+	"fmt"
+
+	"fasp/internal/btree"
+	"fasp/internal/pager"
+	"fasp/internal/sql"
+)
+
+// ErrNoTxn reports COMMIT/ROLLBACK without a BEGIN.
+var ErrNoTxn = errors.New("engine: no transaction is active")
+
+// Result is the outcome of one statement.
+type Result struct {
+	// Columns names the result columns of a SELECT.
+	Columns []string
+	// Rows holds the result rows of a SELECT.
+	Rows [][]sql.Value
+	// RowsAffected counts rows changed by INSERT/UPDATE/DELETE.
+	RowsAffected int
+	// LastInsertID is the rowid assigned by the last INSERT.
+	LastInsertID int64
+}
+
+// DB is a SQL database over a pager store. It is not safe for concurrent
+// use; like SQLite in exclusive mode, one writer owns the database.
+type DB struct {
+	st pager.Store
+	// StatementOverheadNS models SQLite's parse + bytecode (VDBE) overhead
+	// per statement in simulated nanoseconds; Figures 11–12 include this
+	// path, Figures 6–9 do not. The 10 µs default approximates SQLite's
+	// prepare+step cost for a simple INSERT on the paper's era of hardware;
+	// see EXPERIMENTS.md for the calibration discussion.
+	StatementOverheadNS int64
+
+	tx       pager.Txn // open transaction (nil when idle)
+	explicit bool      // tx was opened by BEGIN
+}
+
+// Open attaches an engine to a (recovered) store.
+func Open(st pager.Store) *DB {
+	return &DB{st: st, StatementOverheadNS: 10000}
+}
+
+// Store exposes the underlying store.
+func (db *DB) Store() pager.Store { return db.st }
+
+// InTxn reports whether an explicit transaction is open.
+func (db *DB) InTxn() bool { return db.explicit }
+
+// Exec parses and executes a semicolon-separated batch, returning one
+// Result per statement. On error, the failing statement's implicit
+// transaction is rolled back; an explicit transaction is left open for the
+// caller to ROLLBACK (as in SQLite).
+func (db *DB) Exec(src string) ([]Result, error) {
+	stmts, err := sql.Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	var results []Result
+	for _, stmt := range stmts {
+		res, err := db.execStmt(stmt)
+		if err != nil {
+			return results, err
+		}
+		results = append(results, res)
+	}
+	return results, nil
+}
+
+// MustExec runs Exec and panics on error (for tests and examples).
+func (db *DB) MustExec(src string) []Result {
+	res, err := db.Exec(src)
+	if err != nil {
+		panic(err)
+	}
+	return res
+}
+
+// QueryRows runs a single SELECT and returns its rows.
+func (db *DB) QueryRows(src string) ([][]sql.Value, error) {
+	res, err := db.Exec(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(res) != 1 {
+		return nil, fmt.Errorf("engine: expected one statement")
+	}
+	return res[0].Rows, nil
+}
+
+// Tables lists the table names in the catalog.
+func (db *DB) Tables() ([]string, error) {
+	auto := false
+	if db.tx == nil {
+		tx, err := db.st.Begin()
+		if err != nil {
+			return nil, err
+		}
+		db.tx = tx
+		auto = true
+	}
+	ex := &executor{db: db, ptx: db.tx}
+	names, err := ex.catalogNames(func(stmt sql.Stmt) bool {
+		_, ok := stmt.(sql.CreateTable)
+		return ok
+	})
+	if auto {
+		tx := db.tx
+		db.tx = nil
+		tx.Rollback()
+	}
+	return names, err
+}
+
+// Indexes lists the secondary-index names in the catalog.
+func (db *DB) Indexes() ([]string, error) {
+	auto := false
+	if db.tx == nil {
+		tx, err := db.st.Begin()
+		if err != nil {
+			return nil, err
+		}
+		db.tx = tx
+		auto = true
+	}
+	ex := &executor{db: db, ptx: db.tx}
+	names, err := ex.catalogNames(func(stmt sql.Stmt) bool {
+		_, ok := stmt.(sql.CreateIndex)
+		return ok
+	})
+	if auto {
+		tx := db.tx
+		db.tx = nil
+		tx.Rollback()
+	}
+	return names, err
+}
+
+// catalogNames lists catalog entries whose stored statement matches keep.
+func (ex *executor) catalogNames(keep func(sql.Stmt) bool) ([]string, error) {
+	var names []string
+	var scanErr error
+	err := ex.catalog().Scan(nil, nil, func(k, v []byte) bool {
+		_, createSQL, err := decodeCatalogRow(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		stmt, err := sql.ParseOne(createSQL)
+		if err == nil && keep(stmt) {
+			names = append(names, string(k))
+		}
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return names, scanErr
+}
+
+// Schema returns a table's stored CREATE TABLE statement.
+func (db *DB) Schema(table string) (string, error) {
+	auto := false
+	if db.tx == nil {
+		tx, err := db.st.Begin()
+		if err != nil {
+			return "", err
+		}
+		db.tx = tx
+		auto = true
+	}
+	ex := &executor{db: db, ptx: db.tx}
+	ti, err := loadTableInfo(ex.catalog(), table)
+	if auto {
+		tx := db.tx
+		db.tx = nil
+		tx.Rollback()
+	}
+	if err != nil {
+		return "", err
+	}
+	return ti.createSQL, nil
+}
+
+// execStmt runs one statement, managing the implicit-transaction protocol.
+func (db *DB) execStmt(stmt sql.Stmt) (res Result, err error) {
+	// Charge the modelled SQL front-end overhead (parse + VDBE).
+	db.st.Sys().ComputeNS(db.StatementOverheadNS)
+
+	switch stmt.(type) {
+	case sql.Begin:
+		if db.tx != nil {
+			return res, pager.ErrTxnActive
+		}
+		tx, err := db.st.Begin()
+		if err != nil {
+			return res, err
+		}
+		db.tx = tx
+		db.explicit = true
+		return res, nil
+	case sql.Commit:
+		if !db.explicit {
+			return res, ErrNoTxn
+		}
+		tx := db.tx
+		db.tx = nil
+		db.explicit = false
+		return res, tx.Commit()
+	case sql.Rollback:
+		if !db.explicit {
+			return res, ErrNoTxn
+		}
+		db.tx.Rollback()
+		db.tx = nil
+		db.explicit = false
+		return res, nil
+	}
+
+	// Data statement: use the explicit transaction or an implicit one.
+	auto := false
+	if db.tx == nil {
+		tx, err := db.st.Begin()
+		if err != nil {
+			return res, err
+		}
+		db.tx = tx
+		auto = true
+	}
+	res, err = db.runInTxn(stmt)
+	if auto {
+		tx := db.tx
+		db.tx = nil
+		if err != nil {
+			tx.Rollback()
+			return res, err
+		}
+		return res, tx.Commit()
+	}
+	return res, err
+}
+
+// runInTxn dispatches a data statement inside db.tx, converting execAbort
+// panics (from errorless interfaces) back into errors.
+func (db *DB) runInTxn(stmt sql.Stmt) (res Result, err error) {
+	defer func() {
+		if r := recover(); r != nil {
+			if ab, ok := r.(execAbort); ok {
+				err = ab.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	ex := &executor{db: db, ptx: db.tx}
+	switch s := stmt.(type) {
+	case sql.CreateTable:
+		return ex.createTable(s)
+	case sql.DropTable:
+		return ex.dropTable(s)
+	case sql.CreateIndex:
+		return ex.createIndex(s)
+	case sql.DropIndex:
+		return ex.dropIndex(s)
+	case sql.Insert:
+		return ex.insert(s)
+	case sql.Select:
+		return ex.selectStmt(s)
+	case sql.Update:
+		return ex.update(s)
+	case sql.Delete:
+		return ex.delete(s)
+	case sql.Vacuum:
+		return ex.vacuum()
+	default:
+		return res, fmt.Errorf("engine: unsupported statement %T", stmt)
+	}
+}
+
+// executor runs one statement within one pager transaction.
+type executor struct {
+	db  *DB
+	ptx pager.Txn
+}
+
+// catalog returns a tree view of the catalog (rooted at the store root).
+func (ex *executor) catalog() *btree.Tx {
+	return btree.Attach(ex.db.st, ex.ptx, ex.ptx)
+}
+
+// table returns a tree view of a table's B-tree.
+func (ex *executor) table(cat *btree.Tx, name string) *btree.Tx {
+	return btree.Attach(ex.db.st, ex.ptx, &tableRootRef{cat: cat, name: name})
+}

@@ -1,0 +1,291 @@
+package engine
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"math"
+	"strings"
+
+	"fasp/internal/btree"
+	"fasp/internal/sql"
+)
+
+// Secondary indexes are B-trees over the same failure-atomic slotted pages
+// as tables. An index entry's key is the order-preserving encoding of the
+// indexed value followed by the 8-byte rowid, so equality lookups are range
+// scans over a value prefix and duplicates coexist naturally (unless the
+// index is UNIQUE). Index roots live in catalog rows exactly like table
+// roots, so index maintenance commits atomically with the row changes that
+// caused it.
+
+// ErrNoSuchIndex reports a DROP INDEX of an absent index.
+var ErrNoSuchIndex = errors.New("engine: no such index")
+
+// indexInfo is a decoded index catalog entry.
+type indexInfo struct {
+	name   string
+	table  string
+	col    string
+	colIdx int
+	unique bool
+}
+
+// --- Order-preserving value encoding -----------------------------------------
+
+// Value-type tags, ordered like sql.Compare's type ranks.
+const (
+	idxTagNull    byte = 0x10
+	idxTagNumeric byte = 0x20
+	idxTagText    byte = 0x30
+	idxTagBlob    byte = 0x40
+)
+
+// sortableFloat encodes a float64 so that byte comparison matches numeric
+// comparison.
+func sortableFloat(f float64) uint64 {
+	bits := math.Float64bits(f)
+	if bits&(1<<63) != 0 {
+		return ^bits
+	}
+	return bits | 1<<63
+}
+
+// appendEscaped writes b with 0x00 escaped (0x00 → 0x00 0xFF) and a
+// 0x00 0x00 terminator, keeping byte order while delimiting the field.
+func appendEscaped(dst, b []byte) []byte {
+	for _, c := range b {
+		if c == 0x00 {
+			dst = append(dst, 0x00, 0xFF)
+			continue
+		}
+		dst = append(dst, c)
+	}
+	return append(dst, 0x00, 0x00)
+}
+
+// indexValuePrefix encodes just the value part of an index key.
+func indexValuePrefix(v sql.Value) []byte {
+	switch v.Kind() {
+	case sql.KindNull:
+		return []byte{idxTagNull}
+	case sql.KindInt, sql.KindReal:
+		var out [9]byte
+		out[0] = idxTagNumeric
+		binary.BigEndian.PutUint64(out[1:], sortableFloat(v.AsReal()))
+		return out[:]
+	case sql.KindText:
+		return appendEscaped([]byte{idxTagText}, []byte(v.AsText()))
+	default:
+		return appendEscaped([]byte{idxTagBlob}, v.AsBlob())
+	}
+}
+
+// indexKey encodes (value, rowid) as a B-tree key.
+func indexKey(v sql.Value, rowid int64) []byte {
+	prefix := indexValuePrefix(v)
+	var tail [8]byte
+	binary.BigEndian.PutUint64(tail[:], uint64(rowid))
+	return append(prefix, tail[:]...)
+}
+
+// indexRange returns the key range covering every rowid indexed under v.
+func indexRange(v sql.Value) (lo, hi []byte) {
+	prefix := indexValuePrefix(v)
+	lo = append(append([]byte(nil), prefix...), 0, 0, 0, 0, 0, 0, 0, 0)
+	hi = append(append([]byte(nil), prefix...), 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF)
+	return lo, hi
+}
+
+// indexKeyRowid recovers the rowid from an index key.
+func indexKeyRowid(k []byte) int64 {
+	if len(k) < 8 {
+		return 0
+	}
+	return int64(binary.BigEndian.Uint64(k[len(k)-8:]))
+}
+
+// --- Catalog plumbing ----------------------------------------------------------
+
+// renderCreateIndexSQL normalises a CREATE INDEX statement for the catalog.
+func renderCreateIndexSQL(s sql.CreateIndex) string {
+	u := ""
+	if s.Unique {
+		u = "UNIQUE "
+	}
+	return fmt.Sprintf("CREATE %sINDEX %s ON %s (%s)", u, s.Name, s.Table, s.Col)
+}
+
+// tableIndexes loads every index defined on a table (a catalog scan; the
+// catalog is small).
+func tableIndexes(cat *btree.Tx, ti *tableInfo) ([]*indexInfo, error) {
+	var out []*indexInfo
+	var scanErr error
+	err := cat.Scan(nil, nil, func(_, v []byte) bool {
+		_, createSQL, err := decodeCatalogRow(v)
+		if err != nil {
+			scanErr = err
+			return false
+		}
+		stmt, err := sql.ParseOne(createSQL)
+		if err != nil {
+			return true
+		}
+		ci, ok := stmt.(sql.CreateIndex)
+		if !ok || !strings.EqualFold(ci.Table, ti.name) {
+			return true
+		}
+		colIdx := ti.colIndex(ci.Col)
+		if colIdx < 0 {
+			scanErr = fmt.Errorf("%w: index %s references unknown column %s", ErrNoSuchColumn, ci.Name, ci.Col)
+			return false
+		}
+		out = append(out, &indexInfo{
+			name: ci.Name, table: ti.name, col: ci.Col, colIdx: colIdx, unique: ci.Unique,
+		})
+		return true
+	})
+	if err != nil {
+		return nil, err
+	}
+	return out, scanErr
+}
+
+// indexTree opens the index's B-tree within the transaction.
+func (ex *executor) indexTree(cat *btree.Tx, name string) *btree.Tx {
+	return ex.table(cat, name) // same catalog-rooted mechanism
+}
+
+// indexedValue extracts the indexed column's value for a row.
+func (ix *indexInfo) indexedValue(ti *tableInfo, r *tableRow) sql.Value {
+	return columnValue(ti, r, ix.colIdx)
+}
+
+// --- Maintenance hooks -----------------------------------------------------------
+
+// addIndexEntries inserts index entries for a new row.
+func (ex *executor) addIndexEntries(cat *btree.Tx, ti *tableInfo, idxs []*indexInfo, r *tableRow) error {
+	for _, ix := range idxs {
+		v := ix.indexedValue(ti, r)
+		it := ex.indexTree(cat, ix.name)
+		if ix.unique && !v.IsNull() {
+			if rowid, found, err := ex.indexLookupOne(it, v); err != nil {
+				return err
+			} else if found && rowid != r.rowid {
+				return fmt.Errorf("%w: UNIQUE index %s value %s", ErrConstraint, ix.name, v)
+			}
+		}
+		if err := it.Insert(indexKey(v, r.rowid), nil); err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// dropIndexEntries removes index entries for a row about to change/vanish.
+func (ex *executor) dropIndexEntries(cat *btree.Tx, ti *tableInfo, idxs []*indexInfo, r *tableRow) error {
+	for _, ix := range idxs {
+		it := ex.indexTree(cat, ix.name)
+		if err := it.Delete(indexKey(ix.indexedValue(ti, r), r.rowid)); err != nil &&
+			!errors.Is(err, btree.ErrKeyNotFound) {
+			return err
+		}
+	}
+	return nil
+}
+
+// indexLookupOne returns one rowid indexed under v, if any.
+func (ex *executor) indexLookupOne(it *btree.Tx, v sql.Value) (int64, bool, error) {
+	lo, hi := indexRange(v)
+	var rowid int64
+	found := false
+	err := it.Scan(lo, hi, func(k, _ []byte) bool {
+		rowid = indexKeyRowid(k)
+		found = true
+		return false
+	})
+	return rowid, found, err
+}
+
+// indexLookupAll returns every rowid indexed under v, in rowid order.
+func (ex *executor) indexLookupAll(it *btree.Tx, v sql.Value) ([]int64, error) {
+	lo, hi := indexRange(v)
+	var rowids []int64
+	err := it.Scan(lo, hi, func(k, _ []byte) bool {
+		rowids = append(rowids, indexKeyRowid(k))
+		return true
+	})
+	return rowids, err
+}
+
+// --- DDL ----------------------------------------------------------------------------
+
+func (ex *executor) createIndex(s sql.CreateIndex) (Result, error) {
+	var res Result
+	cat := ex.catalog()
+	if _, ok, err := cat.Get(catalogKey(s.Name)); err != nil {
+		return res, err
+	} else if ok {
+		if s.IfNotExists {
+			return res, nil
+		}
+		return res, fmt.Errorf("%w: %s", ErrTableExists, s.Name)
+	}
+	ti, err := loadTableInfo(cat, s.Table)
+	if err != nil {
+		return res, err
+	}
+	colIdx := ti.colIndex(s.Col)
+	if colIdx < 0 {
+		return res, fmt.Errorf("%w: %s", ErrNoSuchColumn, s.Col)
+	}
+	if err := cat.Insert(catalogKey(s.Name), encodeCatalogRow(0, renderCreateIndexSQL(s))); err != nil {
+		return res, err
+	}
+	// Backfill from the existing rows.
+	ix := &indexInfo{name: s.Name, table: ti.name, col: s.Col, colIdx: colIdx, unique: s.Unique}
+	tbl := ex.table(cat, s.Table)
+	rows, err := ex.scanWhere(tbl, ti, nil)
+	if err != nil {
+		return res, err
+	}
+	for i := range rows {
+		if err := ex.addIndexEntries(cat, ti, []*indexInfo{ix}, &rows[i]); err != nil {
+			return res, err
+		}
+	}
+	res.RowsAffected = len(rows)
+	return res, nil
+}
+
+func (ex *executor) dropIndex(s sql.DropIndex) (Result, error) {
+	var res Result
+	cat := ex.catalog()
+	rec, ok, err := cat.Get(catalogKey(s.Name))
+	if err != nil {
+		return res, err
+	}
+	if !ok {
+		if s.IfExists {
+			return res, nil
+		}
+		return res, fmt.Errorf("%w: %s", ErrNoSuchIndex, s.Name)
+	}
+	// Refuse to DROP INDEX a table.
+	if _, createSQL, err := decodeCatalogRow(rec); err != nil {
+		return res, err
+	} else if stmt, perr := sql.ParseOne(createSQL); perr == nil {
+		if _, isTable := stmt.(sql.CreateTable); isTable {
+			return res, fmt.Errorf("%w: %s is a table", ErrNoSuchIndex, s.Name)
+		}
+	}
+	it := ex.indexTree(cat, s.Name)
+	reach, err := it.Reachable()
+	if err != nil {
+		return res, err
+	}
+	for no := range reach {
+		ex.ptx.FreePage(no)
+	}
+	return res, cat.Delete(catalogKey(s.Name))
+}

@@ -1,0 +1,284 @@
+package engine
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"sort"
+	"testing"
+
+	"fasp/internal/sql"
+)
+
+func TestIndexKeyOrderingMatchesCompare(t *testing.T) {
+	vals := []sql.Value{
+		sql.Null(),
+		sql.Int(-100), sql.Int(-1), sql.Real(-0.5), sql.Int(0), sql.Real(0.25),
+		sql.Int(1), sql.Real(1.5), sql.Int(1000),
+		sql.Text(""), sql.Text("a"), sql.Text("a\x00b"), sql.Text("ab"), sql.Text("b"),
+		sql.Blob(nil), sql.Blob([]byte{0}), sql.Blob([]byte{1}),
+	}
+	for i := range vals {
+		for j := range vals {
+			want := sql.Compare(vals[i], vals[j])
+			got := bytes.Compare(indexValuePrefix(vals[i]), indexValuePrefix(vals[j]))
+			norm := func(x int) int {
+				if x < 0 {
+					return -1
+				}
+				if x > 0 {
+					return 1
+				}
+				return 0
+			}
+			if norm(want) != norm(got) {
+				t.Fatalf("ordering mismatch: %v vs %v (Compare=%d, bytes=%d)",
+					vals[i], vals[j], want, got)
+			}
+		}
+	}
+}
+
+func TestIndexKeyNoPrefixCollisions(t *testing.T) {
+	// "a" must not be a prefix-equal of "ab" in a way that confuses the
+	// range scan: the escaped terminator guarantees disjoint ranges.
+	lo1, hi1 := indexRange(sql.Text("a"))
+	k2 := indexKey(sql.Text("ab"), 1)
+	if bytes.Compare(k2, lo1) >= 0 && bytes.Compare(k2, hi1) <= 0 {
+		t.Fatal("'ab' falls inside 'a' range")
+	}
+	// Values containing the terminator bytes stay distinct.
+	ka := indexKey(sql.Text("x\x00y"), 1)
+	kb := indexKey(sql.Text("x"), 1)
+	if bytes.Equal(ka, kb) {
+		t.Fatal("escaping collapsed distinct values")
+	}
+}
+
+func TestCreateIndexAndLookup(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE TABLE users (id INTEGER PRIMARY KEY, email TEXT, age INTEGER)`)
+	for i := 1; i <= 200; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO users VALUES (%d, 'user%d@x.io', %d)`, i, i, i%40))
+	}
+	// Backfilling CREATE INDEX reports indexed rows.
+	res := db.MustExec(`CREATE INDEX users_age ON users (age)`)
+	if res[0].RowsAffected != 200 {
+		t.Fatalf("backfill indexed %d rows", res[0].RowsAffected)
+	}
+	names, _ := db.Indexes()
+	if len(names) != 1 || names[0] != "users_age" {
+		t.Fatalf("indexes = %v", names)
+	}
+	// Tables() must not list the index.
+	tables, _ := db.Tables()
+	if len(tables) != 1 || tables[0] != "users" {
+		t.Fatalf("tables = %v", tables)
+	}
+	// Equality query via the index returns exactly the right rows.
+	rows, err := db.QueryRows(`SELECT id FROM users WHERE age = 7 ORDER BY id`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(rows) != 5 {
+		t.Fatalf("%d rows for age=7", len(rows))
+	}
+	for _, r := range rows {
+		if r[0].AsInt()%40 != 7 {
+			t.Fatalf("wrong row %v", r)
+		}
+	}
+	// SELECT FROM the index name is an error.
+	if _, err := db.Exec(`SELECT * FROM users_age`); !errors.Is(err, ErrNoSuchTable) {
+		t.Fatalf("select from index: %v", err)
+	}
+}
+
+func TestIndexMaintainedByDML(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`)
+	db.MustExec(`CREATE INDEX t_v ON t (v)`)
+	for i := 1; i <= 50; i++ {
+		db.MustExec(fmt.Sprintf(`INSERT INTO t VALUES (%d, %d)`, i, i%10))
+	}
+	q := func(v int) int {
+		rows, err := db.QueryRows(fmt.Sprintf(`SELECT COUNT(*) FROM t WHERE v = %d`, v))
+		if err != nil {
+			t.Fatal(err)
+		}
+		return int(rows[0][0].AsInt())
+	}
+	if q(3) != 5 {
+		t.Fatalf("v=3 count %d", q(3))
+	}
+	db.MustExec(`UPDATE t SET v = 99 WHERE v = 3`)
+	if q(3) != 0 || q(99) != 5 {
+		t.Fatalf("after update: v3=%d v99=%d", q(3), q(99))
+	}
+	db.MustExec(`DELETE FROM t WHERE v = 99`)
+	if q(99) != 0 {
+		t.Fatalf("after delete: v99=%d", q(99))
+	}
+	rows, _ := db.QueryRows(`SELECT COUNT(*) FROM t`)
+	if rows[0][0].AsInt() != 45 {
+		t.Fatalf("total = %v", rows[0][0])
+	}
+}
+
+func TestUniqueIndex(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE TABLE u (id INTEGER PRIMARY KEY, email TEXT)`)
+	db.MustExec(`CREATE UNIQUE INDEX u_email ON u (email)`)
+	db.MustExec(`INSERT INTO u VALUES (1, 'a@x')`)
+	if _, err := db.Exec(`INSERT INTO u VALUES (2, 'a@x')`); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("unique violation: %v", err)
+	}
+	// NULLs are exempt (SQL semantics).
+	db.MustExec(`INSERT INTO u (id) VALUES (3)`)
+	db.MustExec(`INSERT INTO u (id) VALUES (4)`)
+	// Updating into a collision is rejected.
+	db.MustExec(`INSERT INTO u VALUES (5, 'b@x')`)
+	if _, err := db.Exec(`UPDATE u SET email = 'a@x' WHERE id = 5`); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("unique update violation: %v", err)
+	}
+	// Failed statement rolled back: b@x is still there.
+	rows, _ := db.QueryRows(`SELECT COUNT(*) FROM u WHERE email = 'b@x'`)
+	if rows[0][0].AsInt() != 1 {
+		t.Fatal("rollback lost the original row")
+	}
+	// Unique backfill over duplicate data fails cleanly.
+	db.MustExec(`CREATE TABLE d (x INTEGER); INSERT INTO d VALUES (1), (1)`)
+	if _, err := db.Exec(`CREATE UNIQUE INDEX d_x ON d (x)`); !errors.Is(err, ErrConstraint) {
+		t.Fatalf("unique backfill: %v", err)
+	}
+	if names, _ := db.Indexes(); len(names) != 1 {
+		t.Fatalf("failed backfill left index behind: %v", names)
+	}
+}
+
+func TestDropIndexAndDropTableCascade(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER)`)
+	db.MustExec(`CREATE INDEX t_v ON t (v); INSERT INTO t VALUES (1, 5)`)
+	db.MustExec(`DROP INDEX t_v`)
+	if names, _ := db.Indexes(); len(names) != 0 {
+		t.Fatalf("indexes after drop = %v", names)
+	}
+	// Queries still work (full scan).
+	rows, _ := db.QueryRows(`SELECT id FROM t WHERE v = 5`)
+	if len(rows) != 1 {
+		t.Fatal("query broken after index drop")
+	}
+	if _, err := db.Exec(`DROP INDEX t_v`); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("double drop: %v", err)
+	}
+	db.MustExec(`DROP INDEX IF EXISTS t_v`)
+	// DROP INDEX of a table name is rejected.
+	if _, err := db.Exec(`DROP INDEX t`); !errors.Is(err, ErrNoSuchIndex) {
+		t.Fatalf("drop index on table: %v", err)
+	}
+	// DROP TABLE cascades to its indexes.
+	db.MustExec(`CREATE INDEX t_v2 ON t (v)`)
+	db.MustExec(`DROP TABLE t`)
+	if names, _ := db.Indexes(); len(names) != 0 {
+		t.Fatalf("cascade left indexes: %v", names)
+	}
+}
+
+func TestIndexEquivalenceWithFullScan(t *testing.T) {
+	// The same random workload on an indexed and an unindexed table must
+	// answer every equality query identically.
+	dbA := newDB(t) // indexed
+	dbB := newDB(t) // full scans
+	for _, db := range []*DB{dbA, dbB} {
+		db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v INTEGER, s TEXT)`)
+	}
+	dbA.MustExec(`CREATE INDEX t_v ON t (v); CREATE INDEX t_s ON t (s)`)
+	rng := rand.New(rand.NewSource(8))
+	nextID := 1
+	live := map[int]bool{}
+	for step := 0; step < 600; step++ {
+		var stmt string
+		switch rng.Intn(4) {
+		case 0, 1:
+			stmt = fmt.Sprintf(`INSERT INTO t VALUES (%d, %d, 's%d')`, nextID, rng.Intn(20), rng.Intn(15))
+			live[nextID] = true
+			nextID++
+		case 2:
+			stmt = fmt.Sprintf(`UPDATE t SET v = %d WHERE id = %d`, rng.Intn(20), rng.Intn(nextID)+1)
+		case 3:
+			id := rng.Intn(nextID) + 1
+			stmt = fmt.Sprintf(`DELETE FROM t WHERE id = %d`, id)
+			delete(live, id)
+		}
+		if _, err := dbA.Exec(stmt); err != nil {
+			t.Fatalf("A step %d: %v", step, err)
+		}
+		if _, err := dbB.Exec(stmt); err != nil {
+			t.Fatalf("B step %d: %v", step, err)
+		}
+	}
+	for v := 0; v < 20; v++ {
+		q := fmt.Sprintf(`SELECT id FROM t WHERE v = %d ORDER BY id`, v)
+		ra, err := dbA.QueryRows(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rb, err := dbB.QueryRows(q)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if !rowsEqual(ra, rb) {
+			t.Fatalf("v=%d: indexed %v vs scan %v", v, flatten(ra), flatten(rb))
+		}
+	}
+	for s := 0; s < 15; s++ {
+		q := fmt.Sprintf(`SELECT id FROM t WHERE s = 's%d' ORDER BY id`, s)
+		ra, _ := dbA.QueryRows(q)
+		rb, _ := dbB.QueryRows(q)
+		if !rowsEqual(ra, rb) {
+			t.Fatalf("s=%d: indexed %v vs scan %v", s, flatten(ra), flatten(rb))
+		}
+	}
+}
+
+func rowsEqual(a, b [][]sql.Value) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if len(a[i]) != len(b[i]) {
+			return false
+		}
+		for j := range a[i] {
+			if sql.Compare(a[i][j], b[i][j]) != 0 {
+				return false
+			}
+		}
+	}
+	return true
+}
+
+func flatten(rows [][]sql.Value) []string {
+	var out []string
+	for _, r := range rows {
+		for _, v := range r {
+			out = append(out, v.String())
+		}
+	}
+	sort.Strings(out)
+	return out
+}
+
+func TestNumericIndexUnifiesIntAndReal(t *testing.T) {
+	db := newDB(t)
+	db.MustExec(`CREATE TABLE t (id INTEGER PRIMARY KEY, v REAL)`)
+	db.MustExec(`CREATE INDEX t_v ON t (v)`)
+	db.MustExec(`INSERT INTO t VALUES (1, 3.0)`)
+	// An integer-literal query must find the real-typed row via the index.
+	rows, err := db.QueryRows(`SELECT id FROM t WHERE v = 3`)
+	if err != nil || len(rows) != 1 {
+		t.Fatalf("rows = %v, %v", rows, err)
+	}
+}

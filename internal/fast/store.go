@@ -1,0 +1,292 @@
+// Package fast implements the paper's contribution: a PM-only persistent
+// database buffer cache with failure-atomic slotted paging.
+//
+// Two variants are provided (§4):
+//
+//   - FAST (failure-atomic slot-header logging): every transaction commits
+//     through the slot-header log — records are written in place into page
+//     free space and flushed, updated slot headers go to a small PM redo
+//     log, an 8-byte commit mark commits the transaction, and the headers
+//     are eagerly checkpointed into their pages.
+//   - FAST+ (FAST with in-place commit): a transaction that dirtied exactly
+//     one leaf page — no split, no defragmentation, no page allocation —
+//     skips the log entirely and commits by installing the new slot header
+//     with one HTM-backed failure-atomic cache-line write.
+//
+// PM layout of a store:
+//
+//	[ page 0: meta ][ pages 1..MaxPages ) [ free-page stack ][ slot-header log ]
+//
+// Free pages are tracked by a persistent stack rather than a chain threaded
+// through the pages themselves: a page popped from the stack can be
+// overwritten freely before the transaction commits, because the committed
+// stack count still records it as free.
+package fast
+
+import (
+	"errors"
+	"fmt"
+
+	"fasp/internal/htm"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+	"fasp/internal/shlog"
+	"fasp/internal/slotted"
+)
+
+// Variant selects the commit scheme.
+type Variant int
+
+const (
+	// SlotHeaderLogging is FAST: every commit goes through the log.
+	SlotHeaderLogging Variant = iota
+	// InPlaceCommit is FAST+: single-leaf transactions commit via an HTM
+	// failure-atomic cache-line write; everything else falls back to FAST.
+	InPlaceCommit
+)
+
+func (v Variant) String() string {
+	if v == InPlaceCommit {
+		return "FAST+"
+	}
+	return "FAST"
+}
+
+// Config sizes a store.
+type Config struct {
+	PageSize int   // bytes per page (default 4096)
+	MaxPages int   // page-space capacity including page 0 (default 4096)
+	LogBytes int64 // slot-header log region size (default 256 KiB)
+	Variant  Variant
+	HTM      htm.Config // used by FAST+ (default htm.DefaultConfig)
+}
+
+func (c *Config) fill() {
+	if c.PageSize == 0 {
+		c.PageSize = 4096
+	}
+	if c.MaxPages == 0 {
+		c.MaxPages = 4096
+	}
+	if c.LogBytes == 0 {
+		c.LogBytes = 256 << 10
+	}
+	if c.HTM.MaxWriteLines == 0 {
+		c.HTM = htm.DefaultConfig()
+	}
+}
+
+// Stats counts scheme-level events for the experiment harness.
+type Stats struct {
+	Commits        int64
+	InPlaceCommits int64
+	LogCommits     int64
+	LoggedBytes    int64 // slot-header bytes written to the log
+	LoggedFrames   int64
+	Defrags        int64
+	Splits         int64 // updated by the B-tree layer via NoteSplit
+	FreeListFixes  int64
+}
+
+// Store is a FAST/FAST+ database in persistent memory.
+type Store struct {
+	sys   *pmem.System
+	arena *pmem.Arena
+	cfg   Config
+	htm   *htm.Manager
+	log   *shlog.Log
+	meta  pager.Meta
+	open  bool // a transaction is active
+	stats Stats
+
+	// Post-crash lazy free-list validation (§4.3): pages are checked on
+	// first use and rebuilt if the free list disagrees with the header.
+	needFLCheck bool
+	flChecked   map[uint32]bool
+}
+
+func (c Config) pagesBytes() int64 { return int64(c.PageSize) * int64(c.MaxPages) }
+func (c Config) stackBase() int64  { return c.pagesBytes() }
+func (c Config) stackBytes() int64 { return 4 * int64(c.MaxPages) }
+func (c Config) logBase() int64    { return c.stackBase() + c.stackBytes() }
+func (c Config) arenaBytes() int64 { return c.logBase() + c.LogBytes }
+func (c Config) pageBase(no uint32) int64 {
+	return int64(no) * int64(c.PageSize)
+}
+
+// Create formats a new store on a fresh PM arena of sys.
+func Create(sys *pmem.System, cfg Config) *Store {
+	cfg.fill()
+	arena := sys.NewArena("fast-db", cfg.arenaBytes(), pmem.PM)
+	st := &Store{sys: sys, arena: arena, cfg: cfg, flChecked: map[uint32]bool{}}
+	st.htm = htm.NewManager(sys, cfg.HTM)
+	st.log = shlog.Format(arena, cfg.logBase(), cfg.LogBytes)
+	st.meta = pager.Meta{PageSize: uint32(cfg.PageSize), NPages: 1}
+	pager.WriteMeta(arena, 0, st.meta)
+	return st
+}
+
+// Attach reopens a store on an existing arena (e.g. after a simulated
+// crash). Call Recover before starting transactions.
+func Attach(arena *pmem.Arena, cfg Config) (*Store, error) {
+	cfg.fill()
+	meta, err := pager.ReadMeta(arena, 0)
+	if err != nil {
+		return nil, err
+	}
+	if int(meta.PageSize) != cfg.PageSize {
+		return nil, fmt.Errorf("%w: page size mismatch (%d vs %d)", pager.ErrCorrupt, meta.PageSize, cfg.PageSize)
+	}
+	st := &Store{sys: arena.Sys(), arena: arena, cfg: cfg, meta: meta, flChecked: map[uint32]bool{}}
+	st.htm = htm.NewManager(st.sys, cfg.HTM)
+	st.log, err = shlog.Open(arena, cfg.logBase(), cfg.LogBytes)
+	if err != nil {
+		return nil, err
+	}
+	return st, nil
+}
+
+// Name returns the scheme name ("FAST" or "FAST+").
+func (st *Store) Name() string { return st.cfg.Variant.String() }
+
+// PageSize returns the page size in bytes.
+func (st *Store) PageSize() int { return st.cfg.PageSize }
+
+// Sys returns the simulated machine.
+func (st *Store) Sys() *pmem.System { return st.sys }
+
+// Arena exposes the backing arena (experiments read its counters).
+func (st *Store) Arena() *pmem.Arena { return st.arena }
+
+// Meta returns the last committed metadata.
+func (st *Store) Meta() pager.Meta { return st.meta }
+
+// Stats returns scheme-level counters.
+func (st *Store) Stats() Stats { return st.stats }
+
+// NoteSplit lets the B-tree layer record a page split for the statistics.
+func (st *Store) NoteSplit() { st.stats.Splits++ }
+
+// HTMStats exposes the HTM manager's transaction-outcome counters.
+func (st *Store) HTMStats() htm.Stats { return st.htm.Stats() }
+
+// LeafCellCap bounds leaf-page fanout under FAST+ (§4.2): the leaf slot
+// header must fit one cache line so the HTM in-place commit applies, so
+// leaves split once the record-offset array reaches the hardware limit
+// ("the slot-header of the B-tree leaf page can hold a maximum of 28
+// records"; 25 here, as our header prefix also carries the free-list
+// fields and sibling pointer — see the slotted package). FAST's headers
+// are unbounded and return 0 (no cap).
+func (st *Store) LeafCellCap() int {
+	if st.cfg.Variant == InPlaceCommit {
+		return slotted.MaxInPlaceCells
+	}
+	return 0
+}
+
+// Recover completes or discards the transaction that was in flight when the
+// previous incarnation crashed (§4.4). If the slot-header log holds a valid
+// commit mark, checkpointing is replayed (idempotently); otherwise the log
+// is ignored. Free lists are validated lazily afterwards.
+func (st *Store) Recover() error {
+	if _, ok := st.log.Committed(); ok {
+		frames, err := st.log.Frames()
+		if err != nil {
+			return err
+		}
+		for _, f := range frames {
+			if f.PageNo == pager.MetaPageNo {
+				if err := pager.ApplyMetaFrame(st.arena, 0, f.Header); err != nil {
+					return err
+				}
+				continue
+			}
+			base := st.cfg.pageBase(f.PageNo)
+			st.arena.Store(base, f.Header)
+			st.arena.Flush(base, len(f.Header))
+		}
+		st.sys.Fence()
+		st.log.Truncate()
+		meta, err := pager.ReadMeta(st.arena, 0)
+		if err != nil {
+			return err
+		}
+		st.meta = meta
+	}
+	st.needFLCheck = true
+	st.flChecked = map[uint32]bool{}
+	return nil
+}
+
+// maybeFixFreeList applies the paper's lazy free-list repair on the first
+// post-crash use of a page.
+func (st *Store) maybeFixFreeList(no uint32, p *slotted.Page) {
+	if !st.needFLCheck || st.flChecked[no] {
+		return
+	}
+	st.flChecked[no] = true
+	if p.CheckFreeList() != nil {
+		p.RebuildFreeList()
+		st.stats.FreeListFixes++
+	}
+}
+
+// Begin opens the store's single write transaction.
+func (st *Store) Begin() (pager.Txn, error) {
+	if st.open {
+		return nil, pager.ErrTxnActive
+	}
+	st.open = true
+	st.log.Begin()
+	return &Txn{
+		st:    st,
+		meta:  st.meta,
+		pages: make(map[uint32]*txnPage),
+	}, nil
+}
+
+// stackEntry reads free-page stack slot i.
+func (st *Store) stackEntry(i uint32) uint32 {
+	return st.arena.LoadU32(st.cfg.stackBase() + 4*int64(i))
+}
+
+// pushFreePages appends freed pages to the stack post-commit. A crash in
+// here leaks the pages (reclaimable by GC), never corrupts the store.
+func (st *Store) pushFreePages(count *uint32, pages []uint32) {
+	for _, no := range pages {
+		st.arena.StoreU32(st.cfg.stackBase()+4*int64(*count), no)
+		st.arena.Flush(st.cfg.stackBase()+4*int64(*count), 4)
+		*count++
+		// Publish the new count with a single atomic store.
+		pager.PokeFreeCount(st.arena, 0, *count)
+	}
+}
+
+// ReclaimExcept garbage-collects pages leaked by crashed or aborted
+// transactions (§4.4: orphaned sibling pages "can be safely garbage
+// collected"): every allocated page that is neither reachable nor already
+// in the free-page stack is pushed onto the stack. The caller supplies the
+// reachability set (the B-tree layer computes it); the engine's VACUUM
+// statement drives this.
+func (st *Store) ReclaimExcept(reachable map[uint32]bool) (int, error) {
+	free := make(map[uint32]bool, st.meta.FreeCount)
+	for i := uint32(0); i < st.meta.FreeCount; i++ {
+		free[st.stackEntry(i)] = true
+	}
+	var leaked []uint32
+	for no := uint32(1); no < st.meta.NPages; no++ {
+		if !reachable[no] && !free[no] {
+			leaked = append(leaked, no)
+		}
+	}
+	count := st.meta.FreeCount
+	st.pushFreePages(&count, leaked)
+	st.meta.FreeCount = count
+	return len(leaked), nil
+}
+
+// Errors specific to the FAST store.
+var (
+	// ErrTooLarge reports a record that cannot fit any page.
+	ErrTooLarge = errors.New("fast: record too large for page")
+)

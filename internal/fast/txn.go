@@ -1,0 +1,384 @@
+package fast
+
+import (
+	"fmt"
+
+	"fasp/internal/pager"
+	"fasp/internal/phase"
+	"fasp/internal/pmem"
+	"fasp/internal/slotted"
+)
+
+// byteRange is an unflushed content write within a page.
+type byteRange struct{ off, n int }
+
+// pageMem is the slotted.Mem backend of one page inside a transaction.
+// Content writes go straight to PM (in-place, into free space); header
+// changes stay in the page handle's decoded header until commit installs
+// them. Unflushed content ranges are persisted at OpEnd, the paper's
+// clflush(record) step.
+type pageMem struct {
+	tx        *Txn
+	no        uint32
+	base      int64
+	unflushed []byteRange
+	hdrDirty  bool // header changed since transaction start
+	hdrStaged bool // header staged into the log since last change (FAST)
+}
+
+func (m *pageMem) PageSize() int { return m.tx.st.cfg.PageSize }
+
+func (m *pageMem) Read(off, n int) []byte {
+	return m.tx.st.arena.Read(m.base+int64(off), n)
+}
+
+func (m *pageMem) Write(off int, src []byte) {
+	m.tx.st.arena.Store(m.base+int64(off), src)
+	m.unflushed = append(m.unflushed, byteRange{off, len(src)})
+}
+
+func (m *pageMem) HeaderChanged(h *slotted.Header) {
+	if !m.hdrDirty {
+		m.hdrDirty = true
+		m.tx.dirtyOrder = append(m.tx.dirtyOrder, m.no)
+	}
+	m.hdrStaged = false
+}
+
+// txnPage pairs a page handle with its backend.
+type txnPage struct {
+	page *slotted.Page
+	mem  *pageMem
+}
+
+// Txn is a FAST/FAST+ transaction.
+type Txn struct {
+	st         *Store
+	meta       pager.Meta
+	metaDirty  bool
+	pages      map[uint32]*txnPage
+	dirtyOrder []uint32
+	allocated  []uint32
+	freed      []uint32
+	defragged  bool
+	done       bool
+}
+
+var _ pager.Txn = (*Txn)(nil)
+
+// PageSize returns the page size in bytes.
+func (tx *Txn) PageSize() int { return tx.st.cfg.PageSize }
+
+// Root returns the working root page number.
+func (tx *Txn) Root() uint32 { return tx.meta.Root }
+
+// SetRoot updates the working root pointer.
+func (tx *Txn) SetRoot(no uint32) {
+	tx.meta.Root = no
+	tx.metaDirty = true
+}
+
+// Page opens (or returns the cached handle of) page no.
+func (tx *Txn) Page(no uint32) (*slotted.Page, error) {
+	if tp, ok := tx.pages[no]; ok {
+		return tp.page, nil
+	}
+	if no == pager.MetaPageNo || no >= tx.meta.NPages {
+		return nil, fmt.Errorf("%w: page %d out of range", pager.ErrCorrupt, no)
+	}
+	mem := &pageMem{tx: tx, no: no, base: tx.st.cfg.pageBase(no)}
+	p, err := slotted.Open(mem)
+	if err != nil {
+		return nil, err
+	}
+	p.SetDeferFrees(true)
+	tx.st.maybeFixFreeList(no, p)
+	tx.pages[no] = &txnPage{page: p, mem: mem}
+	return p, nil
+}
+
+// AllocPage allocates a page — from the free-page stack if possible,
+// otherwise by bumping the high-water mark — and initialises it.
+func (tx *Txn) AllocPage(typ byte) (uint32, *slotted.Page, error) {
+	var no uint32
+	if tx.meta.FreeCount > 0 {
+		tx.meta.FreeCount--
+		no = tx.st.stackEntry(tx.meta.FreeCount)
+	} else {
+		if int(tx.meta.NPages) >= tx.st.cfg.MaxPages {
+			return 0, nil, pager.ErrFull
+		}
+		no = tx.meta.NPages
+		tx.meta.NPages++
+	}
+	tx.metaDirty = true
+	tx.allocated = append(tx.allocated, no)
+	mem := &pageMem{tx: tx, no: no, base: tx.st.cfg.pageBase(no)}
+	p := slotted.Init(mem, typ)
+	p.SetDeferFrees(true)
+	tx.pages[no] = &txnPage{page: p, mem: mem}
+	return no, p, nil
+}
+
+// FreePage releases a page. Its number enters the persistent free stack
+// only after commit; a crash leaks it at worst.
+func (tx *Txn) FreePage(no uint32) {
+	tx.freed = append(tx.freed, no)
+	tx.metaDirty = true
+}
+
+// Defragged records that copy-on-write defragmentation happened, which
+// disqualifies the FAST+ in-place commit for this transaction.
+func (tx *Txn) Defragged() {
+	tx.defragged = true
+	tx.st.stats.Defrags++
+}
+
+// OpEnd finishes one logical B-tree operation: freshly written record
+// bytes are flushed (clflush(record), charged to Page Update per Figure 7),
+// and under FAST the updated slot headers are copied into the log with
+// plain stores (the "update slot header" component — cheap, no flushes).
+func (tx *Txn) OpEnd() {
+	clock := tx.st.sys.Clock()
+	flushed := false
+	clock.InPhase(phase.FlushRecord, func() {
+		for _, no := range tx.dirtyOrder {
+			tp := tx.pages[no]
+			for _, r := range tp.mem.unflushed {
+				tx.st.arena.Flush(tp.mem.base+int64(r.off), r.n)
+				flushed = true
+			}
+			tp.mem.unflushed = tp.mem.unflushed[:0]
+		}
+		if flushed {
+			tx.st.sys.Fence()
+		}
+	})
+	if tx.st.cfg.Variant == SlotHeaderLogging {
+		clock.InPhase(phase.SlotHeader, func() {
+			tx.stageHeaders()
+		})
+	}
+}
+
+// stageHeaders appends every changed-and-unstaged slot header to the log.
+func (tx *Txn) stageHeaders() {
+	for _, no := range tx.dirtyOrder {
+		tp := tx.pages[no]
+		if !tp.mem.hdrDirty || tp.mem.hdrStaged {
+			continue
+		}
+		enc := tp.page.Header().Encode()
+		if err := tx.st.log.AppendHeader(no, enc); err != nil {
+			// The log is sized by configuration; treat exhaustion as a
+			// programming error rather than silently losing durability.
+			panic(err)
+		}
+		tx.st.stats.LoggedBytes += int64(len(enc))
+		tx.st.stats.LoggedFrames++
+		tp.mem.hdrStaged = true
+	}
+}
+
+// inPlaceEligible reports whether the FAST+ single-page HTM commit applies
+// (§4.2): exactly one dirty page, a leaf, header within one cache line, and
+// no allocation, free, defragmentation or metadata change.
+func (tx *Txn) inPlaceEligible() (*txnPage, bool) {
+	if tx.st.cfg.Variant != InPlaceCommit || tx.defragged || tx.metaDirty ||
+		len(tx.allocated) != 0 || len(tx.freed) != 0 || len(tx.dirtyOrder) != 1 {
+		return nil, false
+	}
+	tp := tx.pages[tx.dirtyOrder[0]]
+	if tp.page.Type() != slotted.TypeLeaf {
+		return nil, false
+	}
+	if tp.page.NCells() > slotted.MaxInPlaceCells ||
+		tp.page.Header().EncodedLen() > pmem.CacheLineSize {
+		return nil, false
+	}
+	return tp, true
+}
+
+// Commit runs the commit protocol and closes the transaction.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("fast: commit on finished transaction")
+	}
+	clock := tx.st.sys.Clock()
+	var err error
+	clock.InPhase(phase.Commit, func() {
+		// Safety: any record bytes not flushed by OpEnd must be durable
+		// before the commit mark.
+		tx.flushStragglers()
+		if tp, ok := tx.inPlaceEligible(); ok {
+			err = tx.commitInPlace(tp)
+			if err == nil {
+				return
+			}
+			// Best-effort HTM failed; fall back to slot-header logging,
+			// exactly as the paper's fallback handler prescribes.
+		}
+		err = tx.commitLogged()
+	})
+	if err != nil {
+		// A failed commit (nothing reached the commit mark) rolls back:
+		// the committed page images are untouched; consumed free-list
+		// space is repaired like any abort.
+		tx.Rollback()
+		return err
+	}
+	tx.finish()
+	tx.st.stats.Commits++
+	return nil
+}
+
+func (tx *Txn) flushStragglers() {
+	flushed := false
+	for _, no := range tx.dirtyOrder {
+		tp := tx.pages[no]
+		for _, r := range tp.mem.unflushed {
+			tx.st.arena.Flush(tp.mem.base+int64(r.off), r.n)
+			flushed = true
+		}
+		tp.mem.unflushed = tp.mem.unflushed[:0]
+	}
+	if flushed {
+		tx.st.sys.Fence()
+	}
+}
+
+// commitInPlace is the FAST+ path: one failure-atomic cache-line write
+// installs the new slot header, which is the commit mark.
+func (tx *Txn) commitInPlace(tp *txnPage) error {
+	clock := tx.st.sys.Clock()
+	var err error
+	clock.InPhase(phase.AtomicWrite, func() {
+		err = tx.st.htm.AtomicLineWrite(tx.st.arena, tp.mem.base, tp.page.Header().Encode())
+	})
+	if err != nil {
+		return err
+	}
+	// Post-commit: link deferred frees and persist the free-list fields.
+	tx.applyFrees(tp)
+	tx.st.stats.InPlaceCommits++
+	return nil
+}
+
+// commitLogged is the FAST path (and the FAST+ fallback): commit through
+// the slot-header log, then checkpoint eagerly.
+func (tx *Txn) commitLogged() error {
+	clock := tx.st.sys.Clock()
+	st := tx.st
+
+	// Ensure every dirty header is in the log. Under FAST most were staged
+	// at OpEnd; under FAST+ fallback they are appended here.
+	clock.InPhase(phase.LogFlush, func() {
+		tx.stageHeaders()
+		if tx.metaDirty {
+			tx.meta.TxID++
+			frame := pager.EncodeMetaFrame(tx.meta)
+			if err := st.log.AppendHeader(pager.MetaPageNo, frame); err != nil {
+				panic(err)
+			}
+			st.stats.LoggedBytes += int64(len(frame))
+			st.stats.LoggedFrames++
+		}
+		st.log.Commit(tx.meta.TxID)
+	})
+
+	// Eager checkpointing (§3.3): install the committed headers so readers
+	// never consult the log, then drop the log.
+	clock.InPhase(phase.Checkpoint, func() {
+		for _, no := range tx.dirtyOrder {
+			tp := tx.pages[no]
+			if !tp.mem.hdrDirty {
+				continue
+			}
+			enc := tp.page.Header().Encode()
+			st.arena.Store(tp.mem.base, enc)
+			st.arena.Flush(tp.mem.base, len(enc))
+		}
+		if tx.metaDirty {
+			pager.WriteMeta(st.arena, 0, tx.meta)
+		}
+		st.sys.Fence()
+		st.log.Truncate()
+		// Post-commit bookkeeping: deferred frees become free blocks, and
+		// freed pages enter the persistent free stack.
+		for _, no := range tx.dirtyOrder {
+			tx.applyFrees(tx.pages[no])
+		}
+		if len(tx.freed) > 0 {
+			count := tx.meta.FreeCount
+			st.pushFreePages(&count, tx.freed)
+			tx.meta.FreeCount = count
+		}
+	})
+	st.stats.LogCommits++
+	st.meta = tx.meta
+	return nil
+}
+
+// applyFrees links a page's deferred frees into its free list and persists
+// the free-list header fields. This happens after the commit point; the
+// free list is deliberately not failure-atomic (§4.3) — a crash here is
+// repaired by the lazy rebuild.
+func (tx *Txn) applyFrees(tp *txnPage) {
+	if tp.page.PendingFrees() == 0 {
+		return
+	}
+	tp.page.ApplyPendingFrees()
+	enc := tp.page.Header().Encode()
+	prefix := enc
+	if len(prefix) > slotted.HeaderFixedSize {
+		prefix = prefix[:slotted.HeaderFixedSize]
+	}
+	tx.st.arena.Store(tp.mem.base, prefix)
+	tx.st.arena.Flush(tp.mem.base, len(prefix))
+	// Free-block headers written by ApplyPendingFrees are flushed lazily;
+	// flush them now to keep the cache overlay small.
+	for _, r := range tp.mem.unflushed {
+		tx.st.arena.Flush(tp.mem.base+int64(r.off), r.n)
+	}
+	tp.mem.unflushed = tp.mem.unflushed[:0]
+}
+
+// Rollback abandons the transaction. Free lists of touched pages may have
+// been consumed by allocations; rebuild them from the committed headers so
+// the space is not lost.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	for no, tp := range tx.pages {
+		if !tp.mem.hdrDirty {
+			continue
+		}
+		isAllocated := false
+		for _, a := range tx.allocated {
+			if a == no {
+				isAllocated = true
+				break
+			}
+		}
+		if isAllocated {
+			continue // never committed; nothing to restore
+		}
+		// Reopen the committed header and repair the free list if in-page
+		// free blocks were consumed or written during the transaction.
+		mem := &pageMem{tx: tx, no: no, base: tp.mem.base}
+		if p, err := slotted.Open(mem); err == nil {
+			if p.CheckFreeList() != nil {
+				p.RebuildFreeList()
+				tx.st.stats.FreeListFixes++
+			}
+			mem.unflushed = nil
+		}
+	}
+	tx.finish()
+}
+
+func (tx *Txn) finish() {
+	tx.done = true
+	tx.st.open = false
+}

@@ -1,0 +1,689 @@
+// Package hashidx is a persistent hash index built on failure-atomic
+// slotted pages, realising the paper's claim (§2.2) that the persistent
+// slotted-page optimisation "can be used not only for B+-trees (or any of
+// its variants) but also for other hash-based indexes".
+//
+// Structure:
+//
+//   - each bucket is a chain of slotted leaf pages; overflow pages are
+//     linked through the page's auxiliary header field, so extending a
+//     chain is committed atomically with the slot header that references
+//     the new page;
+//   - the bucket directory (bucket number → head page) is a small B-tree
+//     reusing the same transactional machinery, so directory updates —
+//     bucket creation, rehashing — commit with everything else;
+//   - records are written into bucket free space in place and the slot
+//     header is the commit mark, exactly as in the B-tree case. Under
+//     FAST+, a Put that touches a single bucket page commits with one
+//     HTM cache-line write.
+//
+// The index tolerates crashes at any point through the store's recovery,
+// inheriting the B-tree's guarantees without new protocol code — which is
+// precisely the paper's point.
+package hashidx
+
+import (
+	"encoding/binary"
+	"errors"
+	"fmt"
+	"hash/fnv"
+
+	"fasp/internal/btree"
+	"fasp/internal/pager"
+	"fasp/internal/slotted"
+)
+
+// Errors returned by the index.
+var (
+	// ErrNotFound reports a Get/Delete of an absent key.
+	ErrNotFound = errors.New("hashidx: key not found")
+	// ErrCorrupt reports structural damage.
+	ErrCorrupt = errors.New("hashidx: index corrupt")
+)
+
+// metaKey is the reserved 8-byte directory key holding the bucket count;
+// bucket keys are 4 bytes, so it cannot collide.
+var metaKey = []byte{0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF, 0xFF}
+
+// Index is a persistent hash index over a store. Like the B-tree, it is
+// bound to the store's root pointer (the directory tree); one store hosts
+// one index.
+type Index struct {
+	st pager.Store
+}
+
+// New binds an index to a store.
+func New(st pager.Store) *Index { return &Index{st: st} }
+
+// Create initialises the directory with n buckets (rounded up to ≥ 1) in
+// its own transaction. The store must be empty (root 0).
+func (ix *Index) Create(n uint32) error {
+	if n == 0 {
+		n = 1
+	}
+	tx, err := ix.begin()
+	if err != nil {
+		return err
+	}
+	if tx.dir.Pager().Root() != 0 {
+		tx.Rollback()
+		return fmt.Errorf("%w: store already holds an index or tree", ErrCorrupt)
+	}
+	var nb [4]byte
+	binary.BigEndian.PutUint32(nb[:], n)
+	if err := tx.dir.Insert(metaKey, nb[:]); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+func bucketKey(b uint32) []byte {
+	var k [4]byte
+	binary.BigEndian.PutUint32(k[:], b)
+	return k[:]
+}
+
+func hashOf(key []byte) uint32 {
+	h := fnv.New64a()
+	h.Write(key)
+	return uint32(h.Sum64() >> 32)
+}
+
+// Tx is one transaction over the index.
+type Tx struct {
+	ix   *Index
+	p    pager.Txn
+	dir  *btree.Tx
+	owns bool
+	done bool
+	n    uint32 // cached bucket count
+}
+
+func (ix *Index) begin() (*Tx, error) {
+	ptx, err := ix.st.Begin()
+	if err != nil {
+		return nil, err
+	}
+	return &Tx{ix: ix, p: ptx, dir: btree.Attach(ix.st, ptx, ptx), owns: true}, nil
+}
+
+// Begin opens a read-write transaction.
+func (ix *Index) Begin() (*Tx, error) { return ix.begin() }
+
+// Commit commits the transaction.
+func (tx *Tx) Commit() error {
+	tx.done = true
+	return tx.p.Commit()
+}
+
+// Rollback abandons the transaction.
+func (tx *Tx) Rollback() {
+	if tx.done {
+		return
+	}
+	tx.done = true
+	tx.p.Rollback()
+}
+
+// buckets returns the configured bucket count.
+func (tx *Tx) buckets() (uint32, error) {
+	if tx.n != 0 {
+		return tx.n, nil
+	}
+	v, ok, err := tx.dir.Get(metaKey)
+	if err != nil {
+		return 0, err
+	}
+	if !ok || len(v) != 4 {
+		return 0, fmt.Errorf("%w: missing bucket-count record", ErrCorrupt)
+	}
+	tx.n = binary.BigEndian.Uint32(v)
+	return tx.n, nil
+}
+
+// headPage returns the head page of key's bucket, creating it if asked.
+func (tx *Tx) headPage(bucket uint32, create bool) (uint32, *slotted.Page, error) {
+	v, ok, err := tx.dir.Get(bucketKey(bucket))
+	if err != nil {
+		return 0, nil, err
+	}
+	if ok {
+		no := binary.BigEndian.Uint32(v)
+		p, err := tx.p.Page(no)
+		return no, p, err
+	}
+	if !create {
+		return 0, nil, nil
+	}
+	no, p, err := tx.p.AllocPage(slotted.TypeLeaf)
+	if err != nil {
+		return 0, nil, err
+	}
+	var nb [4]byte
+	binary.BigEndian.PutUint32(nb[:], no)
+	if err := tx.dir.Insert(bucketKey(bucket), nb[:]); err != nil {
+		return 0, nil, err
+	}
+	return no, p, nil
+}
+
+// cellCap mirrors the B-tree's FAST+ leaf restriction: bucket pages keep
+// their slot headers within one cache line so single-page Puts stay
+// eligible for the HTM in-place commit.
+func (tx *Tx) cellCap() int {
+	if c, ok := tx.ix.st.(interface{ LeafCellCap() int }); ok {
+		if cap := c.LeafCellCap(); cap > 0 {
+			return cap
+		}
+	}
+	return 1 << 30
+}
+
+// Put inserts or replaces a key.
+func (tx *Tx) Put(key, val []byte) error {
+	n, err := tx.buckets()
+	if err != nil {
+		return err
+	}
+	bucket := hashOf(key) % n
+	_, page, err := tx.headPage(bucket, true)
+	if err != nil {
+		return err
+	}
+	cap := tx.cellCap()
+	// Pass 1: if the key exists anywhere in the chain, update in place
+	// (out-of-place at the cell level, as always).
+	var chain []*slotted.Page
+	for p := page; ; {
+		chain = append(chain, p)
+		if i, found := p.Search(key); found {
+			err := p.Update(i, val)
+			if errors.Is(err, slotted.ErrNeedsDefrag) || errors.Is(err, slotted.ErrPageFull) {
+				// No room for the bigger value here: delete and reinsert
+				// into the chain.
+				if err := p.Delete(i); err != nil {
+					return err
+				}
+				return tx.insertIntoChain(chain, key, val, cap)
+			}
+			if err == nil {
+				tx.p.OpEnd()
+			}
+			return err
+		}
+		next := p.Aux()
+		if next == 0 {
+			break
+		}
+		var perr error
+		p, perr = tx.p.Page(next)
+		if perr != nil {
+			return perr
+		}
+		if len(chain) > 1<<16 {
+			return fmt.Errorf("%w: bucket chain cycle", ErrCorrupt)
+		}
+	}
+	return tx.insertIntoChain(chain, key, val, cap)
+}
+
+// insertIntoChain places a new record in the first chain page with room,
+// growing the chain if none has. The chain passed in may be a prefix (the
+// caller stopped walking when it found the key), so it is first extended to
+// the true end — otherwise appending an overflow page would overwrite the
+// tail's next pointer and orphan the rest of the chain.
+func (tx *Tx) insertIntoChain(chain []*slotted.Page, key, val []byte, cap int) error {
+	for steps := 0; ; steps++ {
+		next := chain[len(chain)-1].Aux()
+		if next == 0 {
+			break
+		}
+		p, err := tx.p.Page(next)
+		if err != nil {
+			return err
+		}
+		chain = append(chain, p)
+		if steps > 1<<16 {
+			return fmt.Errorf("%w: bucket chain cycle", ErrCorrupt)
+		}
+	}
+	for _, p := range chain {
+		if p.NCells() >= cap {
+			continue
+		}
+		err := p.Insert(key, val)
+		switch {
+		case err == nil:
+			tx.p.OpEnd()
+			return nil
+		case errors.Is(err, slotted.ErrNeedsDefrag):
+			np, derr := tx.defragChainPage(chain, p)
+			if derr != nil {
+				return derr
+			}
+			if err := np.Insert(key, val); err == nil {
+				tx.p.OpEnd()
+				return nil
+			}
+			// Still no room after compaction (giant record): keep walking.
+		case errors.Is(err, slotted.ErrPageFull):
+			// try the next page
+		default:
+			return err
+		}
+	}
+	// Extend the chain: the new overflow page is committed atomically via
+	// the tail page's slot header (Aux field).
+	tail := chain[len(chain)-1]
+	no, np, err := tx.p.AllocPage(slotted.TypeLeaf)
+	if err != nil {
+		return err
+	}
+	if err := np.Insert(key, val); err != nil {
+		return err
+	}
+	tail.SetAux(no)
+	tx.p.OpEnd()
+	return nil
+}
+
+// defragChainPage rewrites a fragmented chain page via copy-on-write and
+// relinks it from its predecessor (Aux) or the directory (head).
+func (tx *Tx) defragChainPage(chain []*slotted.Page, old *slotted.Page) (*slotted.Page, error) {
+	tx.p.Defragged()
+	no, np, err := tx.p.AllocPage(slotted.TypeLeaf)
+	if err != nil {
+		return nil, err
+	}
+	if err := old.CopyRangeTo(np, 0, old.NCells()); err != nil {
+		return nil, err
+	}
+	np.SetAux(old.Aux())
+	// Find old's page number by scanning the chain linkage.
+	oldNo, err := tx.pageNoOf(chain, old)
+	if err != nil {
+		return nil, err
+	}
+	idx := -1
+	for i, p := range chain {
+		if p == old {
+			idx = i
+			break
+		}
+	}
+	if idx > 0 {
+		chain[idx-1].SetAux(no)
+	} else {
+		// Head page: update the directory entry.
+		bucket, err := tx.bucketOfHead(oldNo)
+		if err != nil {
+			return nil, err
+		}
+		var nb [4]byte
+		binary.BigEndian.PutUint32(nb[:], no)
+		if err := tx.dir.Update(bucketKey(bucket), nb[:]); err != nil {
+			return nil, err
+		}
+	}
+	tx.p.FreePage(oldNo)
+	chain[idx] = np
+	return np, nil
+}
+
+// pageNoOf resolves a chain page handle back to its page number by
+// re-walking the linkage from the directory.
+func (tx *Tx) pageNoOf(chain []*slotted.Page, target *slotted.Page) (uint32, error) {
+	// The head's number comes from the directory; successors from Aux.
+	headNo, err := tx.headNoOf(chain[0])
+	if err != nil {
+		return 0, err
+	}
+	no := headNo
+	for _, p := range chain {
+		if p == target {
+			return no, nil
+		}
+		no = p.Aux()
+	}
+	return 0, fmt.Errorf("%w: page not in chain", ErrCorrupt)
+}
+
+// headNoOf finds the directory entry whose head page handle matches.
+func (tx *Tx) headNoOf(head *slotted.Page) (uint32, error) {
+	var found uint32
+	ok := false
+	err := tx.dir.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) != 4 || len(v) != 4 {
+			return true
+		}
+		no := binary.BigEndian.Uint32(v)
+		if p, perr := tx.p.Page(no); perr == nil && p == head {
+			found, ok = no, true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: chain head not in directory", ErrCorrupt)
+	}
+	return found, nil
+}
+
+// bucketOfHead finds the bucket number whose entry references headNo.
+func (tx *Tx) bucketOfHead(headNo uint32) (uint32, error) {
+	var bucket uint32
+	ok := false
+	err := tx.dir.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) != 4 || len(v) != 4 {
+			return true
+		}
+		if binary.BigEndian.Uint32(v) == headNo {
+			bucket, ok = binary.BigEndian.Uint32(k), true
+			return false
+		}
+		return true
+	})
+	if err != nil {
+		return 0, err
+	}
+	if !ok {
+		return 0, fmt.Errorf("%w: head page %d not in directory", ErrCorrupt, headNo)
+	}
+	return bucket, nil
+}
+
+// Get returns the value stored under key.
+func (tx *Tx) Get(key []byte) ([]byte, bool, error) {
+	n, err := tx.buckets()
+	if err != nil {
+		return nil, false, err
+	}
+	_, page, err := tx.headPage(hashOf(key)%n, false)
+	if err != nil || page == nil {
+		return nil, false, err
+	}
+	steps := 0
+	for p := page; ; {
+		if i, found := p.Search(key); found {
+			return p.Value(i), true, nil
+		}
+		next := p.Aux()
+		if next == 0 {
+			return nil, false, nil
+		}
+		var perr error
+		p, perr = tx.p.Page(next)
+		if perr != nil {
+			return nil, false, perr
+		}
+		if steps++; steps > 1<<16 {
+			return nil, false, fmt.Errorf("%w: bucket chain cycle", ErrCorrupt)
+		}
+	}
+}
+
+// Delete removes key, unlinking overflow pages that become empty.
+func (tx *Tx) Delete(key []byte) error {
+	n, err := tx.buckets()
+	if err != nil {
+		return err
+	}
+	_, page, err := tx.headPage(hashOf(key)%n, false)
+	if err != nil {
+		return err
+	}
+	if page == nil {
+		return fmt.Errorf("%w: %x", ErrNotFound, key)
+	}
+	var prev *slotted.Page
+	steps := 0
+	for p := page; ; {
+		if i, found := p.Search(key); found {
+			if err := p.Delete(i); err != nil {
+				return err
+			}
+			// Unlink an emptied overflow page (head pages stay).
+			if p.NCells() == 0 && prev != nil {
+				orphan := prev.Aux()
+				prev.SetAux(p.Aux())
+				tx.p.FreePage(orphan)
+			}
+			tx.p.OpEnd()
+			return nil
+		}
+		next := p.Aux()
+		if next == 0 {
+			return fmt.Errorf("%w: %x", ErrNotFound, key)
+		}
+		prev = p
+		var perr error
+		p, perr = tx.p.Page(next)
+		if perr != nil {
+			return perr
+		}
+		if steps++; steps > 1<<16 {
+			return fmt.Errorf("%w: bucket chain cycle", ErrCorrupt)
+		}
+	}
+}
+
+// Each visits every record (bucket order, then chain order), stopping
+// early if fn returns false.
+func (tx *Tx) Each(fn func(key, val []byte) bool) error {
+	type entry struct{ no uint32 }
+	var heads []entry
+	if err := tx.dir.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) == 4 && len(v) == 4 {
+			heads = append(heads, entry{binary.BigEndian.Uint32(v)})
+		}
+		return true
+	}); err != nil {
+		return err
+	}
+	for _, h := range heads {
+		no := h.no
+		steps := 0
+		for no != 0 {
+			p, err := tx.p.Page(no)
+			if err != nil {
+				return err
+			}
+			for i := 0; i < p.NCells(); i++ {
+				if !fn(p.Key(i), p.Value(i)) {
+					return nil
+				}
+			}
+			no = p.Aux()
+			if steps++; steps > 1<<16 {
+				return fmt.Errorf("%w: bucket chain cycle", ErrCorrupt)
+			}
+		}
+	}
+	return nil
+}
+
+// Len counts the records in the index.
+func (tx *Tx) Len() (int, error) {
+	n := 0
+	err := tx.Each(func(_, _ []byte) bool { n++; return true })
+	return n, err
+}
+
+// Validate checks structural invariants: every page valid, every key in
+// its hash bucket, chains acyclic, directory entries well-formed.
+func (tx *Tx) Validate() error {
+	n, err := tx.buckets()
+	if err != nil {
+		return err
+	}
+	if err := tx.dir.Validate(); err != nil {
+		return fmt.Errorf("directory: %w", err)
+	}
+	return tx.dir.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) != 4 {
+			return true // the meta record
+		}
+		bucket := binary.BigEndian.Uint32(k)
+		no := binary.BigEndian.Uint32(v)
+		seen := map[uint32]bool{}
+		for no != 0 {
+			if seen[no] {
+				err = fmt.Errorf("%w: chain cycle at page %d", ErrCorrupt, no)
+				return false
+			}
+			seen[no] = true
+			p, perr := tx.p.Page(no)
+			if perr != nil {
+				err = perr
+				return false
+			}
+			if verr := p.Validate(); verr != nil {
+				err = fmt.Errorf("bucket %d page %d: %w", bucket, no, verr)
+				return false
+			}
+			for i := 0; i < p.NCells(); i++ {
+				if hashOf(p.Key(i))%n != bucket {
+					err = fmt.Errorf("%w: key %x in bucket %d, belongs in %d",
+						ErrCorrupt, p.Key(i), bucket, hashOf(p.Key(i))%n)
+					return false
+				}
+			}
+			no = p.Aux()
+		}
+		return true
+	})
+}
+
+// --- Auto-transaction conveniences -------------------------------------------
+
+// Put inserts or replaces a key in its own transaction.
+func (ix *Index) Put(key, val []byte) error {
+	return ix.inTx(func(tx *Tx) error { return tx.Put(key, val) })
+}
+
+// Get looks a key up in a read-only transaction.
+func (ix *Index) Get(key []byte) ([]byte, bool, error) {
+	tx, err := ix.begin()
+	if err != nil {
+		return nil, false, err
+	}
+	defer tx.Rollback()
+	return tx.Get(key)
+}
+
+// Delete removes a key in its own transaction.
+func (ix *Index) Delete(key []byte) error {
+	return ix.inTx(func(tx *Tx) error { return tx.Delete(key) })
+}
+
+// Len counts records in a read-only transaction.
+func (ix *Index) Len() (int, error) {
+	tx, err := ix.begin()
+	if err != nil {
+		return 0, err
+	}
+	defer tx.Rollback()
+	return tx.Len()
+}
+
+// Validate checks the whole index in a read-only transaction.
+func (ix *Index) Validate() error {
+	tx, err := ix.begin()
+	if err != nil {
+		return err
+	}
+	defer tx.Rollback()
+	return tx.Validate()
+}
+
+func (ix *Index) inTx(fn func(*Tx) error) error {
+	tx, err := ix.begin()
+	if err != nil {
+		return err
+	}
+	if err := fn(tx); err != nil {
+		tx.Rollback()
+		return err
+	}
+	return tx.Commit()
+}
+
+// Rehash rebuilds the index with a new bucket count in one transaction
+// (grow-only offline resize; chains shorten, directory grows).
+func (ix *Index) Rehash(newN uint32) error {
+	if newN == 0 {
+		newN = 1
+	}
+	tx, err := ix.begin()
+	if err != nil {
+		return err
+	}
+	// Collect every record and every old page.
+	type kv struct{ k, v []byte }
+	var all []kv
+	if err := tx.Each(func(k, v []byte) bool {
+		all = append(all, kv{append([]byte(nil), k...), append([]byte(nil), v...)})
+		return true
+	}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	var oldPages []uint32
+	if err := tx.dir.Scan(nil, nil, func(k, v []byte) bool {
+		if len(k) != 4 {
+			return true
+		}
+		no := binary.BigEndian.Uint32(v)
+		for no != 0 {
+			oldPages = append(oldPages, no)
+			p, perr := tx.p.Page(no)
+			if perr != nil {
+				return false
+			}
+			no = p.Aux()
+		}
+		return true
+	}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	// Drop every directory bucket entry and rewrite the bucket count.
+	var bucketKeys [][]byte
+	if err := tx.dir.Scan(nil, nil, func(k, _ []byte) bool {
+		if len(k) == 4 {
+			bucketKeys = append(bucketKeys, append([]byte(nil), k...))
+		}
+		return true
+	}); err != nil {
+		tx.Rollback()
+		return err
+	}
+	for _, bk := range bucketKeys {
+		if err := tx.dir.Delete(bk); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	var nb [4]byte
+	binary.BigEndian.PutUint32(nb[:], newN)
+	if err := tx.dir.Update(metaKey, nb[:]); err != nil {
+		tx.Rollback()
+		return err
+	}
+	tx.n = newN
+	// Reinsert everything into fresh pages and free the old ones.
+	for _, e := range all {
+		if err := tx.Put(e.k, e.v); err != nil {
+			tx.Rollback()
+			return err
+		}
+	}
+	for _, no := range oldPages {
+		tx.p.FreePage(no)
+	}
+	return tx.Commit()
+}

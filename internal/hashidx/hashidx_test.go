@@ -1,0 +1,392 @@
+package hashidx
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fasp/internal/fast"
+	"fasp/internal/pmem"
+	"fasp/internal/wal"
+)
+
+func newIndex(t testing.TB, variant fast.Variant, buckets uint32) (*pmem.System, *fast.Store, *Index) {
+	t.Helper()
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := fast.Create(sys, fast.Config{PageSize: 512, MaxPages: 4096, Variant: variant})
+	ix := New(st)
+	if err := ix.Create(buckets); err != nil {
+		t.Fatal(err)
+	}
+	return sys, st, ix
+}
+
+func hk(i int) []byte { return []byte(fmt.Sprintf("hkey-%05d", i)) }
+func hv(i int) []byte { return []byte(fmt.Sprintf("hval-%d", i)) }
+
+func TestPutGetDelete(t *testing.T) {
+	_, _, ix := newIndex(t, fast.InPlaceCommit, 8)
+	for i := 0; i < 200; i++ {
+		if err := ix.Put(hk(i), hv(i)); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < 200; i++ {
+		v, ok, err := ix.Get(hk(i))
+		if err != nil || !ok || !bytes.Equal(v, hv(i)) {
+			t.Fatalf("get %d = %q %v %v", i, v, ok, err)
+		}
+	}
+	if _, ok, _ := ix.Get([]byte("missing")); ok {
+		t.Fatal("phantom key")
+	}
+	n, err := ix.Len()
+	if err != nil || n != 200 {
+		t.Fatalf("len = %d (%v)", n, err)
+	}
+	for i := 0; i < 200; i += 3 {
+		if err := ix.Delete(hk(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	if err := ix.Delete(hk(0)); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("double delete: %v", err)
+	}
+	for i := 0; i < 200; i++ {
+		_, ok, _ := ix.Get(hk(i))
+		if want := i%3 != 0; ok != want {
+			t.Fatalf("key %d present=%v want %v", i, ok, want)
+		}
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestPutReplaces(t *testing.T) {
+	_, _, ix := newIndex(t, fast.InPlaceCommit, 4)
+	if err := ix.Put(hk(1), []byte("first")); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Put(hk(1), []byte("second")); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ := ix.Get(hk(1))
+	if !ok || string(v) != "second" {
+		t.Fatalf("got %q", v)
+	}
+	// Replace with a much larger value (forces delete+reinsert paths).
+	big := bytes.Repeat([]byte{'x'}, 200)
+	if err := ix.Put(hk(1), big); err != nil {
+		t.Fatal(err)
+	}
+	v, ok, _ = ix.Get(hk(1))
+	if !ok || !bytes.Equal(v, big) {
+		t.Fatalf("big replace lost (len %d)", len(v))
+	}
+	n, _ := ix.Len()
+	if n != 1 {
+		t.Fatalf("len = %d", n)
+	}
+}
+
+func TestOverflowChainsGrowAndShrink(t *testing.T) {
+	_, st, ix := newIndex(t, fast.InPlaceCommit, 1) // everything in one bucket
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := ix.Put(hk(i), hv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Meta().NPages < 5 {
+		t.Fatalf("expected a long chain; npages = %d", st.Meta().NPages)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		if err := ix.Delete(hk(i)); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	cnt, _ := ix.Len()
+	if cnt != 0 {
+		t.Fatalf("len after full delete = %d", cnt)
+	}
+	// Emptied overflow pages were unlinked and freed.
+	if st.Meta().FreeCount == 0 {
+		t.Fatal("no overflow pages were reclaimed")
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestMatchesReferenceModel(t *testing.T) {
+	for _, variant := range []fast.Variant{fast.SlotHeaderLogging, fast.InPlaceCommit} {
+		t.Run(variant.String(), func(t *testing.T) {
+			_, _, ix := newIndex(t, variant, 16)
+			rng := rand.New(rand.NewSource(3))
+			model := map[string]string{}
+			for step := 0; step < 800; step++ {
+				i := rng.Intn(150)
+				switch rng.Intn(3) {
+				case 0, 1:
+					v := fmt.Sprintf("v%d-%d", i, rng.Intn(100))
+					if err := ix.Put(hk(i), []byte(v)); err != nil {
+						t.Fatalf("step %d put: %v", step, err)
+					}
+					model[string(hk(i))] = v
+				case 2:
+					err := ix.Delete(hk(i))
+					if _, exists := model[string(hk(i))]; exists {
+						if err != nil {
+							t.Fatalf("step %d delete: %v", step, err)
+						}
+						delete(model, string(hk(i)))
+					} else if !errors.Is(err, ErrNotFound) {
+						t.Fatalf("step %d: phantom delete err=%v", step, err)
+					}
+				}
+			}
+			got := map[string]string{}
+			tx, err := ix.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Each(func(k, v []byte) bool {
+				got[string(k)] = string(v)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			tx.Rollback()
+			if len(got) != len(model) {
+				t.Fatalf("index %d keys, model %d", len(got), len(model))
+			}
+			for k, v := range model {
+				if got[k] != v {
+					t.Fatalf("key %q = %q, want %q", k, got[k], v)
+				}
+			}
+			if err := ix.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRehash(t *testing.T) {
+	_, _, ix := newIndex(t, fast.InPlaceCommit, 2)
+	const n = 150
+	for i := 0; i < n; i++ {
+		if err := ix.Put(hk(i), hv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := ix.Rehash(64); err != nil {
+		t.Fatal(err)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	cnt, _ := ix.Len()
+	if cnt != n {
+		t.Fatalf("len after rehash = %d", cnt)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := ix.Get(hk(i))
+		if err != nil || !ok || !bytes.Equal(v, hv(i)) {
+			t.Fatalf("key %d lost in rehash", i)
+		}
+	}
+}
+
+func TestTxnAtomicity(t *testing.T) {
+	_, _, ix := newIndex(t, fast.InPlaceCommit, 8)
+	tx, err := ix.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 20; i++ {
+		if err := tx.Put(hk(i), hv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	tx.Rollback()
+	if n, _ := ix.Len(); n != 0 {
+		t.Fatalf("rolled-back puts visible: %d", n)
+	}
+	tx2, _ := ix.Begin()
+	for i := 0; i < 20; i++ {
+		if err := tx2.Put(hk(i), hv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := tx2.Commit(); err != nil {
+		t.Fatal(err)
+	}
+	if n, _ := ix.Len(); n != 20 {
+		t.Fatalf("committed puts missing: %d", n)
+	}
+}
+
+func TestFASTPlusSinglePagePutsCommitInPlace(t *testing.T) {
+	_, st, ix := newIndex(t, fast.InPlaceCommit, 64)
+	for i := 0; i < 40; i++ {
+		if err := ix.Put(hk(i), hv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Stats()
+	if s.InPlaceCommits == 0 {
+		t.Fatalf("hash puts never used the in-place commit: %+v", s)
+	}
+}
+
+func TestWorksOnBaselineStores(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := wal.Create(sys, wal.Config{PageSize: 512, MaxPages: 2048, Kind: wal.NVWAL})
+	ix := New(st)
+	if err := ix.Create(8); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if err := ix.Put(hk(i), hv(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if n, _ := ix.Len(); n != 100 {
+		t.Fatalf("len = %d", n)
+	}
+	if err := ix.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestCrashRecoverySweep: the hash index inherits failure atomicity from
+// the store — verify across sampled crash points and eviction policies.
+func TestCrashRecoverySweep(t *testing.T) {
+	cfg := fast.Config{PageSize: 256, MaxPages: 2048, Variant: fast.InPlaceCommit}
+	const nOps = 25
+	run := func(ix *Index, committed *int) {
+		if err := ix.Create(4); err != nil {
+			panic(err)
+		}
+		*committed++
+		for i := 0; i < nOps; i++ {
+			if err := ix.Put(hk(i), hv(i)); err != nil {
+				panic(err)
+			}
+			*committed++
+		}
+	}
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := fast.Create(sys, cfg)
+	n := 0
+	base := sys.CrashPoints()
+	run(New(st), &n)
+	total := sys.CrashPoints() - base
+	step := total / 80
+	if step == 0 {
+		step = 1
+	}
+	if testing.Short() {
+		step = total / 15
+	}
+	for kpt := int64(0); kpt < total; kpt += step {
+		sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+		st := fast.Create(sys, cfg)
+		committed := 0
+		sys.CrashAfter(kpt)
+		sys.RunToCrash(func() { run(New(st), &committed) })
+		sys.Crash(pmem.CrashOptions{Seed: kpt, EvictProb: 0.5})
+		st2, err := fast.Attach(st.Arena(), cfg)
+		if err != nil {
+			t.Fatalf("crash@%d: attach: %v", kpt, err)
+		}
+		if err := st2.Recover(); err != nil {
+			t.Fatalf("crash@%d: recover: %v", kpt, err)
+		}
+		if committed == 0 {
+			continue // Create itself may not have committed
+		}
+		ix2 := New(st2)
+		if err := ix2.Validate(); err != nil {
+			t.Fatalf("crash@%d: invalid index: %v", kpt, err)
+		}
+		cnt, err := ix2.Len()
+		if err != nil {
+			t.Fatalf("crash@%d: len: %v", kpt, err)
+		}
+		puts := committed - 1 // minus the Create txn
+		if cnt != puts && cnt != puts+1 {
+			t.Fatalf("crash@%d: %d keys, %d committed puts", kpt, cnt, puts)
+		}
+		for i := 0; i < puts; i++ {
+			v, ok, err := ix2.Get(hk(i))
+			if err != nil || !ok || !bytes.Equal(v, hv(i)) {
+				t.Fatalf("crash@%d: committed key %d missing/corrupt", kpt, i)
+			}
+		}
+	}
+}
+
+// TestChainPageDefrag drives the copy-on-write defragmentation of bucket
+// pages: shrink-grow cycles fragment a page until a larger record needs
+// compaction, both at the chain head and in an overflow page.
+func TestChainPageDefrag(t *testing.T) {
+	_, st, ix := newIndex(t, fast.InPlaceCommit, 1)
+	// Fill the single bucket until it has overflow pages.
+	for i := 0; i < 40; i++ {
+		if err := ix.Put(hk(i), bytes.Repeat([]byte{1}, 24)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	// Grow values in place repeatedly: deletes + reinserts fragment chain
+	// pages until defragmentation triggers.
+	for round := 1; round <= 4; round++ {
+		for i := 0; i < 40; i += 3 {
+			if err := ix.Put(hk(i), bytes.Repeat([]byte{byte(round)}, 24+round*20)); err != nil {
+				t.Fatalf("round %d key %d: %v", round, i, err)
+			}
+		}
+		if err := ix.Validate(); err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+	}
+	if st.Stats().Defrags == 0 {
+		t.Fatal("no chain-page defragmentation happened; test is vacuous")
+	}
+	// Contents survived every rewrite.
+	for i := 0; i < 40; i++ {
+		v, ok, err := ix.Get(hk(i))
+		if err != nil || !ok {
+			t.Fatalf("key %d lost: %v", i, err)
+		}
+		if i%3 == 0 && len(v) != 24+4*20 {
+			t.Fatalf("key %d final size %d", i, len(v))
+		}
+	}
+}
+
+// TestGetOnMissingBucket covers the no-page path.
+func TestGetOnMissingBucket(t *testing.T) {
+	_, _, ix := newIndex(t, fast.InPlaceCommit, 1024)
+	if _, ok, err := ix.Get([]byte("anything")); ok || err != nil {
+		t.Fatalf("get on empty index = %v %v", ok, err)
+	}
+	if err := ix.Delete([]byte("anything")); !errors.Is(err, ErrNotFound) {
+		t.Fatalf("delete on empty index: %v", err)
+	}
+}
+
+// TestCreateTwiceRejected guards the root check.
+func TestCreateTwiceRejected(t *testing.T) {
+	_, _, ix := newIndex(t, fast.InPlaceCommit, 4)
+	if err := ix.Create(8); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("double create: %v", err)
+	}
+}

@@ -1,0 +1,261 @@
+// Package htm emulates Intel Restricted Transactional Memory (RTM) on top of
+// the pmem cache model, as the paper uses it (§3.2): not for isolation or
+// durability, but to obtain a *failure-atomic cache-line write* — the store
+// operations inside a transaction stay invisible (buffered, never evictable)
+// until XEND, so a crash anywhere inside the transaction simply discards
+// them, and after XEND the whole line is published to the cache at once.
+// Durability then comes from an ordinary CLFLUSH *after* the transaction
+// (clflush is illegal inside an RTM region).
+//
+// The emulator reproduces RTM's programming model: Begin/End with buffered
+// write sets, capacity aborts when the write set exceeds the hardware limit
+// (the paper restricts it to a single cache line), explicit aborts, and a
+// retry-with-fallback discipline. Best-effort behaviour — transactions may
+// spuriously abort — can be injected for testing fallback paths.
+package htm
+
+import (
+	"errors"
+	"fmt"
+	"sort"
+
+	"fasp/internal/pmem"
+)
+
+// Errors returned by Manager.Run.
+var (
+	// ErrCapacity reports a deterministic capacity abort: the write set
+	// cannot fit the hardware limit, so retrying cannot succeed and the
+	// caller must use its software fallback (slot-header logging).
+	ErrCapacity = errors.New("htm: transaction write set exceeds capacity")
+	// ErrRetriesExhausted reports that spurious aborts persisted past the
+	// retry budget.
+	ErrRetriesExhausted = errors.New("htm: retries exhausted")
+)
+
+// Config bounds the emulated hardware transaction.
+type Config struct {
+	// MaxWriteLines is the number of distinct cache lines a transaction may
+	// write. The paper restricts transactions to one line so that the
+	// post-XEND flush is failure-atomic.
+	MaxWriteLines int
+	// MaxReadLines bounds the read set (generously, like an L1 way-set).
+	MaxReadLines int
+	// MaxRetries bounds retries of spuriously aborted transactions before
+	// Run gives up with ErrRetriesExhausted.
+	MaxRetries int
+	// InjectAbort, if non-nil, is consulted at every XEND; returning true
+	// forces a spurious (best-effort) abort. Used by tests to exercise the
+	// fallback path.
+	InjectAbort func() bool
+}
+
+// DefaultConfig is the paper's configuration: single-line write sets.
+func DefaultConfig() Config {
+	return Config{MaxWriteLines: 1, MaxReadLines: 512, MaxRetries: 64}
+}
+
+// Stats counts transaction outcomes.
+type Stats struct {
+	Begins         int64
+	Commits        int64
+	CapacityAborts int64
+	ExplicitAborts int64
+	SpuriousAborts int64
+}
+
+// Manager issues hardware transactions against arenas of one pmem.System.
+type Manager struct {
+	sys   *pmem.System
+	cfg   Config
+	stats Stats
+}
+
+// NewManager creates a Manager for the system with the given config.
+func NewManager(sys *pmem.System, cfg Config) *Manager {
+	if cfg.MaxWriteLines <= 0 {
+		cfg.MaxWriteLines = 1
+	}
+	if cfg.MaxReadLines <= 0 {
+		cfg.MaxReadLines = 512
+	}
+	if cfg.MaxRetries <= 0 {
+		cfg.MaxRetries = 64
+	}
+	return &Manager{sys: sys, cfg: cfg}
+}
+
+// Stats returns a copy of the outcome counters.
+func (m *Manager) Stats() Stats { return m.stats }
+
+// abortSignal unwinds a transaction body on abort.
+type abortSignal struct{ err error }
+
+// Txn is an open hardware transaction. Its stores are buffered privately —
+// they are not in the cache, cannot be evicted, and vanish if a crash or
+// abort occurs before End.
+type Txn struct {
+	m      *Manager
+	arena  *pmem.Arena
+	writes map[int64][]byte // fragment start -> bytes (word-bounded fragments)
+	order  []int64
+	wlines map[int64]struct{}
+	rlines map[int64]struct{}
+}
+
+// Store buffers a write at off. Writing more distinct cache lines than the
+// hardware allows triggers an immediate capacity abort.
+func (tx *Txn) Store(off int64, src []byte) {
+	pos := off
+	rem := src
+	for len(rem) > 0 {
+		n := int(pmem.WordSize - pos%pmem.WordSize)
+		if n > len(rem) {
+			n = len(rem)
+		}
+		tx.storeFragment(pos, rem[:n])
+		pos += int64(n)
+		rem = rem[n:]
+	}
+}
+
+func (tx *Txn) storeFragment(off int64, src []byte) {
+	tx.m.sys.CrashTick() // a crash here discards the whole transaction
+	l := off &^ (pmem.CacheLineSize - 1)
+	if _, ok := tx.wlines[l]; !ok {
+		if len(tx.wlines) >= tx.m.cfg.MaxWriteLines {
+			tx.m.stats.CapacityAborts++
+			panic(abortSignal{ErrCapacity})
+		}
+		tx.wlines[l] = struct{}{}
+	}
+	b := make([]byte, len(src))
+	copy(b, src)
+	if _, ok := tx.writes[off]; !ok {
+		tx.order = append(tx.order, off)
+	}
+	tx.writes[off] = b
+}
+
+// StoreU16 buffers a little-endian uint16 store.
+func (tx *Txn) StoreU16(off int64, v uint16) {
+	tx.Store(off, []byte{byte(v), byte(v >> 8)})
+}
+
+// Load reads through the transaction's own pending writes, falling back to
+// the arena. Reads join the read set; exceeding it aborts.
+func (tx *Txn) Load(off int64, dst []byte) {
+	for p := off &^ (pmem.CacheLineSize - 1); p < off+int64(len(dst)); p += pmem.CacheLineSize {
+		if _, ok := tx.rlines[p]; !ok {
+			if len(tx.rlines) >= tx.m.cfg.MaxReadLines {
+				tx.m.stats.CapacityAborts++
+				panic(abortSignal{ErrCapacity})
+			}
+			tx.rlines[p] = struct{}{}
+		}
+	}
+	tx.arena.Load(off, dst)
+	// Overlay pending writes (read-own-writes).
+	for frag, b := range tx.writes {
+		end := frag + int64(len(b))
+		if end <= off || frag >= off+int64(len(dst)) {
+			continue
+		}
+		lo, hi := frag, end
+		if lo < off {
+			lo = off
+		}
+		if m := off + int64(len(dst)); hi > m {
+			hi = m
+		}
+		copy(dst[lo-off:hi-off], b[lo-frag:hi-frag])
+	}
+}
+
+// Abort explicitly aborts the transaction (XABORT); Run returns err.
+func (tx *Txn) Abort(err error) {
+	if err == nil {
+		err = errors.New("htm: explicit abort")
+	}
+	tx.m.stats.ExplicitAborts++
+	panic(abortSignal{err})
+}
+
+// Run executes fn as a hardware transaction (XBEGIN … XEND) with the
+// paper's fallback discipline: spurious aborts retry up to the budget;
+// capacity aborts and explicit aborts return immediately. On success the
+// buffered write set is published to the cache atomically — the emulator
+// suspends crash injection during publication, because real RTM makes the
+// published lines appear all at once.
+func (m *Manager) Run(arena *pmem.Arena, fn func(tx *Txn) error) error {
+	for attempt := 0; attempt <= m.cfg.MaxRetries; attempt++ {
+		err, abort := m.attempt(arena, fn)
+		if err != nil {
+			return err
+		}
+		if !abort {
+			return nil
+		}
+	}
+	return ErrRetriesExhausted
+}
+
+// attempt runs one transaction try. It returns (err, false) for definitive
+// outcomes and (nil, true) when a spurious abort asks for a retry.
+func (m *Manager) attempt(arena *pmem.Arena, fn func(tx *Txn) error) (err error, retry bool) {
+	m.stats.Begins++
+	tx := &Txn{
+		m:      m,
+		arena:  arena,
+		writes: make(map[int64][]byte),
+		wlines: make(map[int64]struct{}),
+		rlines: make(map[int64]struct{}),
+	}
+	defer func() {
+		if r := recover(); r != nil {
+			if sig, ok := r.(abortSignal); ok {
+				err = sig.err
+				return
+			}
+			panic(r)
+		}
+	}()
+	if ferr := fn(tx); ferr != nil {
+		m.stats.ExplicitAborts++
+		return ferr, false
+	}
+	if m.cfg.InjectAbort != nil && m.cfg.InjectAbort() {
+		m.stats.SpuriousAborts++
+		return nil, true
+	}
+	// XEND: publish the write set to the cache atomically.
+	sort.Slice(tx.order, func(i, j int) bool { return tx.order[i] < tx.order[j] })
+	arena.AtomicRegion(func() {
+		for _, frag := range tx.order {
+			arena.Store(frag, tx.writes[frag])
+		}
+	})
+	m.stats.Commits++
+	return nil, false
+}
+
+// AtomicLineWrite performs the paper's failure-atomic cache-line write: an
+// RTM transaction stores data (which must lie within a single cache line),
+// and a CLFLUSH + fence after XEND makes it durable. A crash at any point
+// leaves the line either entirely old or entirely new in PM. Returns
+// ErrCapacity if data spans a line boundary.
+func (m *Manager) AtomicLineWrite(arena *pmem.Arena, off int64, data []byte) error {
+	if len(data) > pmem.CacheLineSize ||
+		off&^(pmem.CacheLineSize-1) != (off+int64(len(data))-1)&^(pmem.CacheLineSize-1) {
+		return fmt.Errorf("%w: %d bytes at offset %d", ErrCapacity, len(data), off)
+	}
+	if err := m.Run(arena, func(tx *Txn) error {
+		tx.Store(off, data)
+		return nil
+	}); err != nil {
+		return err
+	}
+	arena.FlushLine(off)
+	m.sys.Fence()
+	return nil
+}

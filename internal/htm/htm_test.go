@@ -1,0 +1,280 @@
+package htm
+
+import (
+	"bytes"
+	"errors"
+	"testing"
+	"testing/quick"
+
+	"fasp/internal/pmem"
+)
+
+func newEnv() (*pmem.System, *pmem.Arena, *Manager) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	a := sys.NewArena("pm", 4096, pmem.PM)
+	return sys, a, NewManager(sys, DefaultConfig())
+}
+
+func TestCommitPublishesWrites(t *testing.T) {
+	_, a, m := newEnv()
+	err := m.Run(a, func(tx *Txn) error {
+		tx.Store(0, []byte{1, 2, 3, 4})
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got := a.Read(0, 4); !bytes.Equal(got, []byte{1, 2, 3, 4}) {
+		t.Fatalf("committed writes missing: %v", got)
+	}
+	if s := m.Stats(); s.Commits != 1 || s.Begins != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestWritesInvisibleBeforeEnd(t *testing.T) {
+	_, a, m := newEnv()
+	err := m.Run(a, func(tx *Txn) error {
+		tx.Store(0, []byte{9})
+		if got := a.Read(0, 1); got[0] != 0 {
+			t.Errorf("uncommitted tx write visible outside: %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestReadOwnWrites(t *testing.T) {
+	_, a, m := newEnv()
+	a.Store(0, []byte{1, 1, 1, 1})
+	err := m.Run(a, func(tx *Txn) error {
+		tx.Store(1, []byte{7, 7})
+		got := make([]byte, 4)
+		tx.Load(0, got)
+		if !bytes.Equal(got, []byte{1, 7, 7, 1}) {
+			t.Errorf("read-own-writes = %v", got)
+		}
+		return nil
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestCapacityAbortOnSecondLine(t *testing.T) {
+	_, a, m := newEnv()
+	err := m.Run(a, func(tx *Txn) error {
+		tx.Store(0, []byte{1})
+		tx.Store(64, []byte{2}) // second line: capacity abort
+		return nil
+	})
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+	if got := a.Read(0, 1); got[0] != 0 {
+		t.Fatal("aborted write leaked")
+	}
+	if s := m.Stats(); s.CapacityAborts != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestExplicitAbortDiscardsWrites(t *testing.T) {
+	_, a, m := newEnv()
+	boom := errors.New("boom")
+	err := m.Run(a, func(tx *Txn) error {
+		tx.Store(0, []byte{5})
+		tx.Abort(boom)
+		return nil
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := a.Read(0, 1); got[0] != 0 {
+		t.Fatal("aborted write leaked")
+	}
+}
+
+func TestErrorReturnAborts(t *testing.T) {
+	_, a, m := newEnv()
+	boom := errors.New("boom")
+	err := m.Run(a, func(tx *Txn) error {
+		tx.Store(0, []byte{5})
+		return boom
+	})
+	if !errors.Is(err, boom) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := a.Read(0, 1); got[0] != 0 {
+		t.Fatal("write from failed body leaked")
+	}
+}
+
+func TestSpuriousAbortRetries(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	a := sys.NewArena("pm", 4096, pmem.PM)
+	n := 0
+	cfg := DefaultConfig()
+	cfg.InjectAbort = func() bool { n++; return n <= 3 }
+	m := NewManager(sys, cfg)
+	if err := m.Run(a, func(tx *Txn) error {
+		tx.Store(0, []byte{1})
+		return nil
+	}); err != nil {
+		t.Fatal(err)
+	}
+	s := m.Stats()
+	if s.SpuriousAborts != 3 || s.Commits != 1 || s.Begins != 4 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestRetriesExhausted(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	a := sys.NewArena("pm", 4096, pmem.PM)
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 2
+	cfg.InjectAbort = func() bool { return true }
+	m := NewManager(sys, cfg)
+	err := m.Run(a, func(tx *Txn) error { tx.Store(0, []byte{1}); return nil })
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestCrashInsideTxnDiscardsEverything(t *testing.T) {
+	sys, a, m := newEnv()
+	sys.CrashAfter(0) // the first transactional store crashes
+	crashed := sys.RunToCrash(func() {
+		_ = m.Run(a, func(tx *Txn) error {
+			tx.Store(0, []byte{1, 2, 3, 4, 5, 6, 7, 8})
+			return nil
+		})
+	})
+	if !crashed {
+		t.Fatal("crash did not fire inside transaction")
+	}
+	sys.Crash(pmem.EvictAll)
+	if got := a.Read(0, 8); !bytes.Equal(got, make([]byte, 8)) {
+		t.Fatalf("transactional writes survived a mid-txn crash: %v", got)
+	}
+}
+
+func TestAtomicLineWriteRejectsSpanningData(t *testing.T) {
+	_, a, m := newEnv()
+	err := m.AtomicLineWrite(a, 60, make([]byte, 8)) // crosses the 64B boundary
+	if !errors.Is(err, ErrCapacity) {
+		t.Fatalf("err = %v, want ErrCapacity", err)
+	}
+	if err := m.AtomicLineWrite(a, 64, make([]byte, 64)); err != nil {
+		t.Fatalf("aligned full-line write failed: %v", err)
+	}
+}
+
+// Property: AtomicLineWrite is failure-atomic — crash at every possible
+// crash point leaves the line either entirely old or entirely new, under
+// both eviction extremes.
+func TestAtomicLineWriteFailureAtomicity(t *testing.T) {
+	oldPat := bytes.Repeat([]byte{0xAA}, 64)
+	newPat := bytes.Repeat([]byte{0xBB}, 64)
+
+	// Count crash points in one uncrashed run.
+	countPoints := func() int64 {
+		sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+		a := sys.NewArena("pm", 4096, pmem.PM)
+		m := NewManager(sys, DefaultConfig())
+		a.Store(0, oldPat)
+		a.Persist(0, 64)
+		base := sys.CrashPoints()
+		if err := m.AtomicLineWrite(a, 0, newPat); err != nil {
+			t.Fatal(err)
+		}
+		return sys.CrashPoints() - base
+	}
+	total := countPoints()
+	if total == 0 {
+		t.Fatal("no crash points recorded")
+	}
+	for _, opts := range []pmem.CrashOptions{pmem.EvictNone, pmem.EvictAll, {Seed: 42, EvictProb: 0.5}} {
+		for k := int64(0); k < total; k++ {
+			sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+			a := sys.NewArena("pm", 4096, pmem.PM)
+			m := NewManager(sys, DefaultConfig())
+			a.Store(0, oldPat)
+			a.Persist(0, 64)
+			sys.CrashAfter(k)
+			crashed := sys.RunToCrash(func() { _ = m.AtomicLineWrite(a, 0, newPat) })
+			sys.Crash(opts)
+			img := a.MediumBytes(0, 64)
+			if !bytes.Equal(img, oldPat) && !bytes.Equal(img, newPat) {
+				t.Fatalf("crash at point %d (opts %+v, crashed=%v): torn line %x", k, opts, crashed, img)
+			}
+		}
+	}
+}
+
+// Property: committing arbitrary single-line writes equals applying them to
+// a flat reference buffer.
+func TestTxnMatchesReferenceModel(t *testing.T) {
+	f := func(offs []uint8, data []byte) bool {
+		if len(data) == 0 {
+			return true
+		}
+		_, a, m := newEnv()
+		ref := make([]byte, 64)
+		err := m.Run(a, func(tx *Txn) error {
+			for i, o := range offs {
+				off := int64(o) % 60
+				b := data[i%len(data) : i%len(data)+1]
+				tx.Store(off, b)
+				ref[off] = b[0]
+			}
+			return nil
+		})
+		if err != nil {
+			return len(offs) == 0
+		}
+		return bytes.Equal(a.Read(0, 64), ref)
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestAtomicLineWriteRetriesSpuriousAborts(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	a := sys.NewArena("pm", 4096, pmem.PM)
+	n := 0
+	cfg := DefaultConfig()
+	cfg.InjectAbort = func() bool { n++; return n <= 2 }
+	m := NewManager(sys, cfg)
+	if err := m.AtomicLineWrite(a, 64, bytes.Repeat([]byte{7}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	if got := a.MediumBytes(64, 64); !bytes.Equal(got, bytes.Repeat([]byte{7}, 64)) {
+		t.Fatal("line not durable after retried atomic write")
+	}
+	if s := m.Stats(); s.SpuriousAborts != 2 || s.Commits != 1 {
+		t.Fatalf("stats = %+v", s)
+	}
+}
+
+func TestAtomicLineWriteExhaustionLeavesOldValue(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	a := sys.NewArena("pm", 4096, pmem.PM)
+	a.Store(0, bytes.Repeat([]byte{0xAA}, 64))
+	a.Persist(0, 64)
+	cfg := DefaultConfig()
+	cfg.MaxRetries = 2
+	cfg.InjectAbort = func() bool { return true }
+	m := NewManager(sys, cfg)
+	err := m.AtomicLineWrite(a, 0, bytes.Repeat([]byte{0xBB}, 64))
+	if !errors.Is(err, ErrRetriesExhausted) {
+		t.Fatalf("err = %v", err)
+	}
+	if got := a.MediumBytes(0, 64); !bytes.Equal(got, bytes.Repeat([]byte{0xAA}, 64)) {
+		t.Fatal("failed atomic write disturbed the old value")
+	}
+}

@@ -1,0 +1,150 @@
+// Package metrics renders the experiment harness's output: fixed-width
+// tables whose rows and series mirror the paper's figures, plus small
+// helpers for phase-breakdown bookkeeping.
+package metrics
+
+import (
+	"fmt"
+	"io"
+	"sort"
+	"strings"
+)
+
+// Table is a simple fixed-width text table.
+type Table struct {
+	Title   string
+	Headers []string
+	rows    [][]string
+}
+
+// NewTable creates a table with the given title and column headers.
+func NewTable(title string, headers ...string) *Table {
+	return &Table{Title: title, Headers: headers}
+}
+
+// AddRow appends a row; cells are stringified with %v.
+func (t *Table) AddRow(cells ...any) {
+	row := make([]string, len(cells))
+	for i, c := range cells {
+		switch v := c.(type) {
+		case float64:
+			row[i] = fmt.Sprintf("%.2f", v)
+		default:
+			row[i] = fmt.Sprint(c)
+		}
+	}
+	t.rows = append(t.rows, row)
+}
+
+// Render writes the table to w.
+func (t *Table) Render(w io.Writer) {
+	widths := make([]int, len(t.Headers))
+	for i, h := range t.Headers {
+		widths[i] = len(h)
+	}
+	for _, r := range t.rows {
+		for i, c := range r {
+			if i < len(widths) && len(c) > widths[i] {
+				widths[i] = len(c)
+			}
+		}
+	}
+	if t.Title != "" {
+		fmt.Fprintf(w, "%s\n", t.Title)
+	}
+	line := func(cells []string) {
+		var sb strings.Builder
+		for i, c := range cells {
+			if i > 0 {
+				sb.WriteString("  ")
+			}
+			sb.WriteString(pad(c, widths[i]))
+		}
+		fmt.Fprintln(w, strings.TrimRight(sb.String(), " "))
+	}
+	line(t.Headers)
+	sep := make([]string, len(t.Headers))
+	for i := range sep {
+		sep[i] = strings.Repeat("-", widths[i])
+	}
+	line(sep)
+	for _, r := range t.rows {
+		line(r)
+	}
+}
+
+// String renders the table to a string.
+func (t *Table) String() string {
+	var sb strings.Builder
+	t.Render(&sb)
+	return sb.String()
+}
+
+func pad(s string, w int) string {
+	if len(s) >= w {
+		return s
+	}
+	return s + strings.Repeat(" ", w-len(s))
+}
+
+// Usec formats simulated nanoseconds as microseconds with 2 decimals.
+func Usec(ns int64) string { return fmt.Sprintf("%.2f", float64(ns)/1000) }
+
+// UsecF converts simulated nanoseconds to float microseconds.
+func UsecF(ns int64) float64 { return float64(ns) / 1000 }
+
+// Breakdown is an ordered set of named phase durations (simulated ns).
+type Breakdown struct {
+	order []string
+	vals  map[string]int64
+}
+
+// NewBreakdown creates an empty breakdown.
+func NewBreakdown() *Breakdown {
+	return &Breakdown{vals: map[string]int64{}}
+}
+
+// Set records a phase total.
+func (b *Breakdown) Set(name string, ns int64) {
+	if _, ok := b.vals[name]; !ok {
+		b.order = append(b.order, name)
+	}
+	b.vals[name] = ns
+}
+
+// Get returns a phase total.
+func (b *Breakdown) Get(name string) int64 { return b.vals[name] }
+
+// Names returns the phases in insertion order.
+func (b *Breakdown) Names() []string { return append([]string(nil), b.order...) }
+
+// Total sums all phases.
+func (b *Breakdown) Total() int64 {
+	var t int64
+	for _, v := range b.vals {
+		t += v
+	}
+	return t
+}
+
+// SortedPhases renders map totals deterministically (for logs and tests).
+func SortedPhases(m map[string]int64) []string {
+	names := make([]string, 0, len(m))
+	for k := range m {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	out := make([]string, 0, len(names))
+	for _, n := range names {
+		out = append(out, fmt.Sprintf("%s=%s", n, Usec(m[n])))
+	}
+	return out
+}
+
+// Ratio formats a/b as "N.NNx", guarding against division by zero.
+func Ratio(a, b int64) string {
+	if b == 0 {
+		return "n/a"
+	}
+	return fmt.Sprintf("%.2fx", float64(a)/float64(b))
+}

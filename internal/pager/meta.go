@@ -1,0 +1,92 @@
+package pager
+
+import (
+	"encoding/binary"
+	"fmt"
+
+	"fasp/internal/pmem"
+)
+
+// Meta is the decoded metadata page (page 0) of a store: the root pointer,
+// the page high-water mark, the free-page list head and the transaction
+// counter. During a transaction the working copy lives in memory; commit
+// schemes persist it atomically with the transaction (FAST encodes it as a
+// pseudo slot-header frame for page 0; the DRAM-cache schemes treat page 0
+// like any other dirty page).
+type Meta struct {
+	PageSize  uint32
+	NPages    uint32 // next never-allocated page number (≥ 1)
+	Root      uint32 // B-tree root page (0 = none)
+	FreeCount uint32 // number of entries in the free-page stack
+	TxID      uint64 // last committed transaction id
+}
+
+// Meta page field offsets within page 0.
+const (
+	metaMagicOff     = 0
+	metaPageSizeOff  = 8
+	metaNPagesOff    = 12
+	metaRootOff      = 16
+	metaFreeCountOff = 20
+	metaTxIDOff      = 24
+	metaMagic        = 0x46415350_44423031 // "FASPDB01"
+	// MetaFrameLen is the byte length of an encoded meta frame.
+	MetaFrameLen = 24
+)
+
+// WriteMeta initialises page 0 of a PM (or DRAM image) arena region.
+func WriteMeta(a *pmem.Arena, base int64, m Meta) {
+	a.StoreU64(base+metaMagicOff, metaMagic)
+	a.StoreU32(base+metaPageSizeOff, m.PageSize)
+	a.StoreU32(base+metaNPagesOff, m.NPages)
+	a.StoreU32(base+metaRootOff, m.Root)
+	a.StoreU32(base+metaFreeCountOff, m.FreeCount)
+	a.StoreU64(base+metaTxIDOff, m.TxID)
+	a.Persist(base, 32)
+}
+
+// ReadMeta decodes and validates page 0.
+func ReadMeta(a *pmem.Arena, base int64) (Meta, error) {
+	if a.LoadU64(base+metaMagicOff) != metaMagic {
+		return Meta{}, fmt.Errorf("%w: bad meta magic", ErrCorrupt)
+	}
+	return Meta{
+		PageSize:  a.LoadU32(base + metaPageSizeOff),
+		NPages:    a.LoadU32(base + metaNPagesOff),
+		Root:      a.LoadU32(base + metaRootOff),
+		FreeCount: a.LoadU32(base + metaFreeCountOff),
+		TxID:      a.LoadU64(base + metaTxIDOff),
+	}, nil
+}
+
+// EncodeMetaFrame renders the mutable meta fields as a slot-header-log
+// frame body for page 0.
+func EncodeMetaFrame(m Meta) []byte {
+	b := make([]byte, MetaFrameLen)
+	binary.LittleEndian.PutUint32(b[0:], m.NPages)
+	binary.LittleEndian.PutUint32(b[4:], m.Root)
+	binary.LittleEndian.PutUint32(b[8:], m.FreeCount)
+	binary.LittleEndian.PutUint64(b[16:], m.TxID)
+	return b
+}
+
+// PokeFreeCount updates only the free-page-stack count in page 0 with a
+// single atomic store (used post-commit when freed pages are pushed; a
+// crash in between merely leaks pages).
+func PokeFreeCount(a *pmem.Arena, base int64, v uint32) {
+	a.StoreU32(base+metaFreeCountOff, v)
+	a.Flush(base+metaFreeCountOff, 4)
+}
+
+// ApplyMetaFrame replays an encoded meta frame onto page 0 and flushes it.
+func ApplyMetaFrame(a *pmem.Arena, base int64, frame []byte) error {
+	if len(frame) != MetaFrameLen {
+		return fmt.Errorf("%w: meta frame length %d", ErrCorrupt, len(frame))
+	}
+	a.StoreU32(base+metaNPagesOff, binary.LittleEndian.Uint32(frame[0:]))
+	a.StoreU32(base+metaRootOff, binary.LittleEndian.Uint32(frame[4:]))
+	a.StoreU32(base+metaFreeCountOff, binary.LittleEndian.Uint32(frame[8:]))
+	a.StoreU64(base+metaTxIDOff, binary.LittleEndian.Uint64(frame[16:]))
+	a.Flush(base, 32)
+	return nil
+}

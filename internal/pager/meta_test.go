@@ -1,0 +1,90 @@
+package pager
+
+import (
+	"errors"
+	"testing"
+
+	"fasp/internal/pmem"
+)
+
+func newArena(t *testing.T) (*pmem.System, *pmem.Arena) {
+	t.Helper()
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	return sys, sys.NewArena("pm", 4096, pmem.PM)
+}
+
+func TestMetaRoundTrip(t *testing.T) {
+	_, a := newArena(t)
+	m := Meta{PageSize: 4096, NPages: 17, Root: 3, FreeCount: 2, TxID: 99}
+	WriteMeta(a, 0, m)
+	got, err := ReadMeta(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("got %+v, want %+v", got, m)
+	}
+}
+
+func TestReadMetaRejectsGarbage(t *testing.T) {
+	_, a := newArena(t)
+	if _, err := ReadMeta(a, 0); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestMetaSurvivesCrashAfterWrite(t *testing.T) {
+	sys, a := newArena(t)
+	m := Meta{PageSize: 4096, NPages: 5, Root: 2, TxID: 7}
+	WriteMeta(a, 0, m)
+	sys.Crash(pmem.EvictNone)
+	got, err := ReadMeta(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got != m {
+		t.Fatalf("after crash: %+v", got)
+	}
+}
+
+func TestMetaFrameRoundTrip(t *testing.T) {
+	_, a := newArena(t)
+	WriteMeta(a, 0, Meta{PageSize: 4096, NPages: 1})
+	m := Meta{PageSize: 4096, NPages: 44, Root: 9, FreeCount: 3, TxID: 1234}
+	frame := EncodeMetaFrame(m)
+	if len(frame) != MetaFrameLen {
+		t.Fatalf("frame length %d", len(frame))
+	}
+	if err := ApplyMetaFrame(a, 0, frame); err != nil {
+		t.Fatal(err)
+	}
+	got, err := ReadMeta(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	// PageSize is immutable; the frame carries the mutable fields.
+	if got.NPages != 44 || got.Root != 9 || got.FreeCount != 3 || got.TxID != 1234 {
+		t.Fatalf("after apply: %+v", got)
+	}
+}
+
+func TestApplyMetaFrameRejectsBadLength(t *testing.T) {
+	_, a := newArena(t)
+	if err := ApplyMetaFrame(a, 0, []byte{1, 2, 3}); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v", err)
+	}
+}
+
+func TestPokeFreeCount(t *testing.T) {
+	sys, a := newArena(t)
+	WriteMeta(a, 0, Meta{PageSize: 4096, NPages: 1})
+	PokeFreeCount(a, 0, 11)
+	sys.Crash(pmem.EvictNone)
+	got, err := ReadMeta(a, 0)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if got.FreeCount != 11 {
+		t.Fatalf("free count = %d", got.FreeCount)
+	}
+}

@@ -1,0 +1,349 @@
+package pmem
+
+import (
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// cacheLine is a line resident in the CPU-cache overlay. It always holds
+// the full current content of the line. Dirty lines differ from the medium;
+// clean lines mirror it (kept resident to model the last-level cache — the
+// paper notes insertion time does not scale linearly with PM latency
+// "because of the computation time and CPU cache effect").
+type cacheLine struct {
+	buf   [CacheLineSize]byte
+	dirty bool
+}
+
+// Arena is one contiguous region of simulated memory behind a CPU-cache
+// overlay. PM arenas persist flushed data across crashes; DRAM arenas lose
+// everything. Offsets are byte addresses within the arena. Arenas are not
+// safe for concurrent use.
+//
+// Cache model: a bounded set of resident lines with FIFO replacement.
+// Misses pay the medium's read latency (loads and write-allocates alike);
+// hits pay the cache-hit cost. CLFLUSH writes a dirty line back (paying the
+// write latency) and leaves it resident clean. Dirty PM lines are never
+// replaced silently — the protocols under test flush what they dirty, and
+// pinning keeps crash testing strictly adversarial: unflushed data survives
+// a crash only via the explicit eviction lottery in CrashOptions. Dirty
+// DRAM lines are written back on replacement at the DRAM write cost.
+type Arena struct {
+	name     string
+	kind     Kind
+	sys      *System
+	data     []byte // the medium (durable for PM, volatile for DRAM)
+	lines    map[int64]*cacheLine
+	fifo     []int64 // replacement order (approximate; may hold stale refs)
+	maxLines int
+	readNS   int64
+	writeNS  int64
+	stats    Stats
+}
+
+// Name returns the arena's diagnostic name.
+func (a *Arena) Name() string { return a.name }
+
+// Sys returns the System the arena belongs to.
+func (a *Arena) Sys() *System { return a.sys }
+
+// Size returns the arena size in bytes.
+func (a *Arena) Size() int64 { return int64(len(a.data)) }
+
+// Kind reports the medium the arena models.
+func (a *Arena) Kind() Kind { return a.kind }
+
+// Stats returns a copy of the arena's event counters.
+func (a *Arena) Stats() Stats { return a.stats }
+
+func (a *Arena) check(off int64, n int) {
+	if off < 0 || n < 0 || off+int64(n) > int64(len(a.data)) {
+		panic(fmt.Sprintf("pmem: %s access [%d,%d) out of range [0,%d)",
+			a.name, off, off+int64(n), len(a.data)))
+	}
+}
+
+func lineOf(off int64) int64 { return off &^ (CacheLineSize - 1) }
+
+// fill brings a line into the cache (charging the read latency) and returns
+// it; if already resident it is a hit.
+func (a *Arena) fill(l int64) *cacheLine {
+	if ln, ok := a.lines[l]; ok {
+		a.stats.CacheHits++
+		a.sys.clock.Advance(a.sys.lat.CacheHit)
+		return ln
+	}
+	a.stats.LineFills++
+	a.sys.clock.Advance(a.readNS)
+	ln := &cacheLine{}
+	copy(ln.buf[:], a.data[l:l+CacheLineSize])
+	a.lines[l] = ln
+	a.fifo = append(a.fifo, l)
+	a.evictOverflow()
+	return ln
+}
+
+// evictOverflow enforces the cache capacity with FIFO replacement.
+func (a *Arena) evictOverflow() {
+	attempts := len(a.fifo)
+	for len(a.lines) > a.maxLines && attempts > 0 {
+		attempts--
+		l := a.fifo[0]
+		a.fifo = a.fifo[1:]
+		ln, ok := a.lines[l]
+		if !ok {
+			continue // stale reference
+		}
+		if ln.dirty {
+			if a.kind == PM {
+				// Pinned: protocols must flush explicitly. Requeue.
+				a.fifo = append(a.fifo, l)
+				continue
+			}
+			// DRAM write-back on replacement.
+			a.stats.LineWritebacks++
+			a.sys.clock.Advance(a.writeNS)
+			copy(a.data[l:l+CacheLineSize], ln.buf[:])
+		}
+		delete(a.lines, l)
+	}
+}
+
+// Load copies len(dst) bytes at off into dst, charging per cache line: the
+// cache-hit cost for resident lines, the medium read latency otherwise.
+func (a *Arena) Load(off int64, dst []byte) {
+	a.check(off, len(dst))
+	if len(dst) == 0 {
+		return
+	}
+	a.stats.BytesRead += int64(len(dst))
+	for first, last := lineOf(off), lineOf(off+int64(len(dst))-1); first <= last; first += CacheLineSize {
+		ln := a.fill(first)
+		lo, hi := first, first+CacheLineSize
+		if lo < off {
+			lo = off
+		}
+		if end := off + int64(len(dst)); hi > end {
+			hi = end
+		}
+		copy(dst[lo-off:hi-off], ln.buf[lo-first:hi-first])
+	}
+}
+
+// Read is a convenience Load that allocates and returns the bytes.
+func (a *Arena) Read(off int64, n int) []byte {
+	dst := make([]byte, n)
+	a.Load(off, dst)
+	return dst
+}
+
+// Store writes src at off into the cache (write-allocate: an absent line is
+// filled first, paying the read latency). Data becomes durable only when
+// flushed (PM). Each 8-byte-aligned fragment is a separate crash point: an
+// injected crash can tear a multi-word store at any word boundary, matching
+// the paper's 8-byte failure-atomicity assumption.
+func (a *Arena) Store(off int64, src []byte) {
+	a.check(off, len(src))
+	pos := off
+	rem := src
+	for len(rem) > 0 {
+		// Fragment ends at the next 8-byte boundary.
+		n := int(WordSize - pos%WordSize)
+		if n > len(rem) {
+			n = len(rem)
+		}
+		a.storeWord(pos, rem[:n])
+		pos += int64(n)
+		rem = rem[n:]
+	}
+}
+
+// storeWord applies one ≤8-byte, non-boundary-crossing store atomically.
+func (a *Arena) storeWord(off int64, src []byte) {
+	a.sys.injector.tick()
+	a.stats.WordStores++
+	a.stats.BytesStored += int64(len(src))
+	a.sys.clock.Advance(a.sys.lat.Store)
+	l := lineOf(off)
+	ln := a.fill(l)
+	ln.dirty = true
+	copy(ln.buf[off-l:], src)
+}
+
+// Flush issues CLFLUSH for every cache line overlapping [off, off+n),
+// writing dirty lines back to the medium (they stay resident, clean). Each
+// flush is a crash point. Flushing a clean or absent line is counted but
+// costs no write-back. On DRAM arenas Flush is a no-op (no persistence
+// domain).
+func (a *Arena) Flush(off int64, n int) {
+	a.check(off, n)
+	if a.kind == DRAM || n == 0 {
+		return
+	}
+	for first, last := lineOf(off), lineOf(off+int64(n)-1); first <= last; first += CacheLineSize {
+		a.flushLine(first)
+	}
+}
+
+// FlushLine issues CLFLUSH for the single line containing off.
+func (a *Arena) FlushLine(off int64) {
+	a.check(off, 1)
+	if a.kind == DRAM {
+		return
+	}
+	a.flushLine(lineOf(off))
+}
+
+func (a *Arena) flushLine(l int64) {
+	a.sys.injector.tick()
+	a.stats.FlushCalls++
+	ln, ok := a.lines[l]
+	if !ok || !ln.dirty {
+		return
+	}
+	a.sys.clock.Advance(a.writeNS)
+	a.stats.LineWritebacks++
+	copy(a.data[l:l+CacheLineSize], ln.buf[:])
+	ln.dirty = false
+}
+
+// Persist flushes [off, off+n) and issues a fence: the canonical
+// "clflush; mfence" durability point.
+func (a *Arena) Persist(off int64, n int) {
+	a.Flush(off, n)
+	a.sys.Fence()
+}
+
+// Zero stores n zero bytes at off.
+func (a *Arena) Zero(off int64, n int) {
+	zeros := make([]byte, n)
+	a.Store(off, zeros)
+}
+
+// DirtyLines reports how many resident lines are dirty.
+func (a *Arena) DirtyLines() int {
+	n := 0
+	for _, ln := range a.lines {
+		if ln.dirty {
+			n++
+		}
+	}
+	return n
+}
+
+// ResidentLines reports the total cache-resident lines.
+func (a *Arena) ResidentLines() int { return len(a.lines) }
+
+// AtomicRegion runs fn with crash injection suspended. The HTM emulator uses
+// it to publish a transaction's write set atomically: real RTM guarantees a
+// line modified inside a transaction is never visible (or evictable) in a
+// partially updated state.
+func (a *Arena) AtomicRegion(fn func()) {
+	a.sys.injector.suspended++
+	defer func() { a.sys.injector.suspended-- }()
+	fn()
+}
+
+// crash applies power-failure semantics: DRAM loses everything; each dirty
+// PM line is either evicted (written back whole) or lost, per the lottery.
+// Clean lines are dropped (they mirror the medium anyway).
+func (a *Arena) crash(evict func() bool) {
+	if a.kind == DRAM {
+		clear(a.data)
+		a.lines = make(map[int64]*cacheLine)
+		a.fifo = nil
+		return
+	}
+	offs := make([]int64, 0, len(a.lines))
+	for l, ln := range a.lines {
+		if ln.dirty {
+			offs = append(offs, l)
+		}
+	}
+	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
+	for _, l := range offs {
+		if evict() {
+			a.stats.LineWritebacks++
+			copy(a.data[l:l+CacheLineSize], a.lines[l].buf[:])
+		}
+	}
+	a.lines = make(map[int64]*cacheLine)
+	a.fifo = nil
+}
+
+// MediumBytes returns the durable medium contents in [off, off+n) without
+// charging time — a debugging/verification window onto what would survive a
+// crash with no evictions.
+func (a *Arena) MediumBytes(off int64, n int) []byte {
+	a.check(off, n)
+	out := make([]byte, n)
+	copy(out, a.data[off:off+int64(n)])
+	return out
+}
+
+// MediumSnapshot copies the entire durable medium — a crash-consistent
+// image of the arena (unflushed cache lines are, by definition, absent).
+// Used to persist simulated PM across process runs.
+func (a *Arena) MediumSnapshot() []byte {
+	out := make([]byte, len(a.data))
+	copy(out, a.data)
+	return out
+}
+
+// RestoreMedium replaces the durable medium with a snapshot and drops the
+// cache overlay, as if the machine had just powered on with this PM image.
+// The snapshot length must match the arena size.
+func (a *Arena) RestoreMedium(img []byte) error {
+	if len(img) != len(a.data) {
+		return fmt.Errorf("pmem: snapshot is %d bytes, arena is %d", len(img), len(a.data))
+	}
+	copy(a.data, img)
+	a.lines = make(map[int64]*cacheLine)
+	a.fifo = nil
+	return nil
+}
+
+// --- Little-endian integer convenience accessors -------------------------
+
+// LoadU16 loads a little-endian uint16 at off.
+func (a *Arena) LoadU16(off int64) uint16 {
+	var b [2]byte
+	a.Load(off, b[:])
+	return binary.LittleEndian.Uint16(b[:])
+}
+
+// LoadU32 loads a little-endian uint32 at off.
+func (a *Arena) LoadU32(off int64) uint32 {
+	var b [4]byte
+	a.Load(off, b[:])
+	return binary.LittleEndian.Uint32(b[:])
+}
+
+// LoadU64 loads a little-endian uint64 at off.
+func (a *Arena) LoadU64(off int64) uint64 {
+	var b [8]byte
+	a.Load(off, b[:])
+	return binary.LittleEndian.Uint64(b[:])
+}
+
+// StoreU16 stores v little-endian at off.
+func (a *Arena) StoreU16(off int64, v uint16) {
+	var b [2]byte
+	binary.LittleEndian.PutUint16(b[:], v)
+	a.Store(off, b[:])
+}
+
+// StoreU32 stores v little-endian at off.
+func (a *Arena) StoreU32(off int64, v uint32) {
+	var b [4]byte
+	binary.LittleEndian.PutUint32(b[:], v)
+	a.Store(off, b[:])
+}
+
+// StoreU64 stores v little-endian at off.
+func (a *Arena) StoreU64(off int64, v uint64) {
+	var b [8]byte
+	binary.LittleEndian.PutUint64(b[:], v)
+	a.Store(off, b[:])
+}

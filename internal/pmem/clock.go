@@ -1,0 +1,116 @@
+package pmem
+
+import (
+	"fmt"
+	"sort"
+	"strings"
+)
+
+// Clock is a deterministic simulated clock with hierarchical phase
+// accounting. Code brackets regions of interest with Enter/Exit; every
+// Advance attributes the elapsed simulated time to each phase currently on
+// the stack, producing inclusive per-phase totals exactly like the stacked
+// breakdowns in the paper's figures (e.g. Figure 6's Search / Page Update /
+// Commit, and Figure 7's sub-phases of Page Update).
+//
+// Phase names are hierarchical by convention: "Commit" and "Commit/LogFlush"
+// are independent accumulation buckets; nesting comes from the stack, so
+// entering "LogFlush" while "Commit" is open attributes time to both.
+type Clock struct {
+	now    int64
+	stack  []string
+	phases map[string]int64
+}
+
+// NewClock returns a clock at time zero with no phases.
+func NewClock() *Clock {
+	return &Clock{phases: make(map[string]int64)}
+}
+
+// Now returns the current simulated time in nanoseconds.
+func (c *Clock) Now() int64 { return c.now }
+
+// Advance moves simulated time forward by d nanoseconds and attributes d to
+// every distinct phase on the stack (a phase open at several stack depths —
+// e.g. a catalog-tree search nested inside a table-tree search — is charged
+// once). Negative d panics: time never runs backwards.
+func (c *Clock) Advance(d int64) {
+	if d < 0 {
+		panic(fmt.Sprintf("pmem: clock advanced by negative duration %d", d))
+	}
+	c.now += d
+	for i, p := range c.stack {
+		dup := false
+		for _, q := range c.stack[:i] {
+			if q == p {
+				dup = true
+				break
+			}
+		}
+		if !dup {
+			c.phases[p] += d
+		}
+	}
+}
+
+// Enter pushes a phase. Re-entering an open phase is allowed (nested trees
+// share accounting buckets); the duplicate is attributed only once.
+func (c *Clock) Enter(phase string) {
+	c.stack = append(c.stack, phase)
+}
+
+// Exit pops a phase; the name must match the top of the stack.
+func (c *Clock) Exit(phase string) {
+	if len(c.stack) == 0 || c.stack[len(c.stack)-1] != phase {
+		panic("pmem: phase exit mismatch for " + phase)
+	}
+	c.stack = c.stack[:len(c.stack)-1]
+}
+
+// InPhase runs fn bracketed by Enter/Exit, surviving panics (the crash
+// injector unwinds through phases).
+func (c *Clock) InPhase(phase string, fn func()) {
+	c.Enter(phase)
+	defer c.Exit(phase)
+	fn()
+}
+
+// Phase returns the inclusive simulated time accumulated by the named phase.
+func (c *Clock) Phase(name string) int64 { return c.phases[name] }
+
+// Phases returns a copy of all phase totals.
+func (c *Clock) Phases() map[string]int64 {
+	out := make(map[string]int64, len(c.phases))
+	for k, v := range c.phases {
+		out[k] = v
+	}
+	return out
+}
+
+// ResetPhases zeroes the per-phase accumulators but keeps the current time
+// and stack, so a harness can time a warmup and then a measured region.
+func (c *Clock) ResetPhases() {
+	c.phases = make(map[string]int64)
+}
+
+// ClearStack drops any open phases. The crash simulator calls this after a
+// simulated power failure unwinds the protocol code mid-phase.
+func (c *Clock) ClearStack() { c.stack = nil }
+
+// Depth reports how many phases are currently open.
+func (c *Clock) Depth() int { return len(c.stack) }
+
+// String renders the phase totals sorted by name, for debugging.
+func (c *Clock) String() string {
+	names := make([]string, 0, len(c.phases))
+	for k := range c.phases {
+		names = append(names, k)
+	}
+	sort.Strings(names)
+	var b strings.Builder
+	fmt.Fprintf(&b, "t=%dns", c.now)
+	for _, n := range names {
+		fmt.Fprintf(&b, " %s=%d", n, c.phases[n])
+	}
+	return b.String()
+}

@@ -1,0 +1,57 @@
+package pmem
+
+import "math/rand"
+
+// crashSignal is the panic value used to simulate a power failure at an
+// arbitrary architectural event. It unwinds through whatever protocol code
+// was executing, exactly as a real crash interrupts it.
+type crashSignal struct{}
+
+// crashInjector fires a simulated power failure after a configured number of
+// crash points (word stores and flushes) have executed.
+type crashInjector struct {
+	ticks     int64 // total crash points observed, armed or not
+	armed     bool
+	remaining int64
+	suspended int // >0 inside an atomic region (models HTM commit)
+}
+
+func (ci *crashInjector) tick() {
+	ci.ticks++
+	if !ci.armed || ci.suspended > 0 {
+		return
+	}
+	ci.remaining--
+	if ci.remaining < 0 {
+		ci.armed = false
+		panic(crashSignal{})
+	}
+}
+
+// CrashOptions controls what happens to dirty cache lines at crash time.
+// Hardware may have evicted (written back) any dirty line before the crash;
+// a correct protocol must tolerate every subset. EvictProb selects each
+// dirty line for write-back independently using the seeded generator, so a
+// given (Seed, EvictProb) pair is fully reproducible.
+type CrashOptions struct {
+	Seed      int64
+	EvictProb float64
+}
+
+// EvictNone loses all unflushed data: only explicitly flushed lines survive.
+var EvictNone = CrashOptions{}
+
+// EvictAll writes every dirty line back, as if the cache drained right
+// before the failure.
+var EvictAll = CrashOptions{EvictProb: 1}
+
+func (o CrashOptions) evictFn() func() bool {
+	switch o.EvictProb {
+	case 0:
+		return func() bool { return false }
+	case 1:
+		return func() bool { return true }
+	}
+	rng := rand.New(rand.NewSource(o.Seed))
+	return func() bool { return rng.Float64() < o.EvictProb }
+}

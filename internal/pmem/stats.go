@@ -1,0 +1,49 @@
+package pmem
+
+// Stats counts the architectural events an arena has performed. The paper's
+// Figure 9(b) reports clflush instructions per insertion; FlushCalls is that
+// counter. All counters are cumulative; use Delta to measure a region.
+type Stats struct {
+	// LineFills counts cache-line fills from the medium (read misses and
+	// write-allocates).
+	LineFills int64
+	// CacheHits counts line accesses served by the cache overlay.
+	CacheHits int64
+	// WordStores counts 8-byte (or smaller) store operations.
+	WordStores int64
+	// BytesStored counts the bytes written by stores.
+	BytesStored int64
+	// FlushCalls counts CLFLUSH/CLWB instructions issued.
+	FlushCalls int64
+	// LineWritebacks counts dirty lines actually written to the medium
+	// (by flushes or by simulated evictions at crash time).
+	LineWritebacks int64
+	// BytesRead counts the bytes returned by loads.
+	BytesRead int64
+}
+
+// Delta returns s - prev, field by field.
+func (s Stats) Delta(prev Stats) Stats {
+	return Stats{
+		LineFills:      s.LineFills - prev.LineFills,
+		CacheHits:      s.CacheHits - prev.CacheHits,
+		WordStores:     s.WordStores - prev.WordStores,
+		BytesStored:    s.BytesStored - prev.BytesStored,
+		FlushCalls:     s.FlushCalls - prev.FlushCalls,
+		LineWritebacks: s.LineWritebacks - prev.LineWritebacks,
+		BytesRead:      s.BytesRead - prev.BytesRead,
+	}
+}
+
+// Add returns s + o, field by field.
+func (s Stats) Add(o Stats) Stats {
+	return Stats{
+		LineFills:      s.LineFills + o.LineFills,
+		CacheHits:      s.CacheHits + o.CacheHits,
+		WordStores:     s.WordStores + o.WordStores,
+		BytesStored:    s.BytesStored + o.BytesStored,
+		FlushCalls:     s.FlushCalls + o.FlushCalls,
+		LineWritebacks: s.LineWritebacks + o.LineWritebacks,
+		BytesRead:      s.BytesRead + o.BytesRead,
+	}
+}

@@ -1,0 +1,255 @@
+package shlog
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"testing"
+
+	"fasp/internal/pmem"
+)
+
+func newLog(t *testing.T) (*pmem.System, *pmem.Arena, *Log) {
+	t.Helper()
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	a := sys.NewArena("pm", 1<<16, pmem.PM)
+	return sys, a, Format(a, 0, 1<<16)
+}
+
+func TestCommitAndReplayRoundTrip(t *testing.T) {
+	_, _, l := newLog(t)
+	l.Begin()
+	h1 := []byte{1, 2, 3, 4, 5}
+	h2 := bytes.Repeat([]byte{9}, 30)
+	if err := l.AppendHeader(3, h1); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendHeader(1, h2); err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l.Committed(); ok {
+		t.Fatal("log committed before Commit")
+	}
+	l.Commit(42)
+	txid, ok := l.Committed()
+	if !ok || txid != 42 {
+		t.Fatalf("committed = %d,%v", txid, ok)
+	}
+	frames, err := l.Frames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 2 {
+		t.Fatalf("frames = %d", len(frames))
+	}
+	if frames[0].PageNo != 3 || !bytes.Equal(frames[0].Header, h1) {
+		t.Fatalf("frame 0 = %+v", frames[0])
+	}
+	if frames[1].PageNo != 1 || !bytes.Equal(frames[1].Header, h2) {
+		t.Fatalf("frame 1 = %+v", frames[1])
+	}
+	l.Truncate()
+	if _, ok := l.Committed(); ok {
+		t.Fatal("log committed after Truncate")
+	}
+}
+
+func TestUncommittedFramesVanishAtCrash(t *testing.T) {
+	sys, a, l := newLog(t)
+	l.Begin()
+	if err := l.AppendHeader(7, []byte{1, 2, 3}); err != nil {
+		t.Fatal(err)
+	}
+	// No commit: crash.
+	sys.Crash(pmem.EvictAll) // even if everything is evicted…
+	l2, err := Open(a, 0, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, ok := l2.Committed(); ok {
+		t.Fatal("uncommitted transaction visible after crash")
+	}
+}
+
+func TestCommittedSurvivesCrashWithNoEvictions(t *testing.T) {
+	sys, a, l := newLog(t)
+	l.Begin()
+	hdr := []byte("headerimage")
+	if err := l.AppendHeader(5, hdr); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(9)
+	sys.Crash(pmem.EvictNone)
+	l2, err := Open(a, 0, 1<<16)
+	if err != nil {
+		t.Fatal(err)
+	}
+	txid, ok := l2.Committed()
+	if !ok || txid != 9 {
+		t.Fatalf("committed after crash = %d,%v", txid, ok)
+	}
+	frames, err := l2.Frames()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(frames) != 1 || !bytes.Equal(frames[0].Header, hdr) {
+		t.Fatalf("frames after crash = %+v", frames)
+	}
+}
+
+func TestLogFull(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(120, 120))
+	a := sys.NewArena("pm", 256, pmem.PM)
+	l := Format(a, 0, 256)
+	l.Begin()
+	if err := l.AppendHeader(1, make([]byte, 100)); err != nil {
+		t.Fatal(err)
+	}
+	if err := l.AppendHeader(2, make([]byte, 200)); !errors.Is(err, ErrLogFull) {
+		t.Fatalf("err = %v, want ErrLogFull", err)
+	}
+}
+
+func TestOpenRejectsGarbage(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(120, 120))
+	a := sys.NewArena("pm", 4096, pmem.PM)
+	if _, err := Open(a, 0, 4096); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestChecksumDetectsTornFrames(t *testing.T) {
+	_, a, l := newLog(t)
+	l.Begin()
+	if err := l.AppendHeader(1, bytes.Repeat([]byte{3}, 64)); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(1)
+	// Corrupt one committed frame byte behind the log's back.
+	raw := a.Read(logHeaderSize+frameHeader, 1)
+	a.Store(logHeaderSize+frameHeader, []byte{raw[0] ^ 0xFF})
+	if _, err := l.Frames(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+func TestTruncatedLengthRejected(t *testing.T) {
+	_, a, l := newLog(t)
+	l.Begin()
+	_ = l.AppendHeader(1, []byte{1})
+	l.Commit(1)
+	a.StoreU64(8, 1<<20) // absurd committed length
+	if _, err := l.Frames(); !errors.Is(err, ErrCorrupt) {
+		t.Fatalf("err = %v, want ErrCorrupt", err)
+	}
+}
+
+// Exhaustive crash sweep: at every crash point of append+commit, recovery
+// sees either no transaction or the complete transaction — never a torn one.
+func TestCommitIsFailureAtomicAtEveryCrashPoint(t *testing.T) {
+	headers := [][]byte{
+		bytes.Repeat([]byte{0xA1}, 22),
+		bytes.Repeat([]byte{0xB2}, 40),
+		bytes.Repeat([]byte{0xC3}, 14),
+	}
+	run := func(l *Log) {
+		l.Begin()
+		for i, h := range headers {
+			if err := l.AppendHeader(uint32(i+1), h); err != nil {
+				panic(err)
+			}
+		}
+		l.Commit(77)
+	}
+	// Count crash points.
+	sys, _, l := newLog(t)
+	base := sys.CrashPoints()
+	run(l)
+	total := sys.CrashPoints() - base
+	if total < 10 {
+		t.Fatalf("suspiciously few crash points: %d", total)
+	}
+	for _, opts := range []pmem.CrashOptions{pmem.EvictNone, pmem.EvictAll, {Seed: 3, EvictProb: 0.5}} {
+		for k := int64(0); k < total; k++ {
+			sys, a, l := newLog(t)
+			sys.CrashAfter(k)
+			crashed := sys.RunToCrash(func() { run(l) })
+			sys.Crash(opts)
+			l2, err := Open(a, 0, 1<<16)
+			if err != nil {
+				t.Fatalf("crash@%d opts=%+v: open: %v", k, opts, err)
+			}
+			if _, ok := l2.Committed(); !ok {
+				continue // transaction absent: fine
+			}
+			frames, err := l2.Frames()
+			if err != nil {
+				t.Fatalf("crash@%d opts=%+v crashed=%v: committed but unreadable: %v", k, opts, crashed, err)
+			}
+			if len(frames) != len(headers) {
+				t.Fatalf("crash@%d: committed with %d frames, want %d", k, len(frames), len(headers))
+			}
+			for i, f := range frames {
+				if f.PageNo != uint32(i+1) || !bytes.Equal(f.Header, headers[i]) {
+					t.Fatalf("crash@%d: frame %d corrupt", k, i)
+				}
+			}
+		}
+	}
+}
+
+// The log is reusable across many transactions.
+func TestSequentialTransactions(t *testing.T) {
+	_, _, l := newLog(t)
+	for txn := uint64(1); txn <= 20; txn++ {
+		l.Begin()
+		for p := 0; p < 3; p++ {
+			hdr := []byte(fmt.Sprintf("txn%d-page%d", txn, p))
+			if err := l.AppendHeader(uint32(p), hdr); err != nil {
+				t.Fatal(err)
+			}
+		}
+		l.Commit(txn)
+		frames, err := l.Frames()
+		if err != nil {
+			t.Fatal(err)
+		}
+		if len(frames) != 3 {
+			t.Fatalf("txn %d: %d frames", txn, len(frames))
+		}
+		l.Truncate()
+	}
+}
+
+// TestReplayIsIdempotent: recovery may crash mid-checkpoint and run again;
+// applying the same committed frames twice must be harmless, and the log
+// stays committed until explicitly truncated.
+func TestReplayIsIdempotent(t *testing.T) {
+	sys, a, l := newLog(t)
+	hdr := bytes.Repeat([]byte{0x5A}, 26)
+	l.Begin()
+	if err := l.AppendHeader(4, hdr); err != nil {
+		t.Fatal(err)
+	}
+	l.Commit(3)
+	for round := 0; round < 3; round++ {
+		frames, err := l.Frames()
+		if err != nil {
+			t.Fatalf("round %d: %v", round, err)
+		}
+		if len(frames) != 1 || !bytes.Equal(frames[0].Header, hdr) {
+			t.Fatalf("round %d: frames = %+v", round, frames)
+		}
+		// Simulate a crash between replay rounds.
+		sys.Crash(pmem.EvictNone)
+		l2, err := Open(a, 0, 1<<16)
+		if err != nil {
+			t.Fatal(err)
+		}
+		l = l2
+	}
+	l.Truncate()
+	if _, ok := l.Committed(); ok {
+		t.Fatal("log still committed after truncate")
+	}
+}

@@ -1,0 +1,222 @@
+package slotted
+
+import (
+	"bytes"
+	"errors"
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+// Property: after any operation mix, copy-on-write compaction preserves
+// exactly the live records and reclaims all free space.
+func TestCompactionEquivalence(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := newLeaf(2048)
+		for step := 0; step < 150; step++ {
+			switch rng.Intn(3) {
+			case 0:
+				_ = p.Insert(key(rng.Intn(60)), bytes.Repeat([]byte{7}, 10+rng.Intn(60)))
+			case 1:
+				if p.NCells() > 0 {
+					_ = p.Update(rng.Intn(p.NCells()), bytes.Repeat([]byte{8}, 10+rng.Intn(60)))
+				}
+			case 2:
+				if p.NCells() > 0 {
+					_ = p.Delete(rng.Intn(p.NCells()))
+				}
+			}
+		}
+		dst, _ := newLeaf(2048)
+		if err := p.CopyRangeTo(dst, 0, p.NCells()); err != nil {
+			return false
+		}
+		if dst.NCells() != p.NCells() {
+			return false
+		}
+		for i := 0; i < p.NCells(); i++ {
+			if !bytes.Equal(dst.Key(i), p.Key(i)) || !bytes.Equal(dst.Value(i), p.Value(i)) {
+				return false
+			}
+		}
+		// Compacted page has zero fragmentation and its capacity equals
+		// the original's capacity-after-defrag (same live set).
+		if dst.Header().Free != 0 || dst.Header().FreeLst != 0 {
+			return false
+		}
+		return dst.Validate() == nil
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 40}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: whenever Insert reports ErrNeedsDefrag, the same insert
+// succeeds on a compacted copy; whenever it reports ErrPageFull, it fails
+// there too. This is the contract the B-tree's split/defrag decision
+// depends on.
+func TestDefragErrorContract(t *testing.T) {
+	f := func(seed int64) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := newLeaf(512)
+		for step := 0; step < 60; step++ {
+			if rng.Intn(3) == 0 && p.NCells() > 0 {
+				_ = p.Delete(rng.Intn(p.NCells()))
+			} else {
+				_ = p.Insert(key(rng.Intn(200)+1000), bytes.Repeat([]byte{1}, 10+rng.Intn(50)))
+			}
+		}
+		k := key(5000)
+		val := bytes.Repeat([]byte{2}, 10+rng.Intn(200))
+		err := p.Insert(k, val)
+		if err == nil || errors.Is(err, ErrDuplicate) {
+			return true
+		}
+		// Replay onto a compacted copy.
+		dst, _ := newLeaf(512)
+		if cerr := p.CopyRangeTo(dst, 0, p.NCells()); cerr != nil {
+			return false
+		}
+		dstErr := dst.Insert(k, val)
+		switch {
+		case errors.Is(err, ErrNeedsDefrag):
+			return dstErr == nil
+		case errors.Is(err, ErrPageFull):
+			return dstErr != nil
+		}
+		return false
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 120}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: RebuildFreeList after arbitrary damage restores a page where
+// CheckFreeList passes and all non-live space is allocatable again.
+func TestRebuildAfterArbitraryFreeListDamage(t *testing.T) {
+	f := func(seed int64, junkHead uint16, junkFree uint16) bool {
+		rng := rand.New(rand.NewSource(seed))
+		p, _ := newLeaf(1024)
+		for i := 0; i < 12; i++ {
+			_ = p.Insert(key(i), bytes.Repeat([]byte{3}, 20+rng.Intn(30)))
+		}
+		for i := 0; i < 4 && p.NCells() > 0; i++ {
+			_ = p.Delete(rng.Intn(p.NCells()))
+		}
+		live := p.NCells()
+		// Corrupt the free-list header fields arbitrarily.
+		p.Header().FreeLst = junkHead
+		p.Header().Free = junkFree
+		p.RebuildFreeList()
+		if p.CheckFreeList() != nil || p.Validate() != nil {
+			return false
+		}
+		return p.NCells() == live
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 60}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+func TestOffsetArraySqueezeReportsDefrag(t *testing.T) {
+	// Regression for the bug found by the delete/reinsert longevity test:
+	// a page whose content start is pressed against the header must report
+	// ErrNeedsDefrag (copy-on-write fixes it), not ErrPageFull.
+	m := NewMemBuf(256)
+	p := Init(m, TypeLeaf)
+	// Fill completely with small records.
+	i := 0
+	for {
+		if err := p.Insert(key(i), bytes.Repeat([]byte{1}, 8)); err != nil {
+			break
+		}
+		i++
+	}
+	// Delete all but one record: plenty of free-list space, but the gap
+	// between the offset array and contentStart may be ~zero.
+	for p.NCells() > 1 {
+		if err := p.Delete(p.NCells() - 1); err != nil {
+			t.Fatal(err)
+		}
+	}
+	err := p.Insert(key(9999), bytes.Repeat([]byte{2}, 8))
+	for err != nil {
+		if errors.Is(err, ErrNeedsDefrag) {
+			// Compact and retry — must succeed.
+			dst, _ := newLeaf(256)
+			if cerr := p.CopyRangeTo(dst, 0, p.NCells()); cerr != nil {
+				t.Fatal(cerr)
+			}
+			if err2 := dst.Insert(key(9999), bytes.Repeat([]byte{2}, 8)); err2 != nil {
+				t.Fatalf("insert after compaction: %v", err2)
+			}
+			return
+		}
+		t.Fatalf("unexpected error: %v", err)
+	}
+	// Direct success is also acceptable (gap happened to survive).
+}
+
+func TestHeaderCloneIsDeep(t *testing.T) {
+	h := Header{Type: TypeLeaf, Offsets: []uint16{1, 2, 3}}
+	c := h.Clone()
+	c.Offsets[0] = 99
+	if h.Offsets[0] != 1 {
+		t.Fatal("Clone shares the offsets slice")
+	}
+}
+
+func TestFreeTotalExcludesPending(t *testing.T) {
+	p, _ := newLeaf(1024)
+	for i := 0; i < 5; i++ {
+		if err := p.Insert(key(i), bytes.Repeat([]byte{1}, 50)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	p.SetDeferFrees(true)
+	before := p.FreeTotal()
+	if err := p.Delete(2); err != nil {
+		t.Fatal(err)
+	}
+	// The freed extent is pending: allocatable space must not grow by the
+	// cell size (only by the offset-entry bookkeeping slack).
+	after := p.FreeTotal()
+	if after > before+4 {
+		t.Fatalf("pending free counted as allocatable: %d -> %d", before, after)
+	}
+	p.ApplyPendingFrees()
+	if p.FreeTotal() <= after {
+		t.Fatal("applied frees did not become allocatable")
+	}
+}
+
+// Property: opening arbitrary page images never panics — it either decodes
+// (and subsequent reads stay in bounds thanks to Validate) or errors.
+func TestOpenArbitraryImageNeverPanics(t *testing.T) {
+	f := func(img []byte) (ok bool) {
+		defer func() {
+			if recover() != nil {
+				ok = false
+			}
+		}()
+		buf := make([]byte, 512)
+		copy(buf, img)
+		m := &MemBuf{Buf: buf}
+		p, err := Open(m)
+		if err != nil {
+			return true
+		}
+		// Validate must classify garbage without panicking; if it passes,
+		// basic accessors must be safe too.
+		if p.Validate() == nil {
+			for i := 0; i < p.NCells(); i++ {
+				_ = p.Key(i)
+			}
+		}
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}

@@ -1,0 +1,567 @@
+package slotted
+
+import (
+	"bytes"
+	"encoding/binary"
+	"fmt"
+	"sort"
+)
+
+// Mem is the memory a page lives in. Implementations route content writes
+// and header updates according to the commit scheme:
+//
+//   - a PM-direct backend (FAST/FAST+) writes content straight into the
+//     persistent page and keeps header changes in a volatile working copy
+//     until the commit protocol installs them;
+//   - a DRAM buffer-cache backend (NVWAL, journaling, WAL) applies both to
+//     the cached image and tracks dirty ranges;
+//   - MemBuf applies both to a flat byte slice, for unit tests.
+type Mem interface {
+	// PageSize returns the page size in bytes.
+	PageSize() int
+	// Read returns n bytes at off of the transaction-visible page image.
+	Read(off, n int) []byte
+	// Write stores src at off within the cell-content area.
+	Write(off int, src []byte)
+	// HeaderChanged is invoked after every mutation of the decoded header.
+	HeaderChanged(h *Header)
+}
+
+type extent struct{ off, size uint16 }
+
+// Page is an open handle on a slotted page. The decoded header in the
+// handle is authoritative for the current transaction; mutating operations
+// never overwrite previously committed record bytes, so the underlying
+// committed image remains a consistent prior state until the commit
+// protocol installs the new header.
+type Page struct {
+	mem        Mem
+	hdr        Header
+	deferFrees bool
+	pending    []extent // frees deferred until after commit
+	pendingSum int
+}
+
+// Init formats a fresh page of the given type in mem and returns its handle.
+func Init(mem Mem, typ byte) *Page {
+	p := &Page{mem: mem, hdr: Header{Type: typ, Content: uint16(mem.PageSize())}}
+	mem.HeaderChanged(&p.hdr)
+	return p
+}
+
+// Open decodes the page header from mem.
+func Open(mem Mem) (*Page, error) {
+	prefix := mem.Read(0, HeaderFixedSize)
+	n := int(binary.LittleEndian.Uint16(prefix[2:]))
+	if HeaderFixedSize+2*n > mem.PageSize() {
+		return nil, fmt.Errorf("%w: offset array (%d cells) exceeds page", ErrCorrupt, n)
+	}
+	full := mem.Read(0, HeaderFixedSize+2*n)
+	hdr, err := DecodeHeader(full, mem.PageSize())
+	if err != nil {
+		return nil, err
+	}
+	return &Page{mem: mem, hdr: hdr}, nil
+}
+
+// OpenWithHeader attaches a handle using an already-decoded header (the
+// FAST transaction cache uses this to resume a working header).
+func OpenWithHeader(mem Mem, hdr Header) *Page {
+	return &Page{mem: mem, hdr: hdr}
+}
+
+// SetDeferFrees selects whether freed cell extents enter the free list
+// immediately (volatile caches) or only after ApplyPendingFrees (PM-direct
+// backends, where writing a free-block header would destroy committed
+// record bytes before the transaction commits).
+func (p *Page) SetDeferFrees(d bool) { p.deferFrees = d }
+
+// Header returns the authoritative decoded header.
+func (p *Page) Header() *Header { return &p.hdr }
+
+// Type returns the page type byte.
+func (p *Page) Type() byte { return p.hdr.Type }
+
+// NCells returns the number of records in the page.
+func (p *Page) NCells() int { return len(p.hdr.Offsets) }
+
+// notify pushes the mutated header to the backend.
+func (p *Page) notify() { p.mem.HeaderChanged(&p.hdr) }
+
+// --- Cell parsing ---------------------------------------------------------
+
+// cellExtent returns the location and size of cell i.
+func (p *Page) cellExtent(i int) extent {
+	off := p.hdr.Offsets[i]
+	switch p.hdr.Type {
+	case TypeLeaf:
+		b := p.mem.Read(int(off), 4)
+		klen := binary.LittleEndian.Uint16(b)
+		vlen := binary.LittleEndian.Uint16(b[2:])
+		return extent{off, 4 + klen + vlen}
+	case TypeInterior:
+		b := p.mem.Read(int(off), 2)
+		klen := binary.LittleEndian.Uint16(b)
+		return extent{off, 6 + klen}
+	default:
+		panic(fmt.Sprintf("slotted: cellExtent on page type %#x", p.hdr.Type))
+	}
+}
+
+// Key returns the key of cell i.
+func (p *Page) Key(i int) []byte {
+	off := int(p.hdr.Offsets[i])
+	switch p.hdr.Type {
+	case TypeLeaf:
+		b := p.mem.Read(off, 4)
+		klen := int(binary.LittleEndian.Uint16(b))
+		return p.mem.Read(off+4, klen)
+	case TypeInterior:
+		b := p.mem.Read(off, 2)
+		klen := int(binary.LittleEndian.Uint16(b))
+		return p.mem.Read(off+6, klen)
+	default:
+		panic(fmt.Sprintf("slotted: Key on page type %#x", p.hdr.Type))
+	}
+}
+
+// Value returns the value of leaf cell i.
+func (p *Page) Value(i int) []byte {
+	if p.hdr.Type != TypeLeaf {
+		panic("slotted: Value on non-leaf page")
+	}
+	off := int(p.hdr.Offsets[i])
+	b := p.mem.Read(off, 4)
+	klen := int(binary.LittleEndian.Uint16(b))
+	vlen := int(binary.LittleEndian.Uint16(b[2:]))
+	return p.mem.Read(off+4+klen, vlen)
+}
+
+// Child returns the child page number of interior cell i.
+func (p *Page) Child(i int) uint32 {
+	if p.hdr.Type != TypeInterior {
+		panic("slotted: Child on non-interior page")
+	}
+	off := int(p.hdr.Offsets[i])
+	return binary.LittleEndian.Uint32(p.mem.Read(off+2, 4))
+}
+
+// Search binary-searches the sorted offset array. It returns the index of
+// the first cell with key ≥ key and whether that cell's key equals key.
+func (p *Page) Search(key []byte) (int, bool) {
+	i := sort.Search(len(p.hdr.Offsets), func(i int) bool {
+		return bytes.Compare(p.Key(i), key) >= 0
+	})
+	if i < len(p.hdr.Offsets) && bytes.Equal(p.Key(i), key) {
+		return i, true
+	}
+	return i, false
+}
+
+// --- Space management ------------------------------------------------------
+
+// gapAfter returns the unallocated bytes between the offset array (assuming
+// extraEntries future entries) and the content area.
+func (p *Page) gapAfter(extraEntries int) int {
+	return int(p.hdr.Content) - (HeaderFixedSize + 2*(len(p.hdr.Offsets)+extraEntries))
+}
+
+// FreeTotal returns the usable free bytes for new cells, assuming one more
+// offset entry: gap plus free-list bytes (excluding pending frees, which
+// cannot be reused before commit).
+func (p *Page) FreeTotal() int {
+	g := p.gapAfter(1)
+	if g < 0 {
+		g = 0
+	}
+	return g + int(p.hdr.Free) - p.pendingSum
+}
+
+// allocate finds size contiguous bytes for a new cell, preferring the gap
+// (the paper's default: new records extend the record content area), then
+// the free list. The caller is about to add one offset entry.
+func (p *Page) allocate(size int) (uint16, error) {
+	if p.gapAfter(1) < 0 {
+		// No room for the offset-array entry itself. Churn can squeeze the
+		// content start against the header while ample free-list space
+		// remains below it; compaction repairs that.
+		if size <= p.CapacityAfterDefrag() {
+			return 0, fmt.Errorf("%w: offset array squeezed", ErrNeedsDefrag)
+		}
+		return 0, fmt.Errorf("%w: offset array full", ErrPageFull)
+	}
+	if p.gapAfter(1) >= size {
+		off := p.hdr.Content - uint16(size)
+		p.hdr.Content = off
+		return off, nil
+	}
+	// First-fit over the free list.
+	prev := uint16(0)
+	cur := p.hdr.FreeLst
+	for cur != 0 {
+		b := p.mem.Read(int(cur), 4)
+		bsz := binary.LittleEndian.Uint16(b)
+		next := binary.LittleEndian.Uint16(b[2:])
+		if int(bsz) >= size {
+			take := uint16(size)
+			if int(bsz)-size >= MinFreeBlock {
+				// Shrink the block in place; the new cell takes its tail.
+				var nb [4]byte
+				binary.LittleEndian.PutUint16(nb[:], bsz-take)
+				binary.LittleEndian.PutUint16(nb[2:], next)
+				p.mem.Write(int(cur), nb[:])
+				p.hdr.Free -= take
+				return cur + bsz - take, nil
+			}
+			// Take the whole block; the leftover (<MinFreeBlock) is lost
+			// until defragmentation or a free-list rebuild.
+			if prev == 0 {
+				p.hdr.FreeLst = next
+			} else {
+				var nb [2]byte
+				binary.LittleEndian.PutUint16(nb[:], next)
+				p.mem.Write(int(prev)+2, nb[:])
+			}
+			p.hdr.Free -= bsz
+			return cur, nil
+		}
+		prev, cur = cur, next
+	}
+	if size <= p.CapacityAfterDefrag() {
+		return 0, fmt.Errorf("%w: %d bytes requested, %d free but fragmented or pending", ErrNeedsDefrag, size, p.FreeTotal())
+	}
+	return 0, fmt.Errorf("%w: %d bytes requested, %d free", ErrPageFull, size, p.FreeTotal())
+}
+
+// LiveBytes returns the total size of all live cells.
+func (p *Page) LiveBytes() int {
+	total := 0
+	for i := range p.hdr.Offsets {
+		total += int(p.cellExtent(i).size)
+	}
+	return total
+}
+
+// CapacityAfterDefrag returns the largest cell that would fit after
+// copy-on-write defragmentation rebuilt the page compactly with one more
+// offset entry. Unlike FreeTotal, this includes pending frees and lost
+// fragments, because a rewritten page reclaims them all.
+func (p *Page) CapacityAfterDefrag() int {
+	c := p.mem.PageSize() - HeaderFixedSize - 2*(len(p.hdr.Offsets)+1) - p.LiveBytes()
+	if c < 0 {
+		c = 0
+	}
+	return c
+}
+
+// freeCell releases a cell extent. With deferred frees the extent only
+// joins the free list at ApplyPendingFrees time; its bytes remain intact,
+// preserving the page's committed state.
+func (p *Page) freeCell(e extent) {
+	p.hdr.Free += e.size
+	if p.deferFrees {
+		p.pending = append(p.pending, e)
+		p.pendingSum += int(e.size)
+		return
+	}
+	p.linkFreeBlock(e)
+}
+
+func (p *Page) linkFreeBlock(e extent) {
+	if e.size < MinFreeBlock {
+		// Too small to hold a block header; the bytes are lost until a
+		// rebuild. Keep Free accounting honest by backing the bytes out.
+		p.hdr.Free -= e.size
+		return
+	}
+	var b [4]byte
+	binary.LittleEndian.PutUint16(b[:], e.size)
+	binary.LittleEndian.PutUint16(b[2:], p.hdr.FreeLst)
+	p.mem.Write(int(e.off), b[:])
+	p.hdr.FreeLst = e.off
+}
+
+// ApplyPendingFrees links every deferred free into the free list. Commit
+// protocols call it after the transaction's commit point.
+func (p *Page) ApplyPendingFrees() {
+	if len(p.pending) == 0 {
+		return
+	}
+	for _, e := range p.pending {
+		p.linkFreeBlock(e)
+	}
+	p.pending = nil
+	p.pendingSum = 0
+	p.notify()
+}
+
+// PendingFrees reports the number of deferred free extents.
+func (p *Page) PendingFrees() int { return len(p.pending) }
+
+// --- Mutations --------------------------------------------------------------
+
+// Insert adds a record to a leaf page, keeping the offset array sorted.
+func (p *Page) Insert(key, val []byte) error {
+	img := make([]byte, 4+len(key)+len(val))
+	binary.LittleEndian.PutUint16(img, uint16(len(key)))
+	binary.LittleEndian.PutUint16(img[2:], uint16(len(val)))
+	copy(img[4:], key)
+	copy(img[4+len(key):], val)
+	return p.insertCell(key, img)
+}
+
+// InsertChild adds a separator cell (key, child) to an interior page.
+func (p *Page) InsertChild(key []byte, child uint32) error {
+	img := make([]byte, 6+len(key))
+	binary.LittleEndian.PutUint16(img, uint16(len(key)))
+	binary.LittleEndian.PutUint32(img[2:], child)
+	copy(img[6:], key)
+	return p.insertCell(key, img)
+}
+
+func (p *Page) insertCell(key, img []byte) error {
+	if p.hdr.Type != TypeLeaf && p.hdr.Type != TypeInterior {
+		panic(fmt.Sprintf("slotted: insert on page type %#x", p.hdr.Type))
+	}
+	i, found := p.Search(key)
+	if found {
+		return fmt.Errorf("%w: key %x", ErrDuplicate, key)
+	}
+	off, err := p.allocate(len(img))
+	if err != nil {
+		return err
+	}
+	p.mem.Write(int(off), img)
+	p.hdr.Offsets = append(p.hdr.Offsets, 0)
+	copy(p.hdr.Offsets[i+1:], p.hdr.Offsets[i:])
+	p.hdr.Offsets[i] = off
+	p.notify()
+	return nil
+}
+
+// Update replaces the value of leaf cell i out of place: the new record is
+// written into free space and the offset swapped, so the old record remains
+// intact for recovery (§3.2, "Updating a record").
+func (p *Page) Update(i int, val []byte) error {
+	if p.hdr.Type != TypeLeaf {
+		panic("slotted: Update on non-leaf page")
+	}
+	if i < 0 || i >= len(p.hdr.Offsets) {
+		return fmt.Errorf("%w: cell %d", ErrNotFound, i)
+	}
+	key := p.Key(i)
+	img := make([]byte, 4+len(key)+len(val))
+	binary.LittleEndian.PutUint16(img, uint16(len(key)))
+	binary.LittleEndian.PutUint16(img[2:], uint16(len(val)))
+	copy(img[4:], key)
+	copy(img[4+len(key):], val)
+	return p.replaceCell(i, img)
+}
+
+// UpdateChild replaces the child pointer of interior cell i out of place,
+// used when defragmentation substitutes a rewritten page.
+func (p *Page) UpdateChild(i int, child uint32) error {
+	if p.hdr.Type != TypeInterior {
+		panic("slotted: UpdateChild on non-interior page")
+	}
+	if i < 0 || i >= len(p.hdr.Offsets) {
+		return fmt.Errorf("%w: cell %d", ErrNotFound, i)
+	}
+	key := p.Key(i)
+	img := make([]byte, 6+len(key))
+	binary.LittleEndian.PutUint16(img, uint16(len(key)))
+	binary.LittleEndian.PutUint32(img[2:], child)
+	copy(img[6:], key)
+	return p.replaceCell(i, img)
+}
+
+func (p *Page) replaceCell(i int, img []byte) error {
+	old := p.cellExtent(i)
+	off, err := p.allocate(len(img))
+	if err != nil {
+		return err
+	}
+	p.mem.Write(int(off), img)
+	p.freeCell(old)
+	p.hdr.Offsets[i] = off
+	p.notify()
+	return nil
+}
+
+// Delete removes cell i, releasing its extent (§3.2, "Deleting a record").
+func (p *Page) Delete(i int) error {
+	if i < 0 || i >= len(p.hdr.Offsets) {
+		return fmt.Errorf("%w: cell %d", ErrNotFound, i)
+	}
+	p.freeCell(p.cellExtent(i))
+	p.hdr.Offsets = append(p.hdr.Offsets[:i], p.hdr.Offsets[i+1:]...)
+	p.notify()
+	return nil
+}
+
+// SetAux updates the auxiliary pointer (rightmost child / right sibling).
+func (p *Page) SetAux(v uint32) {
+	p.hdr.Aux = v
+	p.notify()
+}
+
+// Aux returns the auxiliary pointer.
+func (p *Page) Aux() uint32 { return p.hdr.Aux }
+
+// TruncateKeepUpper drops cells [0, from) from the offset array — the
+// header-only half of a B-tree split, where the original page keeps the
+// keys ≥ median (§4.1). The dropped extents are freed (deferred, under a
+// PM-direct backend, until the split transaction commits).
+func (p *Page) TruncateKeepUpper(from int) {
+	for i := 0; i < from; i++ {
+		p.freeCell(p.cellExtent(i))
+	}
+	p.hdr.Offsets = append([]uint16(nil), p.hdr.Offsets[from:]...)
+	p.notify()
+}
+
+// CopyRangeTo copies cells [lo, hi) into dst (a fresh page of the same
+// type), preserving order. Used to populate the new sibling during a split
+// and the replacement page during defragmentation.
+func (p *Page) CopyRangeTo(dst *Page, lo, hi int) error {
+	for i := lo; i < hi; i++ {
+		var err error
+		if p.hdr.Type == TypeLeaf {
+			err = dst.Insert(p.Key(i), p.Value(i))
+		} else {
+			err = dst.InsertChild(p.Key(i), p.Child(i))
+		}
+		if err != nil {
+			return err
+		}
+	}
+	return nil
+}
+
+// --- Free-list maintenance and validation -----------------------------------
+
+// CheckFreeList verifies that the free list is structurally sound and that
+// its total matches the header's Free counter (net of pending frees). A
+// mismatch after a crash means the list must be rebuilt (§4.3).
+func (p *Page) CheckFreeList() error {
+	total := 0
+	seen := 0
+	cur := p.hdr.FreeLst
+	for cur != 0 {
+		if int(cur) < HeaderFixedSize || int(cur)+MinFreeBlock > p.mem.PageSize() {
+			return fmt.Errorf("%w: free block at %d out of bounds", ErrCorrupt, cur)
+		}
+		b := p.mem.Read(int(cur), 4)
+		sz := binary.LittleEndian.Uint16(b)
+		if sz < MinFreeBlock || int(cur)+int(sz) > p.mem.PageSize() {
+			return fmt.Errorf("%w: free block at %d size %d invalid", ErrCorrupt, cur, sz)
+		}
+		total += int(sz)
+		cur = binary.LittleEndian.Uint16(b[2:])
+		if seen++; seen > p.mem.PageSize()/MinFreeBlock {
+			return fmt.Errorf("%w: free list cycle", ErrCorrupt)
+		}
+	}
+	if total != int(p.hdr.Free)-p.pendingSum {
+		return fmt.Errorf("%w: free list total %d != header free %d - pending %d",
+			ErrCorrupt, total, p.hdr.Free, p.pendingSum)
+	}
+	return nil
+}
+
+// RebuildFreeList reconstructs the free list from the record offset array,
+// the paper's lazy repair for free lists damaged by an ill-timed crash
+// (free-list updates are deliberately not failure-atomic). Every byte of
+// the content area not covered by a live cell becomes free space; pending
+// frees are absorbed.
+func (p *Page) RebuildFreeList() {
+	used := make([]extent, 0, len(p.hdr.Offsets))
+	for i := range p.hdr.Offsets {
+		used = append(used, p.cellExtent(i))
+	}
+	sort.Slice(used, func(i, j int) bool { return used[i].off < used[j].off })
+	minUsed := uint16(p.mem.PageSize())
+	if len(used) > 0 {
+		minUsed = used[0].off
+	}
+	p.hdr.Content = minUsed
+	p.hdr.FreeLst = 0
+	p.hdr.Free = 0
+	p.pending = nil
+	p.pendingSum = 0
+	// Walk gaps between used extents, building blocks from the tail so the
+	// list ends up address-ordered from the head.
+	type gap struct{ off, size int }
+	var gaps []gap
+	cursor := int(minUsed)
+	for _, e := range used {
+		if int(e.off) > cursor {
+			gaps = append(gaps, gap{cursor, int(e.off) - cursor})
+		}
+		if end := int(e.off) + int(e.size); end > cursor {
+			cursor = end
+		}
+	}
+	if cursor < p.mem.PageSize() {
+		gaps = append(gaps, gap{cursor, p.mem.PageSize() - cursor})
+	}
+	for i := len(gaps) - 1; i >= 0; i-- {
+		g := gaps[i]
+		if g.size < MinFreeBlock {
+			continue
+		}
+		var b [4]byte
+		binary.LittleEndian.PutUint16(b[:], uint16(g.size))
+		binary.LittleEndian.PutUint16(b[2:], p.hdr.FreeLst)
+		p.mem.Write(g.off, b[:])
+		p.hdr.FreeLst = uint16(g.off)
+		p.hdr.Free += uint16(g.size)
+	}
+	p.notify()
+}
+
+// Validate checks the structural invariants of the page: in-bounds,
+// non-overlapping cells, sorted keys, and a coherent free list.
+func (p *Page) Validate() error {
+	ps := p.mem.PageSize()
+	if p.hdr.Type != TypeLeaf && p.hdr.Type != TypeInterior {
+		return fmt.Errorf("%w: unexpected page type %#x", ErrCorrupt, p.hdr.Type)
+	}
+	if int(p.hdr.Content) > ps {
+		return fmt.Errorf("%w: content start %d > page size", ErrCorrupt, p.hdr.Content)
+	}
+	if p.gapAfter(0) < 0 {
+		return fmt.Errorf("%w: offset array overlaps content area", ErrCorrupt)
+	}
+	minCellHeader := 4
+	if p.hdr.Type == TypeInterior {
+		minCellHeader = 6
+	}
+	exts := make([]extent, 0, len(p.hdr.Offsets))
+	for i := range p.hdr.Offsets {
+		// Bounds-check the raw offset before parsing the cell header, so
+		// garbage images error rather than read out of range.
+		off := int(p.hdr.Offsets[i])
+		if off < HeaderFixedSize || off+minCellHeader > ps {
+			return fmt.Errorf("%w: cell %d offset %d out of bounds", ErrCorrupt, i, off)
+		}
+		e := p.cellExtent(i)
+		if int(e.off) < int(p.hdr.Content) || int(e.off)+int(e.size) > ps {
+			return fmt.Errorf("%w: cell %d extent [%d,%d) out of bounds", ErrCorrupt, i, e.off, int(e.off)+int(e.size))
+		}
+		exts = append(exts, e)
+	}
+	sorted := append([]extent(nil), exts...)
+	sort.Slice(sorted, func(i, j int) bool { return sorted[i].off < sorted[j].off })
+	for i := 1; i < len(sorted); i++ {
+		if int(sorted[i-1].off)+int(sorted[i-1].size) > int(sorted[i].off) {
+			return fmt.Errorf("%w: cells overlap at %d", ErrCorrupt, sorted[i].off)
+		}
+	}
+	for i := 1; i < len(p.hdr.Offsets); i++ {
+		if bytes.Compare(p.Key(i-1), p.Key(i)) >= 0 {
+			return fmt.Errorf("%w: keys out of order at cell %d", ErrCorrupt, i)
+		}
+	}
+	return p.CheckFreeList()
+}

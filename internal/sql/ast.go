@@ -1,0 +1,193 @@
+package sql
+
+// Stmt is a parsed SQL statement.
+type Stmt interface{ stmt() }
+
+// ColType is a declared column type.
+type ColType int
+
+const (
+	// TInteger is INTEGER/INT.
+	TInteger ColType = iota
+	// TText is TEXT.
+	TText
+	// TReal is REAL.
+	TReal
+	// TBlob is BLOB.
+	TBlob
+)
+
+func (t ColType) String() string {
+	switch t {
+	case TInteger:
+		return "INTEGER"
+	case TText:
+		return "TEXT"
+	case TReal:
+		return "REAL"
+	default:
+		return "BLOB"
+	}
+}
+
+// ColDef is one column definition of CREATE TABLE.
+type ColDef struct {
+	Name       string
+	Type       ColType
+	PrimaryKey bool
+	NotNull    bool
+}
+
+// CreateTable is CREATE TABLE [IF NOT EXISTS] name (cols…).
+type CreateTable struct {
+	Name        string
+	Cols        []ColDef
+	IfNotExists bool
+}
+
+// DropTable is DROP TABLE [IF EXISTS] name.
+type DropTable struct {
+	Name     string
+	IfExists bool
+}
+
+// CreateIndex is CREATE [UNIQUE] INDEX [IF NOT EXISTS] name ON table (col).
+type CreateIndex struct {
+	Name        string
+	Table       string
+	Col         string
+	Unique      bool
+	IfNotExists bool
+}
+
+// DropIndex is DROP INDEX [IF EXISTS] name.
+type DropIndex struct {
+	Name     string
+	IfExists bool
+}
+
+// Insert is INSERT INTO name [(cols…)] VALUES (…), (…), ….
+type Insert struct {
+	Table string
+	Cols  []string
+	Rows  [][]Expr
+}
+
+// SelectCol is one projection of a SELECT (Star means "*").
+type SelectCol struct {
+	Expr  Expr
+	Alias string
+	Star  bool
+}
+
+// OrderTerm is one ORDER BY term.
+type OrderTerm struct {
+	Expr Expr
+	Desc bool
+}
+
+// Select is SELECT [DISTINCT] cols FROM table [WHERE] [GROUP BY [HAVING]]
+// [ORDER BY] [LIMIT [OFFSET]].
+type Select struct {
+	Distinct bool
+	Cols     []SelectCol
+	Table    string
+	Where    Expr
+	GroupBy  []Expr
+	Having   Expr
+	OrderBy  []OrderTerm
+	Limit    Expr // nil = none
+	Offset   Expr // nil = none
+}
+
+// Update is UPDATE table SET col=expr, … [WHERE].
+type Update struct {
+	Table string
+	Sets  []SetClause
+	Where Expr
+}
+
+// SetClause is one col = expr assignment.
+type SetClause struct {
+	Col  string
+	Expr Expr
+}
+
+// Delete is DELETE FROM table [WHERE].
+type Delete struct {
+	Table string
+	Where Expr
+}
+
+// Begin / Commit / Rollback are transaction-control statements.
+type (
+	Begin    struct{}
+	Commit   struct{}
+	Rollback struct{}
+)
+
+// Vacuum triggers store-wide garbage collection of leaked pages.
+type Vacuum struct{}
+
+func (CreateTable) stmt() {}
+func (DropTable) stmt()   {}
+func (CreateIndex) stmt() {}
+func (DropIndex) stmt()   {}
+func (Insert) stmt()      {}
+func (Select) stmt()      {}
+func (Update) stmt()      {}
+func (Delete) stmt()      {}
+func (Begin) stmt()       {}
+func (Commit) stmt()      {}
+func (Rollback) stmt()    {}
+func (Vacuum) stmt()      {}
+
+// Expr is an expression tree node.
+type Expr interface{ expr() }
+
+// Literal is a constant value.
+type Literal struct{ Val Value }
+
+// Column references a column by name ("rowid" included).
+type Column struct{ Name string }
+
+// Binary applies an infix operator: comparison, arithmetic, AND/OR, LIKE,
+// IS / IS NOT (null tests), ||.
+type Binary struct {
+	Op   string
+	L, R Expr
+}
+
+// Unary applies a prefix operator: -, +, NOT.
+type Unary struct {
+	Op string
+	X  Expr
+}
+
+// Call is a function call; Star marks COUNT(*).
+type Call struct {
+	Name string
+	Args []Expr
+	Star bool
+}
+
+// In is x [NOT] IN (e1, e2, …).
+type In struct {
+	X    Expr
+	List []Expr
+	Not  bool
+}
+
+// Between is x [NOT] BETWEEN lo AND hi.
+type Between struct {
+	X, Lo, Hi Expr
+	Not       bool
+}
+
+func (Literal) expr() {}
+func (Column) expr()  {}
+func (Binary) expr()  {}
+func (Unary) expr()   {}
+func (Call) expr()    {}
+func (In) expr()      {}
+func (Between) expr() {}

@@ -1,0 +1,807 @@
+package sql
+
+import (
+	"fmt"
+	"strconv"
+)
+
+// Parse parses a semicolon-separated sequence of statements.
+func Parse(src string) ([]Stmt, error) {
+	toks, err := Lex(src)
+	if err != nil {
+		return nil, err
+	}
+	p := &parser{toks: toks}
+	var stmts []Stmt
+	for {
+		for p.acceptOp(";") {
+		}
+		if p.peek().Kind == TokEOF {
+			return stmts, nil
+		}
+		s, err := p.statement()
+		if err != nil {
+			return nil, err
+		}
+		stmts = append(stmts, s)
+		if !p.acceptOp(";") && p.peek().Kind != TokEOF {
+			return nil, p.errf("expected ';' or end of input")
+		}
+	}
+}
+
+// ParseOne parses exactly one statement.
+func ParseOne(src string) (Stmt, error) {
+	stmts, err := Parse(src)
+	if err != nil {
+		return nil, err
+	}
+	if len(stmts) != 1 {
+		return nil, fmt.Errorf("sql: expected one statement, got %d", len(stmts))
+	}
+	return stmts[0], nil
+}
+
+type parser struct {
+	toks []Token
+	pos  int
+}
+
+func (p *parser) peek() Token { return p.toks[p.pos] }
+func (p *parser) next() Token { t := p.toks[p.pos]; p.pos++; return t }
+func (p *parser) errf(format string, args ...any) error {
+	return fmt.Errorf("sql: %s (near position %d)", fmt.Sprintf(format, args...), p.peek().Pos)
+}
+
+func (p *parser) acceptKw(kw string) bool {
+	if t := p.peek(); t.Kind == TokKeyword && t.Text == kw {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectKw(kw string) error {
+	if !p.acceptKw(kw) {
+		return p.errf("expected %s", kw)
+	}
+	return nil
+}
+
+func (p *parser) acceptOp(op string) bool {
+	if t := p.peek(); t.Kind == TokOp && t.Text == op {
+		p.pos++
+		return true
+	}
+	return false
+}
+
+func (p *parser) expectOp(op string) error {
+	if !p.acceptOp(op) {
+		return p.errf("expected %q", op)
+	}
+	return nil
+}
+
+// ident accepts an identifier or a non-reserved keyword used as a name.
+func (p *parser) ident() (string, error) {
+	t := p.peek()
+	if t.Kind == TokIdent {
+		p.pos++
+		return t.Text, nil
+	}
+	if t.Kind == TokKeyword && (t.Text == "KEY" || t.Text == "COUNT") {
+		p.pos++
+		return t.Text, nil
+	}
+	return "", p.errf("expected identifier, got %q", t.Text)
+}
+
+func (p *parser) statement() (Stmt, error) {
+	t := p.peek()
+	if t.Kind != TokKeyword {
+		return nil, p.errf("expected statement keyword, got %q", t.Text)
+	}
+	switch t.Text {
+	case "CREATE":
+		return p.createTable()
+	case "DROP":
+		return p.dropTable()
+	case "INSERT":
+		return p.insert()
+	case "SELECT":
+		return p.selectStmt()
+	case "UPDATE":
+		return p.update()
+	case "DELETE":
+		return p.delete()
+	case "BEGIN":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		return Begin{}, nil
+	case "COMMIT":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		return Commit{}, nil
+	case "ROLLBACK":
+		p.pos++
+		p.acceptKw("TRANSACTION")
+		return Rollback{}, nil
+	case "VACUUM":
+		p.pos++
+		return Vacuum{}, nil
+	default:
+		return nil, p.errf("unsupported statement %s", t.Text)
+	}
+}
+
+func (p *parser) createTable() (Stmt, error) {
+	p.pos++ // CREATE
+	if p.acceptKw("UNIQUE") {
+		if err := p.expectKw("INDEX"); err != nil {
+			return nil, err
+		}
+		return p.createIndex(true)
+	}
+	if p.acceptKw("INDEX") {
+		return p.createIndex(false)
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := CreateTable{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.colDef()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Cols = append(stmt.Cols, col)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	if len(stmt.Cols) == 0 {
+		return nil, p.errf("table needs at least one column")
+	}
+	return stmt, nil
+}
+
+func (p *parser) colDef() (ColDef, error) {
+	var c ColDef
+	name, err := p.ident()
+	if err != nil {
+		return c, err
+	}
+	c.Name = name
+	t := p.peek()
+	if t.Kind == TokKeyword {
+		switch t.Text {
+		case "INTEGER", "INT":
+			c.Type = TInteger
+			p.pos++
+		case "TEXT":
+			c.Type = TText
+			p.pos++
+		case "REAL":
+			c.Type = TReal
+			p.pos++
+		case "BLOB":
+			c.Type = TBlob
+			p.pos++
+		}
+	}
+	for {
+		switch {
+		case p.acceptKw("PRIMARY"):
+			if err := p.expectKw("KEY"); err != nil {
+				return c, err
+			}
+			c.PrimaryKey = true
+		case p.acceptKw("NOT"):
+			if err := p.expectKw("NULL"); err != nil {
+				return c, err
+			}
+			c.NotNull = true
+		default:
+			return c, nil
+		}
+	}
+}
+
+// createIndex parses the remainder of CREATE [UNIQUE] INDEX.
+func (p *parser) createIndex(unique bool) (Stmt, error) {
+	stmt := CreateIndex{Unique: unique}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("NOT"); err != nil {
+			return nil, err
+		}
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfNotExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	if err := p.expectKw("ON"); err != nil {
+		return nil, err
+	}
+	if stmt.Table, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp("("); err != nil {
+		return nil, err
+	}
+	if stmt.Col, err = p.ident(); err != nil {
+		return nil, err
+	}
+	if err := p.expectOp(")"); err != nil {
+		return nil, err
+	}
+	return stmt, nil
+}
+
+func (p *parser) dropTable() (Stmt, error) {
+	p.pos++ // DROP
+	if p.acceptKw("INDEX") {
+		stmt := DropIndex{}
+		if p.acceptKw("IF") {
+			if err := p.expectKw("EXISTS"); err != nil {
+				return nil, err
+			}
+			stmt.IfExists = true
+		}
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Name = name
+		return stmt, nil
+	}
+	if err := p.expectKw("TABLE"); err != nil {
+		return nil, err
+	}
+	stmt := DropTable{}
+	if p.acceptKw("IF") {
+		if err := p.expectKw("EXISTS"); err != nil {
+			return nil, err
+		}
+		stmt.IfExists = true
+	}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Name = name
+	return stmt, nil
+}
+
+func (p *parser) insert() (Stmt, error) {
+	p.pos++ // INSERT
+	if err := p.expectKw("INTO"); err != nil {
+		return nil, err
+	}
+	stmt := Insert{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if p.acceptOp("(") {
+		for {
+			col, err := p.ident()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Cols = append(stmt.Cols, col)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+	}
+	if err := p.expectKw("VALUES"); err != nil {
+		return nil, err
+	}
+	for {
+		if err := p.expectOp("("); err != nil {
+			return nil, err
+		}
+		var row []Expr
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			row = append(row, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if err := p.expectOp(")"); err != nil {
+			return nil, err
+		}
+		stmt.Rows = append(stmt.Rows, row)
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	return stmt, nil
+}
+
+func (p *parser) selectStmt() (Stmt, error) {
+	p.pos++ // SELECT
+	stmt := Select{}
+	if p.acceptKw("DISTINCT") {
+		stmt.Distinct = true
+	}
+	for {
+		if p.acceptOp("*") {
+			stmt.Cols = append(stmt.Cols, SelectCol{Star: true})
+		} else {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			sc := SelectCol{Expr: e}
+			if p.acceptKw("AS") {
+				alias, err := p.ident()
+				if err != nil {
+					return nil, err
+				}
+				sc.Alias = alias
+			}
+			stmt.Cols = append(stmt.Cols, sc)
+		}
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("FROM") {
+		name, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Table = name
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	if p.acceptKw("GROUP") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.GroupBy = append(stmt.GroupBy, e)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+		if p.acceptKw("HAVING") {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Having = e
+		}
+	}
+	if p.acceptKw("ORDER") {
+		if err := p.expectKw("BY"); err != nil {
+			return nil, err
+		}
+		for {
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			term := OrderTerm{Expr: e}
+			if p.acceptKw("DESC") {
+				term.Desc = true
+			} else {
+				p.acceptKw("ASC")
+			}
+			stmt.OrderBy = append(stmt.OrderBy, term)
+			if p.acceptOp(",") {
+				continue
+			}
+			break
+		}
+	}
+	if p.acceptKw("LIMIT") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Limit = e
+		if p.acceptKw("OFFSET") {
+			o, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			stmt.Offset = o
+		}
+	}
+	return stmt, nil
+}
+
+func (p *parser) update() (Stmt, error) {
+	p.pos++ // UPDATE
+	stmt := Update{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if err := p.expectKw("SET"); err != nil {
+		return nil, err
+	}
+	for {
+		col, err := p.ident()
+		if err != nil {
+			return nil, err
+		}
+		if err := p.expectOp("="); err != nil {
+			return nil, err
+		}
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Sets = append(stmt.Sets, SetClause{Col: col, Expr: e})
+		if p.acceptOp(",") {
+			continue
+		}
+		break
+	}
+	if p.acceptKw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+func (p *parser) delete() (Stmt, error) {
+	p.pos++ // DELETE
+	if err := p.expectKw("FROM"); err != nil {
+		return nil, err
+	}
+	stmt := Delete{}
+	name, err := p.ident()
+	if err != nil {
+		return nil, err
+	}
+	stmt.Table = name
+	if p.acceptKw("WHERE") {
+		e, err := p.expr()
+		if err != nil {
+			return nil, err
+		}
+		stmt.Where = e
+	}
+	return stmt, nil
+}
+
+// --- Expressions (precedence climbing) --------------------------------------
+
+func (p *parser) expr() (Expr, error) { return p.orExpr() }
+
+func (p *parser) orExpr() (Expr, error) {
+	l, err := p.andExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("OR") {
+		r, err := p.andExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "OR", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) andExpr() (Expr, error) {
+	l, err := p.notExpr()
+	if err != nil {
+		return nil, err
+	}
+	for p.acceptKw("AND") {
+		r, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: "AND", L: l, R: r}
+	}
+	return l, nil
+}
+
+func (p *parser) notExpr() (Expr, error) {
+	if p.acceptKw("NOT") {
+		x, err := p.notExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: "NOT", X: x}, nil
+	}
+	return p.cmpExpr()
+}
+
+func (p *parser) cmpExpr() (Expr, error) {
+	l, err := p.addExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		// x [NOT] IN (...) / x [NOT] BETWEEN lo AND hi.
+		negate := false
+		if t.Kind == TokKeyword && t.Text == "NOT" && p.pos+1 < len(p.toks) &&
+			p.toks[p.pos+1].Kind == TokKeyword &&
+			(p.toks[p.pos+1].Text == "IN" || p.toks[p.pos+1].Text == "BETWEEN" || p.toks[p.pos+1].Text == "LIKE") {
+			p.pos++
+			negate = true
+			t = p.peek()
+		}
+		if t.Kind == TokKeyword && t.Text == "IN" {
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			in := In{X: l, Not: negate}
+			for {
+				e, err := p.expr()
+				if err != nil {
+					return nil, err
+				}
+				in.List = append(in.List, e)
+				if p.acceptOp(",") {
+					continue
+				}
+				break
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			l = in
+			continue
+		}
+		if t.Kind == TokKeyword && t.Text == "BETWEEN" {
+			p.pos++
+			lo, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectKw("AND"); err != nil {
+				return nil, err
+			}
+			hi, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Between{X: l, Lo: lo, Hi: hi, Not: negate}
+			continue
+		}
+		if negate { // NOT LIKE
+			if t.Kind != TokKeyword || t.Text != "LIKE" {
+				return nil, p.errf("expected IN, BETWEEN or LIKE after NOT")
+			}
+			p.pos++
+			r, err := p.addExpr()
+			if err != nil {
+				return nil, err
+			}
+			l = Unary{Op: "NOT", X: Binary{Op: "LIKE", L: l, R: r}}
+			continue
+		}
+		var op string
+		switch {
+		case t.Kind == TokOp && (t.Text == "=" || t.Text == "==" || t.Text == "<" ||
+			t.Text == ">" || t.Text == "<=" || t.Text == ">=" || t.Text == "<>" || t.Text == "!="):
+			op = t.Text
+			if op == "==" {
+				op = "="
+			}
+			if op == "<>" {
+				op = "!="
+			}
+			p.pos++
+		case t.Kind == TokKeyword && t.Text == "IS":
+			p.pos++
+			op = "IS"
+			if p.acceptKw("NOT") {
+				op = "IS NOT"
+			}
+		case t.Kind == TokKeyword && t.Text == "LIKE":
+			p.pos++
+			op = "LIKE"
+		default:
+			return l, nil
+		}
+		r, err := p.addExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: op, L: l, R: r}
+	}
+}
+
+func (p *parser) addExpr() (Expr, error) {
+	l, err := p.mulExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "+" && t.Text != "-" && t.Text != "||") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.mulExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *parser) mulExpr() (Expr, error) {
+	l, err := p.unaryExpr()
+	if err != nil {
+		return nil, err
+	}
+	for {
+		t := p.peek()
+		if t.Kind != TokOp || (t.Text != "*" && t.Text != "/" && t.Text != "%") {
+			return l, nil
+		}
+		p.pos++
+		r, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		l = Binary{Op: t.Text, L: l, R: r}
+	}
+}
+
+func (p *parser) unaryExpr() (Expr, error) {
+	t := p.peek()
+	if t.Kind == TokOp && (t.Text == "-" || t.Text == "+") {
+		p.pos++
+		x, err := p.unaryExpr()
+		if err != nil {
+			return nil, err
+		}
+		return Unary{Op: t.Text, X: x}, nil
+	}
+	return p.primary()
+}
+
+func (p *parser) primary() (Expr, error) {
+	t := p.peek()
+	switch t.Kind {
+	case TokInt:
+		p.pos++
+		n, err := strconv.ParseInt(t.Text, 10, 64)
+		if err != nil {
+			return nil, p.errf("bad integer %q", t.Text)
+		}
+		return Literal{Int(n)}, nil
+	case TokFloat:
+		p.pos++
+		f, err := strconv.ParseFloat(t.Text, 64)
+		if err != nil {
+			return nil, p.errf("bad float %q", t.Text)
+		}
+		return Literal{Real(f)}, nil
+	case TokString:
+		p.pos++
+		return Literal{Text(t.Text)}, nil
+	case TokBlob:
+		p.pos++
+		return Literal{Blob(t.Blob)}, nil
+	case TokKeyword:
+		switch t.Text {
+		case "NULL":
+			p.pos++
+			return Literal{Null()}, nil
+		case "COUNT":
+			p.pos++
+			if err := p.expectOp("("); err != nil {
+				return nil, err
+			}
+			if p.acceptOp("*") {
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+				return Call{Name: "COUNT", Star: true}, nil
+			}
+			arg, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return Call{Name: "COUNT", Args: []Expr{arg}}, nil
+		}
+		return nil, p.errf("unexpected keyword %s in expression", t.Text)
+	case TokIdent:
+		p.pos++
+		// function call?
+		if p.acceptOp("(") {
+			call := Call{Name: t.Text}
+			if !p.acceptOp(")") {
+				for {
+					a, err := p.expr()
+					if err != nil {
+						return nil, err
+					}
+					call.Args = append(call.Args, a)
+					if p.acceptOp(",") {
+						continue
+					}
+					break
+				}
+				if err := p.expectOp(")"); err != nil {
+					return nil, err
+				}
+			}
+			return call, nil
+		}
+		return Column{Name: t.Text}, nil
+	case TokOp:
+		if t.Text == "(" {
+			p.pos++
+			e, err := p.expr()
+			if err != nil {
+				return nil, err
+			}
+			if err := p.expectOp(")"); err != nil {
+				return nil, err
+			}
+			return e, nil
+		}
+	}
+	return nil, p.errf("unexpected token %q in expression", t.Text)
+}

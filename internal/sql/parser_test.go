@@ -1,0 +1,232 @@
+package sql
+
+import (
+	"strings"
+	"testing"
+	"testing/quick"
+)
+
+func parseOne(t *testing.T, src string) Stmt {
+	t.Helper()
+	s, err := ParseOne(src)
+	if err != nil {
+		t.Fatalf("parse %q: %v", src, err)
+	}
+	return s
+}
+
+func TestParseCreateTable(t *testing.T) {
+	s := parseOne(t, `CREATE TABLE IF NOT EXISTS users (
+		id INTEGER PRIMARY KEY, name TEXT NOT NULL, score REAL, pic BLOB)`)
+	ct, ok := s.(CreateTable)
+	if !ok {
+		t.Fatalf("got %T", s)
+	}
+	if ct.Name != "users" || !ct.IfNotExists || len(ct.Cols) != 4 {
+		t.Fatalf("parsed %+v", ct)
+	}
+	if !ct.Cols[0].PrimaryKey || ct.Cols[0].Type != TInteger {
+		t.Fatalf("col0 = %+v", ct.Cols[0])
+	}
+	if !ct.Cols[1].NotNull || ct.Cols[1].Type != TText {
+		t.Fatalf("col1 = %+v", ct.Cols[1])
+	}
+}
+
+func TestParseInsert(t *testing.T) {
+	s := parseOne(t, `INSERT INTO t (a, b) VALUES (1, 'x''y'), (2.5, x'CAFE')`)
+	ins := s.(Insert)
+	if ins.Table != "t" || len(ins.Cols) != 2 || len(ins.Rows) != 2 {
+		t.Fatalf("parsed %+v", ins)
+	}
+	if lit := ins.Rows[0][1].(Literal); lit.Val.AsText() != "x'y" {
+		t.Fatalf("string literal = %v", lit.Val)
+	}
+	if lit := ins.Rows[1][1].(Literal); string(lit.Val.AsBlob()) != "\xca\xfe" {
+		t.Fatalf("blob literal = %v", lit.Val)
+	}
+}
+
+func TestParseSelect(t *testing.T) {
+	s := parseOne(t, `SELECT id, name AS n, score * 2 FROM users
+		WHERE score >= 10 AND NOT (name = 'bob' OR id < 3)
+		ORDER BY score DESC, id LIMIT 10 OFFSET 5`)
+	sel := s.(Select)
+	if sel.Table != "users" || len(sel.Cols) != 3 {
+		t.Fatalf("parsed %+v", sel)
+	}
+	if sel.Cols[1].Alias != "n" {
+		t.Fatalf("alias = %q", sel.Cols[1].Alias)
+	}
+	if len(sel.OrderBy) != 2 || !sel.OrderBy[0].Desc || sel.OrderBy[1].Desc {
+		t.Fatalf("order by = %+v", sel.OrderBy)
+	}
+	if sel.Limit == nil || sel.Offset == nil {
+		t.Fatal("limit/offset missing")
+	}
+	b, ok := sel.Where.(Binary)
+	if !ok || b.Op != "AND" {
+		t.Fatalf("where = %+v", sel.Where)
+	}
+}
+
+func TestParseSelectStarAndCount(t *testing.T) {
+	s := parseOne(t, `SELECT * FROM t`)
+	if !s.(Select).Cols[0].Star {
+		t.Fatal("star not parsed")
+	}
+	s = parseOne(t, `SELECT COUNT(*) FROM t WHERE a IS NOT NULL`)
+	c := s.(Select).Cols[0].Expr.(Call)
+	if c.Name != "COUNT" || !c.Star {
+		t.Fatalf("count = %+v", c)
+	}
+	w := s.(Select).Where.(Binary)
+	if w.Op != "IS NOT" {
+		t.Fatalf("where op = %q", w.Op)
+	}
+}
+
+func TestParseUpdateDelete(t *testing.T) {
+	s := parseOne(t, `UPDATE t SET a = a + 1, b = 'z' WHERE id = 7`)
+	up := s.(Update)
+	if up.Table != "t" || len(up.Sets) != 2 || up.Where == nil {
+		t.Fatalf("parsed %+v", up)
+	}
+	s = parseOne(t, `DELETE FROM t WHERE id != 3`)
+	del := s.(Delete)
+	if del.Table != "t" || del.Where.(Binary).Op != "!=" {
+		t.Fatalf("parsed %+v", del)
+	}
+}
+
+func TestParseTransactionControl(t *testing.T) {
+	stmts, err := Parse(`BEGIN; INSERT INTO t VALUES (1); COMMIT; ROLLBACK TRANSACTION`)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(stmts) != 4 {
+		t.Fatalf("%d statements", len(stmts))
+	}
+	if _, ok := stmts[0].(Begin); !ok {
+		t.Fatalf("stmt0 = %T", stmts[0])
+	}
+	if _, ok := stmts[2].(Commit); !ok {
+		t.Fatalf("stmt2 = %T", stmts[2])
+	}
+	if _, ok := stmts[3].(Rollback); !ok {
+		t.Fatalf("stmt3 = %T", stmts[3])
+	}
+}
+
+func TestParsePrecedence(t *testing.T) {
+	s := parseOne(t, `SELECT 1 + 2 * 3 = 7 AND 1`)
+	e := s.(Select).Cols[0].Expr.(Binary)
+	if e.Op != "AND" {
+		t.Fatalf("top op = %q", e.Op)
+	}
+	cmp := e.L.(Binary)
+	if cmp.Op != "=" {
+		t.Fatalf("cmp op = %q", cmp.Op)
+	}
+	add := cmp.L.(Binary)
+	if add.Op != "+" {
+		t.Fatalf("add op = %q", add.Op)
+	}
+	if add.R.(Binary).Op != "*" {
+		t.Fatal("mul did not bind tighter than +")
+	}
+}
+
+func TestParseErrors(t *testing.T) {
+	bad := []string{
+		"CREATE users",
+		"INSERT t VALUES (1)",
+		"SELECT FROM t",
+		"SELECT * FROM t WHERE",
+		"UPDATE t WHERE a = 1",
+		"DELETE t",
+		"INSERT INTO t VALUES (1",
+		"CREATE TABLE t ()",
+		"SELECT 'unterminated",
+		"SELECT x'zz'",
+		"FOO BAR",
+	}
+	for _, src := range bad {
+		if _, err := Parse(src); err == nil {
+			t.Errorf("no error for %q", src)
+		}
+	}
+}
+
+func TestLexComments(t *testing.T) {
+	toks, err := Lex("SELECT 1 -- trailing comment\n + 2")
+	if err != nil {
+		t.Fatal(err)
+	}
+	var kinds []TokKind
+	for _, tok := range toks {
+		kinds = append(kinds, tok.Kind)
+	}
+	if len(toks) != 5 { // SELECT 1 + 2 EOF
+		t.Fatalf("tokens = %v", kinds)
+	}
+}
+
+func TestValueCompareOrdering(t *testing.T) {
+	order := []Value{Null(), Int(-5), Int(0), Real(0.5), Int(1), Text("a"), Text("b"), Blob([]byte("a"))}
+	for i := 1; i < len(order); i++ {
+		if Compare(order[i-1], order[i]) >= 0 {
+			t.Fatalf("%v should sort before %v", order[i-1], order[i])
+		}
+	}
+	if Compare(Int(3), Real(3.0)) != 0 {
+		t.Fatal("3 != 3.0")
+	}
+}
+
+func TestValueAccessors(t *testing.T) {
+	if Int(42).AsText() != "42" || Text("42").AsInt() != 42 {
+		t.Fatal("int/text coercion")
+	}
+	if !Int(1).Truthy() || Int(0).Truthy() || Null().Truthy() {
+		t.Fatal("truthiness")
+	}
+	if Text("0.5").AsReal() != 0.5 {
+		t.Fatal("text→real")
+	}
+	if Equal(Null(), Null()) {
+		t.Fatal("NULL must not equal NULL")
+	}
+}
+
+// Property: lexing never panics and either errors or terminates with EOF.
+func TestLexerRobustness(t *testing.T) {
+	f := func(s string) bool {
+		toks, err := Lex(s)
+		if err != nil {
+			return true
+		}
+		return len(toks) > 0 && toks[len(toks)-1].Kind == TokEOF
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 300}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// Property: the parser never panics on arbitrary keyword soup.
+func TestParserRobustness(t *testing.T) {
+	words := []string{"SELECT", "FROM", "WHERE", "(", ")", ",", "1", "'x'",
+		"a", "=", "AND", "*", "INSERT", "INTO", "VALUES", ";", "ORDER", "BY"}
+	f := func(idxs []uint8) bool {
+		var sb strings.Builder
+		for _, i := range idxs {
+			sb.WriteString(words[int(i)%len(words)])
+			sb.WriteByte(' ')
+		}
+		_, _ = Parse(sb.String()) // must not panic
+		return true
+	}
+	if err := quick.Check(f, &quick.Config{MaxCount: 400}); err != nil {
+		t.Fatal(err)
+	}
+}

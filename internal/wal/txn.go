@@ -1,0 +1,247 @@
+package wal
+
+import (
+	"fmt"
+
+	"fasp/internal/pager"
+	"fasp/internal/phase"
+	"fasp/internal/slotted"
+)
+
+// byteRange is a dirty region of a cached page.
+type byteRange struct{ off, n int }
+
+// dramMem is the slotted.Mem backend of a buffer-cached page: all reads and
+// writes hit the DRAM image (charging DRAM latency); dirty byte ranges are
+// recorded for differential logging.
+type dramMem struct {
+	tx    *Txn
+	no    uint32
+	base  int64
+	dirty []byteRange
+}
+
+func (m *dramMem) PageSize() int { return m.tx.st.cfg.PageSize }
+
+func (m *dramMem) Read(off, n int) []byte {
+	return m.tx.st.dram.Read(m.base+int64(off), n)
+}
+
+func (m *dramMem) Write(off int, src []byte) {
+	m.tx.st.dram.Store(m.base+int64(off), src)
+	m.markDirty(off, len(src))
+}
+
+func (m *dramMem) HeaderChanged(h *slotted.Header) {
+	enc := h.Encode()
+	m.tx.st.dram.Store(m.base, enc)
+	m.markDirty(0, len(enc))
+}
+
+func (m *dramMem) markDirty(off, n int) {
+	if len(m.dirty) == 0 {
+		m.tx.dirtyOrder = append(m.tx.dirtyOrder, m.no)
+	}
+	m.dirty = append(m.dirty, byteRange{off, n})
+}
+
+// mergedRanges coalesces the dirty ranges into sorted, disjoint spans —
+// the product of NVWAL's differential-logging computation.
+func (m *dramMem) mergedRanges() []byteRange {
+	if len(m.dirty) == 0 {
+		return nil
+	}
+	ps := m.tx.st.cfg.PageSize
+	covered := make([]bool, ps)
+	for _, r := range m.dirty {
+		for i := r.off; i < r.off+r.n && i < ps; i++ {
+			covered[i] = true
+		}
+	}
+	var out []byteRange
+	i := 0
+	for i < ps {
+		if !covered[i] {
+			i++
+			continue
+		}
+		j := i
+		for j < ps && covered[j] {
+			j++
+		}
+		out = append(out, byteRange{i, j - i})
+		i = j
+	}
+	return out
+}
+
+type txnPage struct {
+	page *slotted.Page
+	mem  *dramMem
+}
+
+// Txn is a baseline transaction over the DRAM buffer cache.
+type Txn struct {
+	st         *Store
+	meta       pager.Meta
+	metaDirty  bool
+	pages      map[uint32]*txnPage
+	dirtyOrder []uint32
+	poppedFree []uint32
+	freed      []uint32
+	done       bool
+}
+
+var _ pager.Txn = (*Txn)(nil)
+
+// Begin opens the single write transaction.
+func (st *Store) Begin() (pager.Txn, error) {
+	if st.open {
+		return nil, pager.ErrTxnActive
+	}
+	st.open = true
+	return &Txn{st: st, meta: st.meta, pages: make(map[uint32]*txnPage)}, nil
+}
+
+// PageSize returns the page size.
+func (tx *Txn) PageSize() int { return tx.st.cfg.PageSize }
+
+// Root returns the working root page.
+func (tx *Txn) Root() uint32 { return tx.meta.Root }
+
+// SetRoot updates the working root pointer.
+func (tx *Txn) SetRoot(no uint32) {
+	tx.meta.Root = no
+	tx.metaDirty = true
+}
+
+// Page opens page no through the buffer cache.
+func (tx *Txn) Page(no uint32) (*slotted.Page, error) {
+	if no == pager.MetaPageNo || no >= tx.meta.NPages {
+		return nil, fmt.Errorf("%w: page %d out of range", pager.ErrCorrupt, no)
+	}
+	if tp, ok := tx.pages[no]; ok {
+		return tp.page, nil
+	}
+	tx.st.ensureResident(no)
+	mem := &dramMem{tx: tx, no: no, base: tx.st.cfg.pageBase(no)}
+	p, err := slotted.Open(mem)
+	if err != nil {
+		return nil, err
+	}
+	// Volatile cache: freed cell space is reusable immediately (the PM
+	// copy is untouched until commit/checkpoint).
+	p.SetDeferFrees(false)
+	tx.pages[no] = &txnPage{page: p, mem: mem}
+	return p, nil
+}
+
+// AllocPage allocates and initialises a fresh page in the cache.
+func (tx *Txn) AllocPage(typ byte) (uint32, *slotted.Page, error) {
+	var no uint32
+	if n := len(tx.st.freePages); n > 0 {
+		no = tx.st.freePages[n-1]
+		tx.st.freePages = tx.st.freePages[:n-1]
+		tx.poppedFree = append(tx.poppedFree, no)
+	} else {
+		if int(tx.meta.NPages) >= tx.st.cfg.MaxPages {
+			return 0, nil, pager.ErrFull
+		}
+		no = tx.meta.NPages
+		tx.meta.NPages++
+	}
+	tx.metaDirty = true
+	base := tx.st.cfg.pageBase(no)
+	tx.st.dram.Zero(base, tx.st.cfg.PageSize)
+	tx.st.resident[no] = true
+	mem := &dramMem{tx: tx, no: no, base: base}
+	p := slotted.Init(mem, typ)
+	p.SetDeferFrees(false)
+	tx.pages[no] = &txnPage{page: p, mem: mem}
+	return no, p, nil
+}
+
+// FreePage releases a page for reuse after commit.
+func (tx *Txn) FreePage(no uint32) { tx.freed = append(tx.freed, no) }
+
+// OpEnd is a no-op: the volatile cache needs no per-operation persistence.
+func (tx *Txn) OpEnd() {}
+
+// Defragged is recorded only for symmetry; baselines always log.
+func (tx *Txn) Defragged() {}
+
+// Rollback abandons the transaction, invalidating dirty cache images so
+// the next access re-reads the committed PM copy.
+func (tx *Txn) Rollback() {
+	if tx.done {
+		return
+	}
+	for _, no := range tx.dirtyOrder {
+		tx.st.resident[no] = false
+	}
+	// Pages popped from the volatile free list go back.
+	tx.st.freePages = append(tx.st.freePages, tx.poppedFree...)
+	tx.finish()
+}
+
+// Commit dispatches to the scheme's protocol.
+func (tx *Txn) Commit() error {
+	if tx.done {
+		return fmt.Errorf("wal: commit on finished transaction")
+	}
+	// Fold the working meta into the cached page 0 so it is logged and
+	// checkpointed like any other page.
+	if tx.metaDirty {
+		tx.meta.TxID = tx.st.txid + 1
+		tx.flushMetaToCache()
+	}
+	clock := tx.st.sys.Clock()
+	var err error
+	clock.InPhase(phase.Commit, func() {
+		switch tx.st.cfg.Kind {
+		case NVWAL:
+			err = tx.commitNVWAL(false)
+		case FullWAL:
+			err = tx.commitNVWAL(true)
+		default:
+			err = tx.commitJournal()
+		}
+	})
+	if err != nil {
+		// A failed commit rolls the transaction back: nothing reached the
+		// database pages (the journal/WAL write failed first), so dropping
+		// the dirty cache images restores the committed state.
+		tx.Rollback()
+		return err
+	}
+	tx.st.txid++
+	tx.st.meta = tx.meta
+	tx.st.freePages = append(tx.st.freePages, tx.freed...)
+	tx.st.stats.Commits++
+	tx.finish()
+	// Lazy checkpointing runs outside the measured commit path, as in the
+	// paper's NVWAL comparison.
+	if tx.st.cfg.Kind != Journal && tx.st.walBytes >= tx.st.cfg.CheckpointBytes {
+		clock.InPhase("LazyCheckpoint", func() { tx.st.Checkpoint() })
+	}
+	return nil
+}
+
+// flushMetaToCache writes the working meta into the cached page 0 image and
+// marks the range dirty, creating the page's dramMem if needed.
+func (tx *Txn) flushMetaToCache() {
+	tx.st.ensureResident(pager.MetaPageNo)
+	tp, ok := tx.pages[pager.MetaPageNo]
+	if !ok {
+		mem := &dramMem{tx: tx, no: pager.MetaPageNo, base: 0}
+		tp = &txnPage{mem: mem}
+		tx.pages[pager.MetaPageNo] = tp
+	}
+	pager.WriteMeta(tx.st.dram, 0, tx.meta)
+	tp.mem.markDirty(0, 32)
+}
+
+func (tx *Txn) finish() {
+	tx.done = true
+	tx.st.open = false
+}

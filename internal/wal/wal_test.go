@@ -1,0 +1,454 @@
+package wal
+
+import (
+	"bytes"
+	"fmt"
+	"math/rand"
+	"testing"
+
+	"fasp/internal/btree"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+)
+
+func newStore(t testing.TB, kind Kind) (*pmem.System, *Store, *btree.Tree) {
+	t.Helper()
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := Create(sys, Config{PageSize: 512, MaxPages: 2048, LogBytes: 1 << 20, Kind: kind})
+	return sys, st, btree.New(st)
+}
+
+func k(i int) []byte        { return []byte(fmt.Sprintf("k%08d", i)) }
+func v(i int, n int) []byte { return bytes.Repeat([]byte{byte('a' + i%26)}, n) }
+
+func allKinds() []Kind { return []Kind{NVWAL, FullWAL, Journal} }
+
+func TestBasicCRUDAllKinds(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, _, tr := newStore(t, kind)
+			for i := 0; i < 300; i++ {
+				if err := tr.Insert(k(i), v(i, 30)); err != nil {
+					t.Fatalf("insert %d: %v", i, err)
+				}
+			}
+			for i := 0; i < 300; i += 7 {
+				if err := tr.Update(k(i), v(i+1, 20)); err != nil {
+					t.Fatalf("update %d: %v", i, err)
+				}
+			}
+			for i := 3; i < 300; i += 11 {
+				if err := tr.Delete(k(i)); err != nil {
+					t.Fatalf("delete %d: %v", i, err)
+				}
+			}
+			// Verify contents.
+			for i := 0; i < 300; i++ {
+				got, ok, err := tr.Get(k(i))
+				if err != nil {
+					t.Fatal(err)
+				}
+				deleted := i >= 3 && (i-3)%11 == 0
+				updated := i%7 == 0 && !deleted
+				switch {
+				case deleted && ok:
+					t.Fatalf("deleted key %d present", i)
+				case !deleted && !ok:
+					t.Fatalf("key %d missing", i)
+				case updated && !bytes.Equal(got, v(i+1, 20)):
+					t.Fatalf("key %d not updated", i)
+				}
+			}
+			tx, err := tr.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			defer tx.Rollback()
+			if err := tx.Validate(); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+}
+
+func TestRollbackInvalidatesCache(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, _, tr := newStore(t, kind)
+			if err := tr.Insert(k(1), v(1, 20)); err != nil {
+				t.Fatal(err)
+			}
+			tx, err := tr.Begin()
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Insert(k(2), v(2, 20)); err != nil {
+				t.Fatal(err)
+			}
+			if err := tx.Update(k(1), []byte("dirty")); err != nil {
+				t.Fatal(err)
+			}
+			tx.Rollback()
+			got, ok, err := tr.Get(k(1))
+			if err != nil || !ok {
+				t.Fatalf("get after rollback: %v %v", ok, err)
+			}
+			if !bytes.Equal(got, v(1, 20)) {
+				t.Fatalf("rollback leaked dirty value %q", got)
+			}
+			if _, ok, _ := tr.Get(k(2)); ok {
+				t.Fatal("rolled-back insert visible")
+			}
+		})
+	}
+}
+
+func TestNVWALFramesAndIndex(t *testing.T) {
+	_, st, tr := newStore(t, NVWAL)
+	for i := 0; i < 20; i++ {
+		if err := tr.Insert(k(i), v(i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Stats()
+	if s.WALFrames == 0 || s.WALBytes == 0 {
+		t.Fatalf("no WAL activity: %+v", s)
+	}
+	// Differential logging writes far fewer bytes than full pages.
+	if s.WALBytes >= int64(st.PageSize())*s.WALFrames {
+		t.Fatalf("NVWAL frames look like full pages: %+v", s)
+	}
+	if len(st.walIndex) == 0 {
+		t.Fatal("WAL index empty")
+	}
+}
+
+func TestFullWALWritesWholePages(t *testing.T) {
+	_, st, tr := newStore(t, FullWAL)
+	for i := 0; i < 10; i++ {
+		if err := tr.Insert(k(i), v(i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	s := st.Stats()
+	if s.WALBytes != int64(st.PageSize())*s.WALFrames {
+		t.Fatalf("FullWAL frame bytes %d != pages*%d (%d frames)", s.WALBytes, st.PageSize(), s.WALFrames)
+	}
+}
+
+func TestExplicitCheckpointResetsWAL(t *testing.T) {
+	_, st, tr := newStore(t, NVWAL)
+	for i := 0; i < 30; i++ {
+		if err := tr.Insert(k(i), v(i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	st.Checkpoint()
+	if st.walTail != 0 || len(st.walIndex) != 0 || st.walBytes != 0 {
+		t.Fatal("checkpoint left WAL state behind")
+	}
+	// PM pages now hold the data: a cold reattach (no WAL replay needed)
+	// must see everything.
+	st2, err := Attach(st.Arena(), st.cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := st2.Recover(); err != nil {
+		t.Fatal(err)
+	}
+	tr2 := btree.New(st2)
+	for i := 0; i < 30; i++ {
+		if _, ok, _ := tr2.Get(k(i)); !ok {
+			t.Fatalf("key %d missing after checkpoint+reattach", i)
+		}
+	}
+}
+
+func TestLazyCheckpointTriggers(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+	st := Create(sys, Config{PageSize: 512, MaxPages: 2048, LogBytes: 1 << 20,
+		CheckpointBytes: 4096, Kind: NVWAL})
+	tr := btree.New(st)
+	for i := 0; i < 200; i++ {
+		if err := tr.Insert(k(i), v(i, 40)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if st.Stats().Checkpoints == 0 {
+		t.Fatal("lazy checkpoint never fired")
+	}
+}
+
+func TestRecoveryAfterCrashAllKinds(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{PageSize: 256, MaxPages: 1024, LogBytes: 1 << 20, Kind: kind}
+			const nTxns = 18
+			// Count crash points.
+			sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+			st := Create(sys, cfg)
+			tr := btree.New(st)
+			base := sys.CrashPoints()
+			for i := 0; i < nTxns; i++ {
+				if err := tr.Insert(k(i), v(i, 40)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			total := sys.CrashPoints() - base
+			step := total / 60
+			if step == 0 {
+				step = 1
+			}
+			if testing.Short() {
+				step = total / 12
+			}
+			for _, opts := range []pmem.CrashOptions{pmem.EvictNone, pmem.EvictAll, {Seed: 7, EvictProb: 0.5}} {
+				for kpt := int64(0); kpt < total; kpt += step {
+					sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+					st := Create(sys, cfg)
+					tr := btree.New(st)
+					var committed []int
+					sys.CrashAfter(kpt)
+					sys.RunToCrash(func() {
+						for i := 0; i < nTxns; i++ {
+							if err := tr.Insert(k(i), v(i, 40)); err != nil {
+								panic(err)
+							}
+							committed = append(committed, i)
+						}
+					})
+					sys.Crash(opts)
+					st2, err := Attach(st.Arena(), cfg)
+					if err != nil {
+						t.Fatalf("%v crash@%d: attach: %v", kind, kpt, err)
+					}
+					if err := st2.Recover(); err != nil {
+						t.Fatalf("%v crash@%d: recover: %v", kind, kpt, err)
+					}
+					tr2 := btree.New(st2)
+					tx, err := tr2.Begin()
+					if err != nil {
+						t.Fatal(err)
+					}
+					if err := tx.Validate(); err != nil {
+						t.Fatalf("%v crash@%d evict=%.1f: invalid tree: %v", kind, kpt, opts.EvictProb, err)
+					}
+					count, err := tx.Count()
+					if err != nil {
+						t.Fatal(err)
+					}
+					for _, i := range committed {
+						got, ok, err := tx.Get(k(i))
+						if err != nil || !ok {
+							t.Fatalf("%v crash@%d: committed key %d missing", kind, kpt, i)
+						}
+						if !bytes.Equal(got, v(i, 40)) {
+							t.Fatalf("%v crash@%d: committed key %d corrupt", kind, kpt, i)
+						}
+					}
+					if count != len(committed) && count != len(committed)+1 {
+						t.Fatalf("%v crash@%d: %d keys recovered, %d committed", kind, kpt, count, len(committed))
+					}
+					tx.Rollback()
+				}
+			}
+		})
+	}
+}
+
+func TestVariantsMatchReferenceModel(t *testing.T) {
+	for _, kind := range allKinds() {
+		t.Run(kind.String(), func(t *testing.T) {
+			_, _, tr := newStore(t, kind)
+			rng := rand.New(rand.NewSource(4))
+			model := map[string]string{}
+			for step := 0; step < 400; step++ {
+				i := rng.Intn(120)
+				switch rng.Intn(4) {
+				case 0, 1:
+					val := v(i, 10+rng.Intn(50))
+					if err := tr.Insert(k(i), val); err == nil {
+						model[string(k(i))] = string(val)
+					}
+				case 2:
+					val := v(i+2, 10+rng.Intn(50))
+					if err := tr.Update(k(i), val); err == nil {
+						model[string(k(i))] = string(val)
+					}
+				case 3:
+					if err := tr.Delete(k(i)); err == nil {
+						delete(model, string(k(i)))
+					}
+				}
+			}
+			got := map[string]string{}
+			if err := tr.Scan(nil, nil, func(key, val []byte) bool {
+				got[string(key)] = string(val)
+				return true
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if len(got) != len(model) {
+				t.Fatalf("%d keys, model %d", len(got), len(model))
+			}
+			for kk, vv := range model {
+				if got[kk] != vv {
+					t.Fatalf("key %q = %q, want %q", kk, got[kk], vv)
+				}
+			}
+		})
+	}
+}
+
+func TestBeginWhileActiveRejected(t *testing.T) {
+	_, st, _ := newStore(t, NVWAL)
+	tx, err := st.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := st.Begin(); err != pager.ErrTxnActive {
+		t.Fatalf("second begin: %v", err)
+	}
+	tx.Rollback()
+	if _, err := st.Begin(); err != nil {
+		t.Fatalf("begin after rollback: %v", err)
+	}
+}
+
+// TestCrashDuringCheckpoint sweeps crash points through an explicit
+// checkpoint: a crash mid-checkpoint must leave the WAL head intact so
+// recovery replays the frames, never losing committed data.
+func TestCrashDuringCheckpoint(t *testing.T) {
+	for _, kind := range []Kind{NVWAL, FullWAL} {
+		t.Run(kind.String(), func(t *testing.T) {
+			cfg := Config{PageSize: 256, MaxPages: 1024, LogBytes: 4 << 20,
+				CheckpointBytes: 1 << 60, Kind: kind}
+			const n = 15
+			prep := func() (*pmem.System, *Store) {
+				sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+				st := Create(sys, cfg)
+				tr := btree.New(st)
+				for i := 0; i < n; i++ {
+					if err := tr.Insert(k(i), v(i, 40)); err != nil {
+						t.Fatal(err)
+					}
+				}
+				return sys, st
+			}
+			// Count checkpoint crash points.
+			sys, st := prep()
+			base := sys.CrashPoints()
+			st.Checkpoint()
+			total := sys.CrashPoints() - base
+			if total < 10 {
+				t.Fatalf("checkpoint has only %d crash points", total)
+			}
+			step := total / 40
+			if step == 0 {
+				step = 1
+			}
+			for kpt := int64(0); kpt < total; kpt += step {
+				sys, st := prep()
+				sys.CrashAfter(kpt)
+				sys.RunToCrash(func() { st.Checkpoint() })
+				sys.Crash(pmem.CrashOptions{Seed: kpt, EvictProb: 0.5})
+				st2, err := Attach(st.Arena(), cfg)
+				if err != nil {
+					t.Fatalf("crash@%d: %v", kpt, err)
+				}
+				if err := st2.Recover(); err != nil {
+					t.Fatalf("crash@%d: recover: %v", kpt, err)
+				}
+				tr2 := btree.New(st2)
+				tx, err := tr2.Begin()
+				if err != nil {
+					t.Fatal(err)
+				}
+				if err := tx.Validate(); err != nil {
+					t.Fatalf("crash@%d: invalid: %v", kpt, err)
+				}
+				for i := 0; i < n; i++ {
+					got, ok, err := tx.Get(k(i))
+					if err != nil || !ok || !bytes.Equal(got, v(i, 40)) {
+						t.Fatalf("crash@%d: committed key %d lost in checkpoint crash", kpt, i)
+					}
+				}
+				tx.Rollback()
+			}
+		})
+	}
+}
+
+// TestWALWrapForcesCheckpoint fills the FullWAL bump region until it wraps.
+func TestWALWrapForcesCheckpoint(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(120, 120))
+	st := Create(sys, Config{PageSize: 512, MaxPages: 2048, LogBytes: 64 << 10,
+		CheckpointBytes: 1 << 60, Kind: FullWAL})
+	tr := btree.New(st)
+	for i := 0; i < 300; i++ {
+		if err := tr.Insert(k(i), v(i, 40)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if st.Stats().Checkpoints == 0 {
+		t.Fatal("bump-region exhaustion never forced a checkpoint")
+	}
+	for i := 0; i < 300; i++ {
+		if _, ok, _ := tr.Get(k(i)); !ok {
+			t.Fatalf("key %d lost across forced checkpoint", i)
+		}
+	}
+}
+
+// TestNVWALHeapExhaustionForcesCheckpoint does the same for the heap.
+func TestNVWALHeapExhaustionForcesCheckpoint(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(120, 120))
+	st := Create(sys, Config{PageSize: 512, MaxPages: 2048, LogBytes: 64 << 10,
+		CheckpointBytes: 1 << 60, Kind: NVWAL})
+	tr := btree.New(st)
+	for i := 0; i < 400; i++ {
+		if err := tr.Insert(k(i), v(i, 40)); err != nil {
+			t.Fatalf("insert %d: %v", i, err)
+		}
+	}
+	if st.Stats().Checkpoints == 0 {
+		t.Fatal("heap exhaustion never forced a checkpoint")
+	}
+	for i := 0; i < 400; i++ {
+		if _, ok, _ := tr.Get(k(i)); !ok {
+			t.Fatalf("key %d lost", i)
+		}
+	}
+}
+
+// TestJournalRegionTooSmall: a transaction dirtying more pages than the
+// journal region can hold fails cleanly and rolls back.
+func TestJournalRegionTooSmall(t *testing.T) {
+	sys := pmem.NewSystem(pmem.DefaultLatencies(120, 120))
+	st := Create(sys, Config{PageSize: 512, MaxPages: 2048, LogBytes: 1100, Kind: Journal})
+	tr := btree.New(st)
+	if err := tr.Insert(k(1), v(1, 20)); err != nil {
+		t.Fatal(err)
+	}
+	// A multi-page transaction exceeds the tiny journal.
+	tx, _ := tr.Begin()
+	var txErr error
+	for i := 2; i < 200 && txErr == nil; i++ {
+		txErr = tx.Insert(k(i), v(i, 40))
+	}
+	if txErr == nil {
+		txErr = tx.Commit()
+	} else {
+		tx.Rollback()
+	}
+	if txErr == nil {
+		t.Fatal("oversized journal transaction committed")
+	}
+	// Store still consistent and usable.
+	if _, ok, err := tr.Get(k(1)); err != nil || !ok {
+		t.Fatalf("store damaged after journal overflow: %v %v", ok, err)
+	}
+	if err := tr.Insert(k(9999), v(1, 20)); err != nil {
+		t.Fatalf("store unusable after journal overflow: %v", err)
+	}
+}

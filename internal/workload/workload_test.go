@@ -1,0 +1,161 @@
+package workload
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestDeterminism(t *testing.T) {
+	run := func() ([][]byte, [][]byte) {
+		g := New(Config{Seed: 7, RecordSize: 32})
+		var ks, vs [][]byte
+		for i := 0; i < 50; i++ {
+			ks = append(ks, g.NextKey())
+			vs = append(vs, g.NextValue())
+		}
+		return ks, vs
+	}
+	k1, v1 := run()
+	k2, v2 := run()
+	for i := range k1 {
+		if !bytes.Equal(k1[i], k2[i]) || !bytes.Equal(v1[i], v2[i]) {
+			t.Fatalf("generator not deterministic at %d", i)
+		}
+	}
+}
+
+func TestUniformKeysAreUnique(t *testing.T) {
+	g := New(Config{Seed: 1})
+	seen := map[string]bool{}
+	for i := 0; i < 5000; i++ {
+		k := g.NextKey()
+		if len(k) != 8 {
+			t.Fatalf("key length %d", len(k))
+		}
+		if seen[string(k)] {
+			t.Fatalf("duplicate key at %d", i)
+		}
+		seen[string(k)] = true
+	}
+}
+
+func TestSequentialKeysIncrease(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: SequentialKeys})
+	prev := g.NextKey()
+	for i := 0; i < 100; i++ {
+		k := g.NextKey()
+		if bytes.Compare(k, prev) <= 0 {
+			t.Fatal("sequential keys not increasing")
+		}
+		prev = k
+	}
+}
+
+func TestZipfKeysSkew(t *testing.T) {
+	g := New(Config{Seed: 1, Keys: ZipfKeys, KeySpace: 1 << 20})
+	counts := map[string]int{}
+	for i := 0; i < 5000; i++ {
+		counts[string(g.NextKey())]++
+	}
+	// A zipfian stream must repeat hot keys heavily.
+	max := 0
+	for _, c := range counts {
+		if c > max {
+			max = c
+		}
+	}
+	if max < 50 {
+		t.Fatalf("zipf not skewed: hottest key seen %d times", max)
+	}
+}
+
+func TestUsedKeyReturnsIssuedKeys(t *testing.T) {
+	g := New(Config{Seed: 2, KeySpace: 64}) // dense space: fast hits
+	issued := map[string]bool{}
+	for i := 0; i < 20; i++ {
+		issued[string(g.NextKey())] = true
+	}
+	for i := 0; i < 50; i++ {
+		if !issued[string(g.UsedKey())] {
+			t.Fatal("UsedKey returned a never-issued key")
+		}
+	}
+	// Forget removes keys from the pool.
+	for k := range issued {
+		g.Forget([]byte(k))
+	}
+	// With no used keys the generator falls back to a fresh key.
+	if k := g.UsedKey(); len(k) != 8 {
+		t.Fatal("fallback key malformed")
+	}
+}
+
+func TestValueSizes(t *testing.T) {
+	g := New(Config{Seed: 1, RecordSize: 100})
+	if len(g.NextValue()) != 100 {
+		t.Fatal("NextValue size")
+	}
+	if len(g.ValueOfSize(7)) != 7 {
+		t.Fatal("ValueOfSize")
+	}
+}
+
+func TestMixProportions(t *testing.T) {
+	g := New(Config{Seed: 3})
+	counts := map[OpKind]int{}
+	const n = 20000
+	for i := 0; i < n; i++ {
+		counts[g.NextOp(BalancedMix)]++
+	}
+	frac := func(k OpKind) float64 { return float64(counts[k]) / n }
+	if f := frac(OpInsert); f < 0.45 || f > 0.55 {
+		t.Fatalf("insert fraction %.2f", f)
+	}
+	if f := frac(OpDelete); f < 0.07 || f > 0.13 {
+		t.Fatalf("delete fraction %.2f", f)
+	}
+	// MobileMix is all inserts.
+	for i := 0; i < 100; i++ {
+		if g.NextOp(MobileMix) != OpInsert {
+			t.Fatal("mobile mix produced a non-insert")
+		}
+	}
+	// Degenerate mix defaults to insert.
+	if g.NextOp(Mix{}) != OpInsert {
+		t.Fatal("zero mix did not default to insert")
+	}
+}
+
+func TestSQLInsertRendering(t *testing.T) {
+	s := SQLInsert("t", 7, []byte{0xAB, 0xCD})
+	if s != "INSERT INTO t VALUES (7, x'abcd')" {
+		t.Fatalf("rendered %q", s)
+	}
+}
+
+func TestPercentile(t *testing.T) {
+	xs := []int64{5, 1, 9, 3, 7}
+	if p := Percentile(xs, 50); p != 5 {
+		t.Fatalf("p50 = %d", p)
+	}
+	if p := Percentile(xs, 100); p != 9 {
+		t.Fatalf("p100 = %d", p)
+	}
+	if p := Percentile(nil, 50); p != 0 {
+		t.Fatalf("empty = %d", p)
+	}
+	// The input must not be mutated.
+	if xs[0] != 5 {
+		t.Fatal("Percentile sorted the caller's slice")
+	}
+}
+
+func TestOpKindString(t *testing.T) {
+	for k, want := range map[OpKind]string{
+		OpInsert: "insert", OpUpdate: "update", OpDelete: "delete", OpSelect: "select",
+	} {
+		if k.String() != want {
+			t.Fatalf("%v", k)
+		}
+	}
+}
