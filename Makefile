@@ -1,0 +1,31 @@
+GO ?= go
+N  ?= 20000
+
+.PHONY: all build vet test race bench bench-json clean
+
+all: vet build test
+
+build:
+	$(GO) build ./...
+
+vet:
+	$(GO) vet ./...
+
+test:
+	$(GO) test ./...
+
+race:
+	$(GO) test -race -short ./internal/...
+
+# Go-benchmark view (wall clock + simulated metrics + allocs).
+bench:
+	$(GO) test -bench 'BenchmarkInsert|BenchmarkGet' -benchmem -run '^$$' .
+
+# Machine-readable wall-clock trajectory: ns/op and allocs/op for insert and
+# search across all five schemes. Set BASELINE to a previous report to embed
+# per-scheme speedup ratios.
+bench-json:
+	$(GO) run ./cmd/faspbench -benchjson BENCH_PR1.json $(if $(BASELINE),-baseline $(BASELINE)) -n $(N)
+
+clean:
+	rm -f BENCH_PR1.json

@@ -39,6 +39,7 @@ func BenchmarkInsert(b *testing.B) {
 			e := experiment.NewEnv(s, pmem.DefaultLatencies(300, 300), p)
 			gen := workload.New(workload.Config{Seed: 42, RecordSize: 64})
 			start := e.Sys.Clock().Now()
+			b.ReportAllocs()
 			b.ResetTimer()
 			for i := 0; i < b.N; i++ {
 				if err := e.Tree.Insert(gen.NextKey(), gen.NextValue()); err != nil {
@@ -65,6 +66,7 @@ func BenchmarkGet(b *testing.B) {
 		}
 	}
 	start := e.Sys.Clock().Now()
+	b.ReportAllocs()
 	b.ResetTimer()
 	for i := 0; i < b.N; i++ {
 		if _, ok, err := e.Tree.Get(keys[i%len(keys)]); err != nil || !ok {

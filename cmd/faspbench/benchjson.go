@@ -1,0 +1,137 @@
+package main
+
+// Wall-clock benchmark mode (-benchjson): unlike the figure tables, which
+// report *simulated* nanoseconds, this mode measures how fast the emulation
+// itself runs on the host — Go wall-clock ns/op and heap allocs/op for
+// insert and search at a fixed transaction count across all five schemes.
+// The output is a JSON trajectory file (BENCH_PR1.json et seq.) that later
+// PRs regress against.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"time"
+
+	"fasp/internal/experiment"
+	"fasp/internal/pmem"
+	"fasp/internal/workload"
+)
+
+// BenchSchemeResult is one scheme's wall-clock measurements.
+type BenchSchemeResult struct {
+	Scheme         string  `json:"scheme"`
+	InsertNsOp     float64 `json:"insert_ns_op"`
+	InsertAllocsOp float64 `json:"insert_allocs_op"`
+	InsertSimUsTxn float64 `json:"insert_sim_us_txn"`
+	SearchNsOp     float64 `json:"search_ns_op"`
+	SearchAllocsOp float64 `json:"search_allocs_op"`
+	SearchSimUsOp  float64 `json:"search_sim_us_op"`
+}
+
+// BenchReport is the JSON document emitted by -benchjson.
+type BenchReport struct {
+	Generated string              `json:"generated"`
+	GoVersion string              `json:"go_version"`
+	N         int                 `json:"n"`
+	PageSize  int                 `json:"page_size"`
+	Seed      int64               `json:"seed"`
+	Schemes   []BenchSchemeResult `json:"schemes"`
+	// Baseline optionally embeds the previous trajectory point (e.g. the
+	// pre-optimisation numbers) for side-by-side comparison.
+	Baseline *BenchReport `json:"baseline,omitempty"`
+}
+
+// runBenchScheme measures one scheme: n single-insert transactions, then n
+// point lookups over the inserted keys. Keys and values are pre-generated so
+// the workload generator stays out of the measured region.
+func runBenchScheme(s experiment.Scheme, n, pageSize int, seed int64) (BenchSchemeResult, error) {
+	p := experiment.Params{N: n, PageSize: pageSize, Seed: seed}
+	e := experiment.NewEnv(s, pmem.DefaultLatencies(300, 300), p)
+	gen := workload.New(workload.Config{Seed: seed, RecordSize: 64})
+	keys := make([][]byte, n)
+	vals := make([][]byte, n)
+	for i := 0; i < n; i++ {
+		keys[i] = gen.NextKey()
+		vals[i] = gen.NextValue()
+	}
+
+	res := BenchSchemeResult{Scheme: s.String()}
+	var ms0, ms1 runtime.MemStats
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	sim0 := e.Sys.Clock().Now()
+	t0 := time.Now()
+	for i := 0; i < n; i++ {
+		if err := e.Tree.Insert(keys[i], vals[i]); err != nil {
+			return res, fmt.Errorf("%s insert %d: %w", s, i, err)
+		}
+	}
+	wall := time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res.InsertNsOp = float64(wall.Nanoseconds()) / float64(n)
+	res.InsertAllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+	res.InsertSimUsTxn = float64(e.Sys.Clock().Now()-sim0) / float64(n) / 1000
+
+	runtime.GC()
+	runtime.ReadMemStats(&ms0)
+	sim0 = e.Sys.Clock().Now()
+	t0 = time.Now()
+	for i := 0; i < n; i++ {
+		v, ok, err := e.Tree.Get(keys[i])
+		if err != nil || !ok || len(v) == 0 {
+			return res, fmt.Errorf("%s search %d: ok=%v err=%v", s, i, ok, err)
+		}
+	}
+	wall = time.Since(t0)
+	runtime.ReadMemStats(&ms1)
+	res.SearchNsOp = float64(wall.Nanoseconds()) / float64(n)
+	res.SearchAllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
+	res.SearchSimUsOp = float64(e.Sys.Clock().Now()-sim0) / float64(n) / 1000
+	return res, nil
+}
+
+// runBenchJSON runs the wall-clock benchmark for every scheme and writes the
+// JSON report. baselinePath, when non-empty, is a previous report to embed.
+func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64) error {
+	rep := BenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		N:         n,
+		PageSize:  pageSize,
+		Seed:      seed,
+	}
+	for _, s := range experiment.AllSchemes {
+		r, err := runBenchScheme(s, n, pageSize, seed)
+		if err != nil {
+			return err
+		}
+		fmt.Fprintf(os.Stderr, "%-8s insert %10.0f ns/op %8.1f allocs/op   search %10.0f ns/op %8.1f allocs/op\n",
+			r.Scheme, r.InsertNsOp, r.InsertAllocsOp, r.SearchNsOp, r.SearchAllocsOp)
+		rep.Schemes = append(rep.Schemes, r)
+	}
+	if baselinePath != "" {
+		raw, err := os.ReadFile(baselinePath)
+		if err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		var base BenchReport
+		if err := json.Unmarshal(raw, &base); err != nil {
+			return fmt.Errorf("baseline: %w", err)
+		}
+		base.Baseline = nil // keep the trajectory one level deep
+		rep.Baseline = &base
+	}
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}

@@ -28,8 +28,18 @@ func main() {
 		n         = flag.Int("n", 10000, "transactions per data point (paper: 100000)")
 		pageSize  = flag.Int("pagesize", 4096, "database page size in bytes")
 		seed      = flag.Int64("seed", 42, "workload seed")
+		benchJSON = flag.String("benchjson", "", "write wall-clock insert/search benchmark JSON to this file ('-' = stdout)")
+		baseline  = flag.String("baseline", "", "previous -benchjson report to embed for comparison")
 	)
 	flag.Parse()
+
+	if *benchJSON != "" {
+		if err := runBenchJSON(*benchJSON, *baseline, *n, *pageSize, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: benchjson: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	p := experiment.Params{N: *n, PageSize: *pageSize, Seed: *seed}
 	figs := map[int]func() error{

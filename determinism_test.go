@@ -1,0 +1,245 @@
+package fasp_test
+
+// The golden determinism test pins the simulated-time behavior of the whole
+// stack: the deterministic clock, the latency accounting, the cache overlay's
+// hit/miss/eviction behavior, and the crash-lottery semantics. Wall-clock
+// optimisations of the PM emulation (slab allocators, handle recycling,
+// scratch buffers) must NOT change any number in testdata/golden.json —
+// simulated results stay bit-identical while the emulation gets faster.
+//
+// Regenerate (only when simulated behavior is *intentionally* changed):
+//
+//	go test -run TestGoldenDeterminism -update-golden .
+
+import (
+	"encoding/json"
+	"flag"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fasp/internal/btree"
+	"fasp/internal/fast"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+	"fasp/internal/wal"
+	"fasp/internal/workload"
+)
+
+var updateGolden = flag.Bool("update-golden", false, "rewrite testdata/golden.json from the current behavior")
+
+// goldenRecord captures every observable output of the fixed workload on one
+// scheme: simulated time, phase breakdowns, architectural event counters,
+// overlay occupancy, and a content checksum of the surviving tree.
+type goldenRecord struct {
+	SimNS       int64            `json:"sim_ns"`
+	Fences      int64            `json:"fences"`
+	CrashPoints int64            `json:"crash_points"`
+	Resident    int              `json:"resident_lines"`
+	Dirty       int              `json:"dirty_lines"`
+	Count       int              `json:"count"`
+	TreeSum     uint64           `json:"tree_sum"`
+	PM          pmem.Stats       `json:"pm_stats"`
+	Phases      map[string]int64 `json:"phases"`
+}
+
+// goldenSchemes lists the five commit schemes under test.
+var goldenSchemes = []string{"NVWAL", "FAST", "FAST+", "WAL", "Journal"}
+
+// goldenEnv builds a machine with a deliberately small CPU-cache overlay
+// (256 lines) so the workload churns through FIFO eviction, and page-size
+// 1024 so it splits often.
+func goldenEnv(scheme string) (*pmem.System, pager.Store, *pmem.Arena, func() (pager.Store, error)) {
+	lat := pmem.DefaultLatencies(300, 300)
+	lat.CacheBytes = 16 << 10
+	sys := pmem.NewSystem(lat)
+	switch scheme {
+	case "FAST", "FAST+":
+		variant := fast.SlotHeaderLogging
+		if scheme == "FAST+" {
+			variant = fast.InPlaceCommit
+		}
+		cfg := fast.Config{PageSize: 1024, MaxPages: 2048, LogBytes: 256 << 10, Variant: variant}
+		st := fast.Create(sys, cfg)
+		arena := st.Arena()
+		reattach := func() (pager.Store, error) {
+			ns, err := fast.Attach(arena, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return ns, ns.Recover()
+		}
+		return sys, st, arena, reattach
+	default:
+		kind := wal.NVWAL
+		switch scheme {
+		case "WAL":
+			kind = wal.FullWAL
+		case "Journal":
+			kind = wal.Journal
+		}
+		cfg := wal.Config{PageSize: 1024, MaxPages: 2048, LogBytes: 1 << 20, CheckpointBytes: 128 << 10, Kind: kind}
+		st := wal.Create(sys, cfg)
+		arena := st.Arena()
+		reattach := func() (pager.Store, error) {
+			ns, err := wal.Attach(arena, cfg)
+			if err != nil {
+				return nil, err
+			}
+			return ns, ns.Recover()
+		}
+		return sys, st, arena, reattach
+	}
+}
+
+// runGoldenWorkload drives the fixed workload on one scheme and returns its
+// observable record.
+func runGoldenWorkload(t *testing.T, scheme string) goldenRecord {
+	t.Helper()
+	sys, st, arena, reattach := goldenEnv(scheme)
+	tree := btree.New(st)
+	gen := workload.New(workload.Config{Seed: 11, RecordSize: 100})
+
+	var keys [][]byte
+	for i := 0; i < 400; i++ {
+		k := gen.NextKey()
+		keys = append(keys, k)
+		if err := tree.Insert(k, gen.NextValue()); err != nil {
+			t.Fatalf("%s insert %d: %v", scheme, i, err)
+		}
+	}
+	for i := 0; i < 60; i++ {
+		if err := tree.Update(keys[(i*3)%400], gen.ValueOfSize(120)); err != nil {
+			t.Fatalf("%s update %d: %v", scheme, i, err)
+		}
+	}
+	for i := 0; i < 40; i++ {
+		if err := tree.Delete(keys[(i*7)%280]); err != nil {
+			t.Fatalf("%s delete %d: %v", scheme, i, err)
+		}
+	}
+	for _, k := range keys {
+		if _, _, err := tree.Get(k); err != nil {
+			t.Fatalf("%s get: %v", scheme, err)
+		}
+	}
+	// One multi-insert transaction (FAST+ takes its logged fallback here).
+	tx, err := tree.Begin()
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 8; i++ {
+		if err := tx.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+			t.Fatalf("%s batch insert: %v", scheme, err)
+		}
+	}
+	if err := tx.Commit(); err != nil {
+		t.Fatalf("%s batch commit: %v", scheme, err)
+	}
+
+	// Crash mid-workload, run the eviction lottery, recover, keep going.
+	sys.CrashAfter(1500)
+	crashed := sys.RunToCrash(func() {
+		for i := 0; i < 500; i++ {
+			if err := tree.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+				panic(err)
+			}
+		}
+	})
+	if !crashed {
+		t.Fatalf("%s: crash did not fire", scheme)
+	}
+	sys.Crash(pmem.CrashOptions{Seed: 7, EvictProb: 0.5})
+	st2, err := reattach()
+	if err != nil {
+		t.Fatalf("%s recover: %v", scheme, err)
+	}
+	tree = btree.New(st2)
+	for i := 0; i < 50; i++ {
+		if err := tree.Insert(gen.NextKey(), gen.NextValue()); err != nil {
+			t.Fatalf("%s post-crash insert: %v", scheme, err)
+		}
+	}
+
+	// Fold the surviving contents into a checksum.
+	h := fnv.New64a()
+	count := 0
+	if err := tree.Scan(nil, nil, func(k, v []byte) bool {
+		h.Write(k)
+		h.Write(v)
+		count++
+		return true
+	}); err != nil {
+		t.Fatalf("%s scan: %v", scheme, err)
+	}
+
+	return goldenRecord{
+		SimNS:       sys.Clock().Now(),
+		Fences:      sys.Fences(),
+		CrashPoints: sys.CrashPoints(),
+		Resident:    arena.ResidentLines(),
+		Dirty:       arena.DirtyLines(),
+		Count:       count,
+		TreeSum:     h.Sum64(),
+		PM:          arena.Stats(),
+		Phases:      sys.Clock().Phases(),
+	}
+}
+
+// TestGoldenDeterminism runs the fixed workload on all five schemes and
+// compares every observable against testdata/golden.json.
+func TestGoldenDeterminism(t *testing.T) {
+	got := make(map[string]goldenRecord, len(goldenSchemes))
+	for _, scheme := range goldenSchemes {
+		got[scheme] = runGoldenWorkload(t, scheme)
+	}
+
+	path := filepath.Join("testdata", "golden.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("golden rewritten: %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read golden (run with -update-golden to create): %v", err)
+	}
+	var want map[string]goldenRecord
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	for _, scheme := range goldenSchemes {
+		g, w := got[scheme], want[scheme]
+		if !reflect.DeepEqual(g, w) {
+			gj, _ := json.Marshal(g)
+			wj, _ := json.Marshal(w)
+			t.Errorf("%s: simulated behavior diverged from golden\n got: %s\nwant: %s", scheme, gj, wj)
+		}
+	}
+}
+
+// TestGoldenDeterminismStable re-runs one scheme twice in-process and
+// requires identical records, guarding against map-iteration or other
+// run-to-run nondeterminism sneaking into the emulation.
+func TestGoldenDeterminismStable(t *testing.T) {
+	a := runGoldenWorkload(t, "FAST+")
+	b := runGoldenWorkload(t, "FAST+")
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+var _ = fmt.Sprintf // keep fmt imported if error paths are trimmed

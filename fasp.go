@@ -55,10 +55,13 @@ type Options struct {
 	CacheBytes int64
 }
 
+// fill applies defaults and normalises Scheme to its canonical lower-case
+// form, so the rest of the package compares it directly.
 func (o *Options) fill() {
 	if o.Scheme == "" {
 		o.Scheme = SchemeFASTPlus
 	}
+	o.Scheme = strings.ToLower(o.Scheme)
 	if o.PageSize == 0 {
 		o.PageSize = 4096
 	}
@@ -101,10 +104,10 @@ func newBase(opts Options) (*base, error) {
 	lat.CacheBytes = opts.CacheBytes
 	sys := pmem.NewSystem(lat)
 	b := &base{opts: opts, sys: sys}
-	switch strings.ToLower(opts.Scheme) {
+	switch opts.Scheme {
 	case SchemeFASTPlus, SchemeFAST:
 		variant := fast.InPlaceCommit
-		if strings.ToLower(opts.Scheme) == SchemeFAST {
+		if opts.Scheme == SchemeFAST {
 			variant = fast.SlotHeaderLogging
 		}
 		st := fast.Create(sys, fast.Config{
@@ -113,7 +116,7 @@ func newBase(opts Options) (*base, error) {
 		b.store, b.arena = st, st.Arena()
 	case SchemeNVWAL, SchemeWAL, SchemeJournal:
 		kind := wal.NVWAL
-		switch strings.ToLower(opts.Scheme) {
+		switch opts.Scheme {
 		case SchemeWAL:
 			kind = wal.FullWAL
 		case SchemeJournal:
@@ -134,7 +137,7 @@ func (b *base) reattach() error {
 	switch st := b.store.(type) {
 	case *fast.Store:
 		variant := fast.InPlaceCommit
-		if strings.ToLower(b.opts.Scheme) == SchemeFAST {
+		if b.opts.Scheme == SchemeFAST {
 			variant = fast.SlotHeaderLogging
 		}
 		ns, err := fast.Attach(b.arena, fast.Config{
@@ -147,7 +150,7 @@ func (b *base) reattach() error {
 		_ = st
 	case *wal.Store:
 		kind := wal.NVWAL
-		switch strings.ToLower(b.opts.Scheme) {
+		switch b.opts.Scheme {
 		case SchemeWAL:
 			kind = wal.FullWAL
 		case SchemeJournal:

@@ -37,6 +37,9 @@ var (
 // Tree is a B+-tree bound to a store.
 type Tree struct {
 	st pager.Store
+	// pathBuf is the descent-path buffer handed to each transaction in turn
+	// (the store is single-writer, so at most one borrows it at a time).
+	pathBuf []pathElem
 }
 
 // New binds a tree to a store. The tree's root pointer lives in the store's
@@ -53,7 +56,9 @@ func (t *Tree) Begin() (*Tx, error) {
 	if err != nil {
 		return nil, err
 	}
-	return &Tx{st: t.st, p: ptx, root: ptx, owns: true}, nil
+	tx := &Tx{st: t.st, p: ptx, root: ptx, owns: true, tree: t, path: t.pathBuf[:0]}
+	t.pathBuf = nil
+	return tx, nil
 }
 
 // RootRef locates a tree's root pointer. A pager.Txn is itself a RootRef
@@ -127,8 +132,19 @@ type Tx struct {
 	st   pager.Store
 	p    pager.Txn
 	root RootRef
-	owns bool // Tx owns the pager transaction's lifecycle
+	tree *Tree      // set when created by Tree.Begin; owns pathBuf loan
+	path []pathElem // descent-path buffer, reused across descends
+	owns bool       // Tx owns the pager transaction's lifecycle
 	done bool
+}
+
+// release returns the borrowed descent-path buffer to the tree.
+func (x *Tx) release() {
+	if x.tree != nil {
+		x.tree.pathBuf = x.path[:0]
+		x.path = nil
+		x.tree = nil
+	}
 }
 
 // Pager exposes the underlying pager transaction.
@@ -140,6 +156,7 @@ func (x *Tx) Commit() error {
 		return fmt.Errorf("btree: commit on attached transaction")
 	}
 	x.done = true
+	x.release()
 	return x.p.Commit()
 }
 
@@ -149,6 +166,7 @@ func (x *Tx) Rollback() {
 		return
 	}
 	x.done = true
+	x.release()
 	x.p.Rollback()
 }
 
@@ -166,7 +184,8 @@ func (x *Tx) descend(key []byte) ([]pathElem, error) {
 	if no == 0 {
 		return nil, nil
 	}
-	var path []pathElem
+	path := x.path[:0]
+	defer func() { x.path = path }()
 	for {
 		p, err := x.p.Page(no)
 		if err != nil {

@@ -103,6 +103,29 @@ type Store struct {
 	// first use and rebuilt if the free list disagrees with the header.
 	needFLCheck bool
 	flChecked   map[uint32]bool
+
+	// Recycled single-writer transaction resources: the store has at most
+	// one live transaction, so its page map, slices, scratch buffer, and
+	// page handles are handed from finished transaction to next Begin
+	// instead of being reallocated per transaction.
+	rec struct {
+		pages      map[uint32]*txnPage
+		dirtyOrder []uint32
+		allocated  []uint32
+		freed      []uint32
+		encBuf     []byte
+		handles    []*txnPage
+	}
+}
+
+// takeHandle pops a pooled page handle (or makes a fresh one).
+func (st *Store) takeHandle() *txnPage {
+	if n := len(st.rec.handles); n > 0 {
+		tp := st.rec.handles[n-1]
+		st.rec.handles = st.rec.handles[:n-1]
+		return tp
+	}
+	return &txnPage{page: new(slotted.Page), mem: new(pageMem)}
 }
 
 func (c Config) pagesBytes() int64 { return int64(c.PageSize) * int64(c.MaxPages) }
@@ -238,10 +261,19 @@ func (st *Store) Begin() (pager.Txn, error) {
 	}
 	st.open = true
 	st.log.Begin()
+	pages := st.rec.pages
+	if pages == nil {
+		pages = make(map[uint32]*txnPage)
+	}
+	st.rec.pages = nil
 	return &Txn{
-		st:    st,
-		meta:  st.meta,
-		pages: make(map[uint32]*txnPage),
+		st:         st,
+		meta:       st.meta,
+		pages:      pages,
+		dirtyOrder: st.rec.dirtyOrder,
+		allocated:  st.rec.allocated,
+		freed:      st.rec.freed,
+		encBuf:     st.rec.encBuf,
 	}, nil
 }
 

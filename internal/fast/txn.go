@@ -32,6 +32,12 @@ func (m *pageMem) Read(off, n int) []byte {
 	return m.tx.st.arena.Read(m.base+int64(off), n)
 }
 
+// ReadInto is the allocation-free read path (slotted.ScratchMem); it issues
+// the same arena Load as Read.
+func (m *pageMem) ReadInto(off int, dst []byte) {
+	m.tx.st.arena.Load(m.base+int64(off), dst)
+}
+
 func (m *pageMem) Write(off int, src []byte) {
 	m.tx.st.arena.Store(m.base+int64(off), src)
 	m.unflushed = append(m.unflushed, byteRange{off, len(src)})
@@ -60,8 +66,14 @@ type Txn struct {
 	dirtyOrder []uint32
 	allocated  []uint32
 	freed      []uint32
+	encBuf     []byte // scratch for header/meta-frame encodes
 	defragged  bool
 	done       bool
+}
+
+// bind resets a pooled pageMem for a new page in this transaction.
+func (m *pageMem) bind(tx *Txn, no uint32, base int64) {
+	*m = pageMem{tx: tx, no: no, base: base, unflushed: m.unflushed[:0]}
 }
 
 var _ pager.Txn = (*Txn)(nil)
@@ -86,14 +98,16 @@ func (tx *Txn) Page(no uint32) (*slotted.Page, error) {
 	if no == pager.MetaPageNo || no >= tx.meta.NPages {
 		return nil, fmt.Errorf("%w: page %d out of range", pager.ErrCorrupt, no)
 	}
-	mem := &pageMem{tx: tx, no: no, base: tx.st.cfg.pageBase(no)}
-	p, err := slotted.Open(mem)
-	if err != nil {
+	tp := tx.st.takeHandle()
+	tp.mem.bind(tx, no, tx.st.cfg.pageBase(no))
+	if err := slotted.OpenInto(tp.page, tp.mem); err != nil {
+		tx.st.rec.handles = append(tx.st.rec.handles, tp)
 		return nil, err
 	}
+	p := tp.page
 	p.SetDeferFrees(true)
 	tx.st.maybeFixFreeList(no, p)
-	tx.pages[no] = &txnPage{page: p, mem: mem}
+	tx.pages[no] = tp
 	return p, nil
 }
 
@@ -113,10 +127,12 @@ func (tx *Txn) AllocPage(typ byte) (uint32, *slotted.Page, error) {
 	}
 	tx.metaDirty = true
 	tx.allocated = append(tx.allocated, no)
-	mem := &pageMem{tx: tx, no: no, base: tx.st.cfg.pageBase(no)}
-	p := slotted.Init(mem, typ)
+	tp := tx.st.takeHandle()
+	tp.mem.bind(tx, no, tx.st.cfg.pageBase(no))
+	slotted.InitInto(tp.page, tp.mem, typ)
+	p := tp.page
 	p.SetDeferFrees(true)
-	tx.pages[no] = &txnPage{page: p, mem: mem}
+	tx.pages[no] = tp
 	return no, p, nil
 }
 
@@ -168,7 +184,8 @@ func (tx *Txn) stageHeaders() {
 		if !tp.mem.hdrDirty || tp.mem.hdrStaged {
 			continue
 		}
-		enc := tp.page.Header().Encode()
+		enc := tp.page.Header().EncodeInto(tx.encBuf)
+		tx.encBuf = enc[:0]
 		if err := tx.st.log.AppendHeader(no, enc); err != nil {
 			// The log is sized by configuration; treat exhaustion as a
 			// programming error rather than silently losing durability.
@@ -253,7 +270,9 @@ func (tx *Txn) commitInPlace(tp *txnPage) error {
 	clock := tx.st.sys.Clock()
 	var err error
 	clock.InPhase(phase.AtomicWrite, func() {
-		err = tx.st.htm.AtomicLineWrite(tx.st.arena, tp.mem.base, tp.page.Header().Encode())
+		enc := tp.page.Header().EncodeInto(tx.encBuf)
+		tx.encBuf = enc[:0]
+		err = tx.st.htm.AtomicLineWrite(tx.st.arena, tp.mem.base, enc)
 	})
 	if err != nil {
 		return err
@@ -276,7 +295,8 @@ func (tx *Txn) commitLogged() error {
 		tx.stageHeaders()
 		if tx.metaDirty {
 			tx.meta.TxID++
-			frame := pager.EncodeMetaFrame(tx.meta)
+			frame := pager.EncodeMetaFrameInto(tx.meta, tx.encBuf)
+			tx.encBuf = frame[:0]
 			if err := st.log.AppendHeader(pager.MetaPageNo, frame); err != nil {
 				panic(err)
 			}
@@ -294,7 +314,8 @@ func (tx *Txn) commitLogged() error {
 			if !tp.mem.hdrDirty {
 				continue
 			}
-			enc := tp.page.Header().Encode()
+			enc := tp.page.Header().EncodeInto(tx.encBuf)
+			tx.encBuf = enc[:0]
 			st.arena.Store(tp.mem.base, enc)
 			st.arena.Flush(tp.mem.base, len(enc))
 		}
@@ -328,7 +349,8 @@ func (tx *Txn) applyFrees(tp *txnPage) {
 		return
 	}
 	tp.page.ApplyPendingFrees()
-	enc := tp.page.Header().Encode()
+	enc := tp.page.Header().EncodeInto(tx.encBuf)
+	tx.encBuf = enc[:0]
 	prefix := enc
 	if len(prefix) > slotted.HeaderFixedSize {
 		prefix = prefix[:slotted.HeaderFixedSize]
@@ -350,10 +372,11 @@ func (tx *Txn) Rollback() {
 	if tx.done {
 		return
 	}
-	for no, tp := range tx.pages {
-		if !tp.mem.hdrDirty {
-			continue
-		}
+	// dirtyOrder holds exactly the pages whose header changed, in first-touch
+	// order — iterating it (not the pages map) keeps the arena traffic of the
+	// free-list repair deterministic.
+	for _, no := range tx.dirtyOrder {
+		tp := tx.pages[no]
 		isAllocated := false
 		for _, a := range tx.allocated {
 			if a == no {
@@ -380,5 +403,18 @@ func (tx *Txn) Rollback() {
 
 func (tx *Txn) finish() {
 	tx.done = true
-	tx.st.open = false
+	st := tx.st
+	st.open = false
+	// Return the per-transaction resources to the store for the next Begin.
+	// Map iteration order is irrelevant here: pooling touches no arena.
+	for _, tp := range tx.pages {
+		st.rec.handles = append(st.rec.handles, tp)
+	}
+	clear(tx.pages)
+	st.rec.pages = tx.pages
+	st.rec.dirtyOrder = tx.dirtyOrder[:0]
+	st.rec.allocated = tx.allocated[:0]
+	st.rec.freed = tx.freed[:0]
+	st.rec.encBuf = tx.encBuf
+	tx.pages = nil
 }

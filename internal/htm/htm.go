@@ -17,7 +17,6 @@ package htm
 import (
 	"errors"
 	"fmt"
-	"sort"
 
 	"fasp/internal/pmem"
 )
@@ -69,6 +68,10 @@ type Manager struct {
 	sys   *pmem.System
 	cfg   Config
 	stats Stats
+	// txn is the recycled transaction scratch (write set, line sets); busy
+	// guards against reuse if a transaction body ever starts another one.
+	txn  Txn
+	busy bool
 }
 
 // NewManager creates a Manager for the system with the given config.
@@ -91,16 +94,34 @@ func (m *Manager) Stats() Stats { return m.stats }
 // abortSignal unwinds a transaction body on abort.
 type abortSignal struct{ err error }
 
+// fragment is one buffered store: at most one word, never crossing a word
+// boundary (Txn.Store splits on word boundaries before buffering).
+type fragment struct {
+	off int64
+	n   int
+	buf [pmem.WordSize]byte
+}
+
 // Txn is an open hardware transaction. Its stores are buffered privately —
 // they are not in the cache, cannot be evicted, and vanish if a crash or
-// abort occurs before End.
+// abort occurs before End. The write set is a flat fragment list (write
+// sets are at most a few cache lines, so linear scans beat hashing and the
+// buffers recycle through the Manager without allocation).
 type Txn struct {
 	m      *Manager
 	arena  *pmem.Arena
-	writes map[int64][]byte // fragment start -> bytes (word-bounded fragments)
-	order  []int64
-	wlines map[int64]struct{}
-	rlines map[int64]struct{}
+	frags  []fragment // buffered writes, insertion order
+	wlines []int64    // distinct cache lines written
+	rlines []int64    // distinct cache lines read
+}
+
+func containsLine(lines []int64, l int64) bool {
+	for _, x := range lines {
+		if x == l {
+			return true
+		}
+	}
+	return false
 }
 
 // Store buffers a write at off. Writing more distinct cache lines than the
@@ -122,53 +143,60 @@ func (tx *Txn) Store(off int64, src []byte) {
 func (tx *Txn) storeFragment(off int64, src []byte) {
 	tx.m.sys.CrashTick() // a crash here discards the whole transaction
 	l := off &^ (pmem.CacheLineSize - 1)
-	if _, ok := tx.wlines[l]; !ok {
+	if !containsLine(tx.wlines, l) {
 		if len(tx.wlines) >= tx.m.cfg.MaxWriteLines {
 			tx.m.stats.CapacityAborts++
 			panic(abortSignal{ErrCapacity})
 		}
-		tx.wlines[l] = struct{}{}
+		tx.wlines = append(tx.wlines, l)
 	}
-	b := make([]byte, len(src))
-	copy(b, src)
-	if _, ok := tx.writes[off]; !ok {
-		tx.order = append(tx.order, off)
+	for i := range tx.frags {
+		if tx.frags[i].off == off {
+			f := &tx.frags[i]
+			f.n = len(src)
+			copy(f.buf[:], src)
+			return
+		}
 	}
-	tx.writes[off] = b
+	tx.frags = append(tx.frags, fragment{off: off, n: len(src)})
+	copy(tx.frags[len(tx.frags)-1].buf[:], src)
 }
 
 // StoreU16 buffers a little-endian uint16 store.
 func (tx *Txn) StoreU16(off int64, v uint16) {
-	tx.Store(off, []byte{byte(v), byte(v >> 8)})
+	var b [2]byte
+	b[0], b[1] = byte(v), byte(v>>8)
+	tx.Store(off, b[:])
 }
 
 // Load reads through the transaction's own pending writes, falling back to
 // the arena. Reads join the read set; exceeding it aborts.
 func (tx *Txn) Load(off int64, dst []byte) {
 	for p := off &^ (pmem.CacheLineSize - 1); p < off+int64(len(dst)); p += pmem.CacheLineSize {
-		if _, ok := tx.rlines[p]; !ok {
+		if !containsLine(tx.rlines, p) {
 			if len(tx.rlines) >= tx.m.cfg.MaxReadLines {
 				tx.m.stats.CapacityAborts++
 				panic(abortSignal{ErrCapacity})
 			}
-			tx.rlines[p] = struct{}{}
+			tx.rlines = append(tx.rlines, p)
 		}
 	}
 	tx.arena.Load(off, dst)
-	// Overlay pending writes (read-own-writes).
-	for frag, b := range tx.writes {
-		end := frag + int64(len(b))
-		if end <= off || frag >= off+int64(len(dst)) {
+	// Overlay pending writes (read-own-writes), in buffering order.
+	for i := range tx.frags {
+		f := &tx.frags[i]
+		end := f.off + int64(f.n)
+		if end <= off || f.off >= off+int64(len(dst)) {
 			continue
 		}
-		lo, hi := frag, end
+		lo, hi := f.off, end
 		if lo < off {
 			lo = off
 		}
 		if m := off + int64(len(dst)); hi > m {
 			hi = m
 		}
-		copy(dst[lo-off:hi-off], b[lo-frag:hi-frag])
+		copy(dst[lo-off:hi-off], f.buf[lo-f.off:hi-f.off])
 	}
 }
 
@@ -204,13 +232,17 @@ func (m *Manager) Run(arena *pmem.Arena, fn func(tx *Txn) error) error {
 // outcomes and (nil, true) when a spurious abort asks for a retry.
 func (m *Manager) attempt(arena *pmem.Arena, fn func(tx *Txn) error) (err error, retry bool) {
 	m.stats.Begins++
-	tx := &Txn{
-		m:      m,
-		arena:  arena,
-		writes: make(map[int64][]byte),
-		wlines: make(map[int64]struct{}),
-		rlines: make(map[int64]struct{}),
+	tx := &m.txn
+	if m.busy {
+		tx = &Txn{} // nested transaction body; do not clobber the scratch
+	} else {
+		m.busy = true
+		defer func() { m.busy = false }()
 	}
+	tx.m, tx.arena = m, arena
+	tx.frags = tx.frags[:0]
+	tx.wlines = tx.wlines[:0]
+	tx.rlines = tx.rlines[:0]
 	defer func() {
 		if r := recover(); r != nil {
 			if sig, ok := r.(abortSignal); ok {
@@ -228,11 +260,17 @@ func (m *Manager) attempt(arena *pmem.Arena, fn func(tx *Txn) error) (err error,
 		m.stats.SpuriousAborts++
 		return nil, true
 	}
-	// XEND: publish the write set to the cache atomically.
-	sort.Slice(tx.order, func(i, j int) bool { return tx.order[i] < tx.order[j] })
+	// XEND: publish the write set to the cache atomically, in ascending
+	// fragment order (insertion sort: the set is tiny and must not allocate).
+	for i := 1; i < len(tx.frags); i++ {
+		for j := i; j > 0 && tx.frags[j].off < tx.frags[j-1].off; j-- {
+			tx.frags[j], tx.frags[j-1] = tx.frags[j-1], tx.frags[j]
+		}
+	}
 	arena.AtomicRegion(func() {
-		for _, frag := range tx.order {
-			arena.Store(frag, tx.writes[frag])
+		for i := range tx.frags {
+			f := &tx.frags[i]
+			arena.Store(f.off, f.buf[:f.n])
 		}
 	})
 	m.stats.Commits++

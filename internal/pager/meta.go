@@ -62,10 +62,23 @@ func ReadMeta(a *pmem.Arena, base int64) (Meta, error) {
 // EncodeMetaFrame renders the mutable meta fields as a slot-header-log
 // frame body for page 0.
 func EncodeMetaFrame(m Meta) []byte {
-	b := make([]byte, MetaFrameLen)
+	return EncodeMetaFrameInto(m, nil)
+}
+
+// EncodeMetaFrameInto renders the meta frame into buf, reusing its capacity
+// when it suffices. The padding bytes are zeroed so the frame image does not
+// depend on the buffer's previous contents.
+func EncodeMetaFrameInto(m Meta, buf []byte) []byte {
+	var b []byte
+	if cap(buf) >= MetaFrameLen {
+		b = buf[:MetaFrameLen]
+	} else {
+		b = make([]byte, MetaFrameLen)
+	}
 	binary.LittleEndian.PutUint32(b[0:], m.NPages)
 	binary.LittleEndian.PutUint32(b[4:], m.Root)
 	binary.LittleEndian.PutUint32(b[8:], m.FreeCount)
+	binary.LittleEndian.PutUint32(b[12:], 0)
 	binary.LittleEndian.PutUint64(b[16:], m.TxID)
 	return b
 }

@@ -6,13 +6,20 @@ import (
 	"sort"
 )
 
-// cacheLine is a line resident in the CPU-cache overlay. It always holds
-// the full current content of the line. Dirty lines differ from the medium;
+// cacheLine is one slot of the CPU-cache overlay slab. It always holds the
+// full current content of its line. Dirty lines differ from the medium;
 // clean lines mirror it (kept resident to model the last-level cache — the
 // paper notes insertion time does not scale linearly with PM latency
 // "because of the computation time and CPU cache effect").
+//
+// Replacement order is intrusive: next/prev thread a circular FIFO ring
+// through the slab slots, so touching, requeueing, and evicting lines never
+// allocates. Free slots reuse next as the free-list link.
 type cacheLine struct {
 	buf   [CacheLineSize]byte
+	off   int64 // line offset this slot caches (valid while resident)
+	next  int32 // FIFO ring successor (or next free slot when on free list)
+	prev  int32 // FIFO ring predecessor
 	dirty bool
 }
 
@@ -29,17 +36,190 @@ type cacheLine struct {
 // pinning keeps crash testing strictly adversarial: unflushed data survives
 // a crash only via the explicit eviction lottery in CrashOptions. Dirty
 // DRAM lines are written back on replacement at the DRAM write cost.
+//
+// Overlay representation: resident lines live in a flat slab ([]cacheLine)
+// located by a power-of-two open-addressed index keyed on line offset, and
+// FIFO order is the intrusive ring threaded through the slots. The hot path
+// (hit lookup, miss fill, eviction, flush) performs no Go allocation once
+// the slab and index have warmed up, and the overlay footprint is bounded
+// by the resident set — the event sequence (hits, fills, write-backs, clock
+// advances) is identical to the reference map+slice implementation.
 type Arena struct {
 	name     string
 	kind     Kind
 	sys      *System
-	data     []byte // the medium (durable for PM, volatile for DRAM)
-	lines    map[int64]*cacheLine
-	fifo     []int64 // replacement order (approximate; may hold stale refs)
+	data     []byte      // the medium (durable for PM, volatile for DRAM)
+	slab     []cacheLine // slot storage; grows monotonically, capacity reused
+	index    []int32     // open-addressed table of slab indices; -1 = empty
+	shift    uint        // 64 - log2(len(index)), for fibonacci hashing
+	freeHead int32       // free-slot list head (-1 = none)
+	ringHead int32       // FIFO ring head = oldest resident line (-1 = empty)
+	nres     int         // resident line count
 	maxLines int
 	readNS   int64
 	writeNS  int64
 	stats    Stats
+	crashBuf []int64 // scratch for crash's sorted dirty-offset sweep
+}
+
+const noSlot = int32(-1)
+
+// minIndexSize is the smallest open-addressed table (power of two).
+const minIndexSize = 256
+
+// --- Open-addressed line index ------------------------------------------
+
+// hashPos returns the home position of line offset l in the index.
+func (a *Arena) hashPos(l int64) int {
+	// Fibonacci hashing on the line number; offsets are line-aligned so the
+	// low 6 bits carry no information.
+	return int((uint64(l) >> 6 * 0x9E3779B97F4A7C15) >> a.shift)
+}
+
+// lookup returns the slab slot caching line l, or noSlot.
+func (a *Arena) lookup(l int64) int32 {
+	mask := len(a.index) - 1
+	for i := a.hashPos(l); ; i = (i + 1) & mask {
+		e := a.index[i]
+		if e == noSlot {
+			return noSlot
+		}
+		if a.slab[e].off == l {
+			return e
+		}
+	}
+}
+
+// indexInsert records that slab slot s caches line l, growing the table
+// when the load factor reaches 3/4.
+func (a *Arena) indexInsert(l int64, s int32) {
+	if (a.nres+1)*4 >= len(a.index)*3 {
+		a.growIndex()
+	}
+	mask := len(a.index) - 1
+	i := a.hashPos(l)
+	for a.index[i] != noSlot {
+		i = (i + 1) & mask
+	}
+	a.index[i] = s
+}
+
+// indexDelete removes line l using backward-shift deletion, which keeps
+// probe chains intact without tombstones.
+func (a *Arena) indexDelete(l int64) {
+	mask := len(a.index) - 1
+	i := a.hashPos(l)
+	for {
+		e := a.index[i]
+		if e == noSlot {
+			return // not present (cannot happen for resident lines)
+		}
+		if a.slab[e].off == l {
+			break
+		}
+		i = (i + 1) & mask
+	}
+	j := i
+	for {
+		j = (j + 1) & mask
+		e := a.index[j]
+		if e == noSlot {
+			break
+		}
+		k := a.hashPos(a.slab[e].off)
+		// Move e into the hole when its home position lies outside (i, j].
+		if (j-k)&mask >= (j-i)&mask {
+			a.index[i] = e
+			i = j
+		}
+	}
+	a.index[i] = noSlot
+}
+
+// growIndex doubles the table and reinserts every resident line.
+func (a *Arena) growIndex() {
+	old := a.index
+	a.index = make([]int32, 2*len(old))
+	a.shift--
+	for i := range a.index {
+		a.index[i] = noSlot
+	}
+	mask := len(a.index) - 1
+	for _, e := range old {
+		if e == noSlot {
+			continue
+		}
+		i := a.hashPos(a.slab[e].off)
+		for a.index[i] != noSlot {
+			i = (i + 1) & mask
+		}
+		a.index[i] = e
+	}
+}
+
+// --- Slab slots and the intrusive FIFO ring ------------------------------
+
+// allocSlot returns a free slab slot, reusing freed slots before growing.
+func (a *Arena) allocSlot() int32 {
+	if s := a.freeHead; s != noSlot {
+		a.freeHead = a.slab[s].next
+		return s
+	}
+	if len(a.slab) < cap(a.slab) {
+		a.slab = a.slab[:len(a.slab)+1]
+	} else {
+		a.slab = append(a.slab, cacheLine{})
+	}
+	return int32(len(a.slab) - 1)
+}
+
+// freeSlot pushes a slot onto the free list.
+func (a *Arena) freeSlot(s int32) {
+	a.slab[s].next = a.freeHead
+	a.freeHead = s
+}
+
+// ringPushBack appends slot s at the tail of the FIFO ring (newest).
+func (a *Arena) ringPushBack(s int32) {
+	if a.ringHead == noSlot {
+		a.ringHead = s
+		a.slab[s].next = s
+		a.slab[s].prev = s
+		return
+	}
+	head := a.ringHead
+	tail := a.slab[head].prev
+	a.slab[tail].next = s
+	a.slab[s].prev = tail
+	a.slab[s].next = head
+	a.slab[head].prev = s
+}
+
+// ringPopFront unlinks and returns the oldest slot (ring must be non-empty).
+func (a *Arena) ringPopFront() int32 {
+	s := a.ringHead
+	next := a.slab[s].next
+	if next == s {
+		a.ringHead = noSlot
+		return s
+	}
+	prev := a.slab[s].prev
+	a.slab[prev].next = next
+	a.slab[next].prev = prev
+	a.ringHead = next
+	return s
+}
+
+// resetOverlay drops every resident line and returns the overlay to its
+// empty state, keeping the slab and index capacity for reuse.
+func (a *Arena) resetOverlay() {
+	for i := range a.index {
+		a.index[i] = noSlot
+	}
+	a.slab = a.slab[:0]
+	a.freeHead = noSlot
+	a.ringHead = noSlot
+	a.nres = 0
 }
 
 // Name returns the arena's diagnostic name.
@@ -68,45 +248,53 @@ func lineOf(off int64) int64 { return off &^ (CacheLineSize - 1) }
 
 // fill brings a line into the cache (charging the read latency) and returns
 // it; if already resident it is a hit.
+//
+// The returned pointer is valid until the next fill: even if evictOverflow
+// replaces the just-filled line (possible only when every other line is a
+// pinned dirty PM line), the freed slab slot's memory is untouched until the
+// next allocSlot, and every caller consumes the line before issuing another
+// arena operation.
 func (a *Arena) fill(l int64) *cacheLine {
-	if ln, ok := a.lines[l]; ok {
+	if s := a.lookup(l); s != noSlot {
 		a.stats.CacheHits++
 		a.sys.clock.Advance(a.sys.lat.CacheHit)
-		return ln
+		return &a.slab[s]
 	}
 	a.stats.LineFills++
 	a.sys.clock.Advance(a.readNS)
-	ln := &cacheLine{}
+	s := a.allocSlot()
+	ln := &a.slab[s]
+	ln.off = l
+	ln.dirty = false
 	copy(ln.buf[:], a.data[l:l+CacheLineSize])
-	a.lines[l] = ln
-	a.fifo = append(a.fifo, l)
+	a.indexInsert(l, s)
+	a.ringPushBack(s)
+	a.nres++
 	a.evictOverflow()
 	return ln
 }
 
 // evictOverflow enforces the cache capacity with FIFO replacement.
 func (a *Arena) evictOverflow() {
-	attempts := len(a.fifo)
-	for len(a.lines) > a.maxLines && attempts > 0 {
+	attempts := a.nres
+	for a.nres > a.maxLines && attempts > 0 {
 		attempts--
-		l := a.fifo[0]
-		a.fifo = a.fifo[1:]
-		ln, ok := a.lines[l]
-		if !ok {
-			continue // stale reference
-		}
+		s := a.ringPopFront()
+		ln := &a.slab[s]
 		if ln.dirty {
 			if a.kind == PM {
 				// Pinned: protocols must flush explicitly. Requeue.
-				a.fifo = append(a.fifo, l)
+				a.ringPushBack(s)
 				continue
 			}
 			// DRAM write-back on replacement.
 			a.stats.LineWritebacks++
 			a.sys.clock.Advance(a.writeNS)
-			copy(a.data[l:l+CacheLineSize], ln.buf[:])
+			copy(a.data[ln.off:ln.off+CacheLineSize], ln.buf[:])
 		}
-		delete(a.lines, l)
+		a.indexDelete(ln.off)
+		a.freeSlot(s)
+		a.nres--
 	}
 }
 
@@ -198,10 +386,11 @@ func (a *Arena) FlushLine(off int64) {
 func (a *Arena) flushLine(l int64) {
 	a.sys.injector.tick()
 	a.stats.FlushCalls++
-	ln, ok := a.lines[l]
-	if !ok || !ln.dirty {
+	s := a.lookup(l)
+	if s == noSlot || !a.slab[s].dirty {
 		return
 	}
+	ln := &a.slab[s]
 	a.sys.clock.Advance(a.writeNS)
 	a.stats.LineWritebacks++
 	copy(a.data[l:l+CacheLineSize], ln.buf[:])
@@ -224,16 +413,23 @@ func (a *Arena) Zero(off int64, n int) {
 // DirtyLines reports how many resident lines are dirty.
 func (a *Arena) DirtyLines() int {
 	n := 0
-	for _, ln := range a.lines {
-		if ln.dirty {
-			n++
+	if h := a.ringHead; h != noSlot {
+		s := h
+		for {
+			if a.slab[s].dirty {
+				n++
+			}
+			s = a.slab[s].next
+			if s == h {
+				break
+			}
 		}
 	}
 	return n
 }
 
 // ResidentLines reports the total cache-resident lines.
-func (a *Arena) ResidentLines() int { return len(a.lines) }
+func (a *Arena) ResidentLines() int { return a.nres }
 
 // AtomicRegion runs fn with crash injection suspended. The HTM emulator uses
 // it to publish a transaction's write set atomically: real RTM guarantees a
@@ -251,25 +447,34 @@ func (a *Arena) AtomicRegion(fn func()) {
 func (a *Arena) crash(evict func() bool) {
 	if a.kind == DRAM {
 		clear(a.data)
-		a.lines = make(map[int64]*cacheLine)
-		a.fifo = nil
+		a.resetOverlay()
 		return
 	}
-	offs := make([]int64, 0, len(a.lines))
-	for l, ln := range a.lines {
-		if ln.dirty {
-			offs = append(offs, l)
+	// The lottery iterates dirty offsets in ascending order so a given seed
+	// always evicts the same lines; collect them from the ring and sort.
+	offs := a.crashBuf[:0]
+	if h := a.ringHead; h != noSlot {
+		s := h
+		for {
+			if a.slab[s].dirty {
+				offs = append(offs, a.slab[s].off)
+			}
+			s = a.slab[s].next
+			if s == h {
+				break
+			}
 		}
 	}
+	a.crashBuf = offs
 	sort.Slice(offs, func(i, j int) bool { return offs[i] < offs[j] })
 	for _, l := range offs {
 		if evict() {
 			a.stats.LineWritebacks++
-			copy(a.data[l:l+CacheLineSize], a.lines[l].buf[:])
+			ln := &a.slab[a.lookup(l)]
+			copy(a.data[l:l+CacheLineSize], ln.buf[:])
 		}
 	}
-	a.lines = make(map[int64]*cacheLine)
-	a.fifo = nil
+	a.resetOverlay()
 }
 
 // MediumBytes returns the durable medium contents in [off, off+n) without
@@ -299,8 +504,7 @@ func (a *Arena) RestoreMedium(img []byte) error {
 		return fmt.Errorf("pmem: snapshot is %d bytes, arena is %d", len(img), len(a.data))
 	}
 	copy(a.data, img)
-	a.lines = make(map[int64]*cacheLine)
-	a.fifo = nil
+	a.resetOverlay()
 	return nil
 }
 

@@ -1,0 +1,120 @@
+package pmem
+
+import (
+	"testing"
+)
+
+// smallCacheSystem builds a machine whose per-arena cache overlay holds only
+// a few lines, so eviction traffic is easy to provoke.
+func smallCacheSystem(cacheBytes int64) *System {
+	lat := DefaultLatencies(300, 300)
+	lat.CacheBytes = cacheBytes
+	return NewSystem(lat)
+}
+
+// TestWarmArenaZeroAllocs pins the tentpole invariant: once the overlay slab
+// and index have warmed up, the Load/Store/Flush hot path performs no Go
+// allocation — even in steady state with misses, write-allocates, evictions
+// and write-backs on every iteration.
+func TestWarmArenaZeroAllocs(t *testing.T) {
+	sys := smallCacheSystem(16 << 10) // 256-line overlay
+	const size = 1 << 20              // 16384 lines: most touches miss
+	pm := sys.NewArena("pm", size, PM)
+	dram := sys.NewArena("dram", size, DRAM)
+
+	buf := make([]byte, 256)
+	var pos int64
+	step := func() {
+		off := (pos * 7 * CacheLineSize) % (size - int64(len(buf)))
+		pos++
+		dram.Load(off, buf)
+		dram.Store(off, buf)
+		pm.Load(off, buf)
+		pm.Store(off, buf)
+		pm.Flush(off, len(buf))
+	}
+	// Warm up: grow the slab to capacity and settle the index size.
+	for i := 0; i < 4096; i++ {
+		step()
+	}
+	if n := testing.AllocsPerRun(200, step); n != 0 {
+		t.Fatalf("warm arena Load/Store/Flush allocated %.1f times per run, want 0", n)
+	}
+}
+
+// TestOverlayMemoryBounded is the regression test for the FIFO eviction
+// slice-churn pattern the slab overlay replaced: after a million line
+// touches across a working set far larger than the cache, the overlay's
+// backing storage must still be bounded by the resident-set limit — the
+// slab never grows past maxLines+1 slots and the index never rehashes
+// beyond its initial steady-state size.
+func TestOverlayMemoryBounded(t *testing.T) {
+	sys := smallCacheSystem(64 << 10) // 1024-line overlay
+	const size = 8 << 20              // 131072 lines
+	a := sys.NewArena("pm", size, PM)
+	indexSize := len(a.index)
+
+	touches := 1_000_000
+	if testing.Short() {
+		touches = 100_000
+	}
+	var word [8]byte
+	for i := 0; i < touches; i++ {
+		off := (int64(i) * 13 * CacheLineSize) % size
+		if i%4 == 0 {
+			a.Store(off, word[:])
+			a.FlushLine(off)
+		} else {
+			a.Load(off, word[:])
+		}
+	}
+
+	if a.nres > a.maxLines {
+		t.Errorf("resident lines %d exceed cache capacity %d", a.nres, a.maxLines)
+	}
+	if cap(a.slab) > a.maxLines+1 {
+		t.Errorf("slab capacity %d exceeds maxLines+1 = %d after %d touches",
+			cap(a.slab), a.maxLines+1, touches)
+	}
+	if len(a.index) != indexSize {
+		t.Errorf("index rehashed from %d to %d slots; steady state should never grow",
+			indexSize, len(a.index))
+	}
+	if got := a.ResidentLines(); got != a.nres {
+		t.Errorf("ResidentLines() = %d, internal count %d", got, a.nres)
+	}
+}
+
+// TestOverlayEvictionKeepsLookupConsistent drives heavy eviction and
+// verifies the open-addressed index (with backward-shift deletion) still
+// resolves every resident line and forgets every evicted one.
+func TestOverlayEvictionKeepsLookupConsistent(t *testing.T) {
+	sys := smallCacheSystem(1) // clamps to the 8-line minimum
+	const size = 64 * CacheLineSize
+	a := sys.NewArena("pm", size, PM)
+
+	var word [8]byte
+	for i := 0; i < 10_000; i++ {
+		off := (int64(i) * 11 * CacheLineSize) % size
+		a.Load(off, word[:])
+	}
+	// Every line reachable from the ring must be found by lookup, and the
+	// ring length must equal the resident count.
+	n := 0
+	if h := a.ringHead; h != noSlot {
+		s := h
+		for {
+			n++
+			if got := a.lookup(a.slab[s].off); got != s {
+				t.Fatalf("lookup(%d) = %d, want slot %d", a.slab[s].off, got, s)
+			}
+			s = a.slab[s].next
+			if s == h {
+				break
+			}
+		}
+	}
+	if n != a.nres {
+		t.Fatalf("ring holds %d lines, resident count is %d", n, a.nres)
+	}
+}

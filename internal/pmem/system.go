@@ -1,5 +1,7 @@
 package pmem
 
+import "math/bits"
+
 // System owns the simulated clock, the latency model, the crash injector and
 // every memory arena. One System corresponds to one machine in the paper's
 // testbed; all arenas share its clock, so time spent in DRAM and PM composes
@@ -51,12 +53,26 @@ func (s *System) NewArena(name string, size int64, kind Kind) *Arena {
 		kind:     kind,
 		sys:      s,
 		data:     make([]byte, size),
-		lines:    make(map[int64]*cacheLine),
 		maxLines: int(cacheBytes / CacheLineSize),
+		freeHead: noSlot,
+		ringHead: noSlot,
 	}
 	if a.maxLines < 8 {
 		a.maxLines = 8
 	}
+	// Size the index so the steady-state resident set fits under the 3/4
+	// load factor without growing; the slab gets capacity for every resident
+	// line plus the one transient over-capacity fill.
+	idx := minIndexSize
+	for idx*3 < (a.maxLines+1)*4 {
+		idx *= 2
+	}
+	a.index = make([]int32, idx)
+	for i := range a.index {
+		a.index[i] = noSlot
+	}
+	a.shift = uint(64 - bits.TrailingZeros(uint(idx)))
+	a.slab = make([]cacheLine, 0, a.maxLines+1)
 	if kind == PM {
 		a.readNS, a.writeNS = s.lat.PMRead, s.lat.PMWrite
 	} else {

@@ -60,8 +60,24 @@ type Log struct {
 	// cursor is the volatile append position (bytes past the log header).
 	// It does not need to be persistent: a crash before commit discards
 	// the frames wholesale.
-	cursor int64
-	hash   uint64 // running FNV-1a over appended frame bytes
+	cursor   int64
+	hash     uint64 // running FNV-1a over appended frame bytes
+	frameBuf []byte // reusable frame-assembly scratch
+}
+
+// FNV-1a parameters, matching hash/fnv's 64-bit variant bit for bit: the
+// checksums are persisted and re-verified by Frames at recovery.
+const (
+	fnvOffset64 = 14695981039346656037
+	fnvPrime64  = 1099511628211
+)
+
+// fnvFold advances an FNV-1a running hash over b.
+func fnvFold(h uint64, b []byte) uint64 {
+	for _, c := range b {
+		h = (h ^ uint64(c)) * fnvPrime64
+	}
+	return h
 }
 
 // Format initialises an empty log over the region.
@@ -92,8 +108,7 @@ func Open(a *pmem.Arena, base, size int64) (*Log, error) {
 
 func (l *Log) reset() {
 	l.cursor = 0
-	h := fnv.New64a()
-	l.hash = h.Sum64()
+	l.hash = fnvOffset64
 }
 
 // Begin starts accumulating frames for a new transaction, discarding any
@@ -113,19 +128,24 @@ func (l *Log) AppendHeader(pageNo uint32, hdr []byte) error {
 	if logHeaderSize+l.cursor+need > l.size {
 		return fmt.Errorf("%w: need %d bytes", ErrLogFull, need)
 	}
-	buf := make([]byte, need)
+	if int64(cap(l.frameBuf)) < need {
+		l.frameBuf = make([]byte, need)
+	}
+	buf := l.frameBuf[:need]
+	for i := range buf {
+		buf[i] = 0 // padding bytes must not leak previous frame contents
+	}
 	binary.LittleEndian.PutUint32(buf, pageNo)
 	binary.LittleEndian.PutUint16(buf[4:], uint16(len(hdr)))
 	copy(buf[frameHeader:], hdr)
 	l.a.Store(l.base+logHeaderSize+l.cursor, buf)
 	l.cursor += need
-	// Fold the frame into the running checksum (pure CPU work).
-	h := fnv.New64a()
+	// Fold the frame into the running checksum (pure CPU work). The fold
+	// seeds a fresh FNV-1a state with the previous hash's little-endian
+	// bytes, exactly as recovery's verifier does.
 	var seed [8]byte
 	binary.LittleEndian.PutUint64(seed[:], l.hash)
-	h.Write(seed[:])
-	h.Write(buf)
-	l.hash = h.Sum64()
+	l.hash = fnvFold(fnvFold(fnvOffset64, seed[:]), buf)
 	l.a.Sys().Compute(int64(len(buf)) / 8)
 	return nil
 }

@@ -85,7 +85,20 @@ func (h *Header) EncodedLen() int { return HeaderFixedSize + 2*len(h.Offsets) }
 
 // Encode renders the header into a fresh byte slice.
 func (h *Header) Encode() []byte {
-	b := make([]byte, h.EncodedLen())
+	return h.EncodeInto(nil)
+}
+
+// EncodeInto renders the header into buf, reusing its capacity when it
+// suffices, and returns the encoded bytes. The commit schemes call this with
+// a per-transaction scratch buffer so the hot path does not allocate.
+func (h *Header) EncodeInto(buf []byte) []byte {
+	n := h.EncodedLen()
+	var b []byte
+	if cap(buf) >= n {
+		b = buf[:n]
+	} else {
+		b = make([]byte, n)
+	}
 	b[0] = h.Type
 	b[1] = h.Flags
 	binary.LittleEndian.PutUint16(b[2:], uint16(len(h.Offsets)))
@@ -110,21 +123,36 @@ func (h *Header) Clone() Header {
 // prefix must contain at least HeaderFixedSize bytes and the full offset
 // array (callers read HeaderFixedSize first, inspect ncells, then reread).
 func DecodeHeader(b []byte, pageSize int) (Header, error) {
+	var h Header
+	if err := DecodeHeaderInto(&h, b, pageSize); err != nil {
+		return Header{}, err
+	}
+	return h, nil
+}
+
+// DecodeHeaderInto parses a header into h, reusing h.Offsets's capacity.
+func DecodeHeaderInto(h *Header, b []byte, pageSize int) error {
 	if len(b) < HeaderFixedSize {
-		return Header{}, fmt.Errorf("%w: header prefix too short", ErrCorrupt)
+		return fmt.Errorf("%w: header prefix too short", ErrCorrupt)
 	}
 	n := int(binary.LittleEndian.Uint16(b[2:]))
 	if len(b) < HeaderFixedSize+2*n {
-		return Header{}, fmt.Errorf("%w: offset array truncated (ncells=%d)", ErrCorrupt, n)
+		return fmt.Errorf("%w: offset array truncated (ncells=%d)", ErrCorrupt, n)
 	}
-	h := Header{
+	offsets := h.Offsets
+	if cap(offsets) >= n {
+		offsets = offsets[:n]
+	} else {
+		offsets = make([]uint16, n)
+	}
+	*h = Header{
 		Type:    b[0],
 		Flags:   b[1],
 		Content: binary.LittleEndian.Uint16(b[4:]),
 		Free:    binary.LittleEndian.Uint16(b[6:]),
 		FreeLst: binary.LittleEndian.Uint16(b[8:]),
 		Aux:     binary.LittleEndian.Uint32(b[10:]),
-		Offsets: make([]uint16, n),
+		Offsets: offsets,
 	}
 	if h.Content == 0 {
 		h.Content = uint16(pageSize)
@@ -133,7 +161,7 @@ func DecodeHeader(b []byte, pageSize int) (Header, error) {
 		h.Offsets[i] = binary.LittleEndian.Uint16(b[HeaderFixedSize+2*i:])
 	}
 	if int(h.Content) > pageSize {
-		return Header{}, fmt.Errorf("%w: content start %d beyond page size %d", ErrCorrupt, h.Content, pageSize)
+		return fmt.Errorf("%w: content start %d beyond page size %d", ErrCorrupt, h.Content, pageSize)
 	}
-	return h, nil
+	return nil
 }

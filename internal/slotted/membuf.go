@@ -23,6 +23,11 @@ func (m *MemBuf) Read(off, n int) []byte {
 	return out
 }
 
+// ReadInto copies len(dst) bytes at off into dst (ScratchMem).
+func (m *MemBuf) ReadInto(off int, dst []byte) {
+	copy(dst, m.Buf[off:off+len(dst)])
+}
+
 // Write stores src at off.
 func (m *MemBuf) Write(off int, src []byte) {
 	copy(m.Buf[off:], src)

@@ -27,6 +27,15 @@ type Mem interface {
 	HeaderChanged(h *Header)
 }
 
+// ScratchMem is an optional Mem extension. ReadInto fills dst with
+// len(dst) bytes at off of the transaction-visible image, charging exactly
+// the same simulated cost as Read(off, len(dst)) but without allocating.
+// Page uses it for transient internal reads (cell size headers, key
+// comparisons, free-list walks) whose results never escape the operation.
+type ScratchMem interface {
+	ReadInto(off int, dst []byte)
+}
+
 type extent struct{ off, size uint16 }
 
 // Page is an open handle on a slotted page. The decoded header in the
@@ -36,32 +45,94 @@ type extent struct{ off, size uint16 }
 // protocol installs the new header.
 type Page struct {
 	mem        Mem
+	sm         ScratchMem // mem's ScratchMem view, nil if unsupported
 	hdr        Header
 	deferFrees bool
 	pending    []extent // frees deferred until after commit
 	pendingSum int
+
+	// Reusable scratch for transient reads and cell-image construction.
+	// These never alias live data: transient reads are consumed before the
+	// next page operation, and imgBuf's contents are copied into the page by
+	// mem.Write before the call returns.
+	tmp    [8]byte
+	keyBuf []byte
+	imgBuf []byte
 }
 
 // Init formats a fresh page of the given type in mem and returns its handle.
 func Init(mem Mem, typ byte) *Page {
-	p := &Page{mem: mem, hdr: Header{Type: typ, Content: uint16(mem.PageSize())}}
-	mem.HeaderChanged(&p.hdr)
+	p := &Page{}
+	InitInto(p, mem, typ)
 	return p
+}
+
+// InitInto formats a fresh page of the given type in mem, reusing p's
+// internal buffers. The commit schemes pool Page handles across
+// transactions through this.
+func InitInto(p *Page, mem Mem, typ byte) {
+	p.reset(mem)
+	p.hdr.Type = typ
+	p.hdr.Content = uint16(mem.PageSize())
+	mem.HeaderChanged(&p.hdr)
 }
 
 // Open decodes the page header from mem.
 func Open(mem Mem) (*Page, error) {
-	prefix := mem.Read(0, HeaderFixedSize)
-	n := int(binary.LittleEndian.Uint16(prefix[2:]))
-	if HeaderFixedSize+2*n > mem.PageSize() {
-		return nil, fmt.Errorf("%w: offset array (%d cells) exceeds page", ErrCorrupt, n)
-	}
-	full := mem.Read(0, HeaderFixedSize+2*n)
-	hdr, err := DecodeHeader(full, mem.PageSize())
-	if err != nil {
+	p := &Page{}
+	if err := OpenInto(p, mem); err != nil {
 		return nil, err
 	}
-	return &Page{mem: mem, hdr: hdr}, nil
+	return p, nil
+}
+
+// openHeader reads and decodes the header: a HeaderFixedSize prefix first,
+// then the prefix plus the full offset array (the same two reads whatever
+// the backend).
+func (p *Page) openHeader(mem Mem) error {
+	prefix := p.readT(0, HeaderFixedSize)
+	n := int(binary.LittleEndian.Uint16(prefix[2:]))
+	if HeaderFixedSize+2*n > mem.PageSize() {
+		return fmt.Errorf("%w: offset array (%d cells) exceeds page", ErrCorrupt, n)
+	}
+	full := p.readT(0, HeaderFixedSize+2*n)
+	return DecodeHeaderInto(&p.hdr, full, mem.PageSize())
+}
+
+// OpenInto decodes the page header from mem into p, reusing p's buffers.
+func OpenInto(p *Page, mem Mem) error {
+	p.reset(mem)
+	return p.openHeader(mem)
+}
+
+// reset rebinds the handle to mem with empty transaction state, keeping the
+// allocated scratch and header-offset capacity.
+func (p *Page) reset(mem Mem) {
+	p.mem = mem
+	p.sm, _ = mem.(ScratchMem)
+	p.hdr = Header{Offsets: p.hdr.Offsets[:0]}
+	p.deferFrees = false
+	p.pending = p.pending[:0]
+	p.pendingSum = 0
+}
+
+// readT performs a transient read: the returned bytes are valid only until
+// the next read and must not escape the current operation.
+func (p *Page) readT(off, n int) []byte {
+	if p.sm == nil {
+		return p.mem.Read(off, n)
+	}
+	var b []byte
+	if n <= len(p.tmp) {
+		b = p.tmp[:n]
+	} else {
+		if cap(p.keyBuf) < n {
+			p.keyBuf = make([]byte, n)
+		}
+		b = p.keyBuf[:n]
+	}
+	p.sm.ReadInto(off, b)
+	return b
 }
 
 // OpenWithHeader attaches a handle using an already-decoded header (the
@@ -95,12 +166,12 @@ func (p *Page) cellExtent(i int) extent {
 	off := p.hdr.Offsets[i]
 	switch p.hdr.Type {
 	case TypeLeaf:
-		b := p.mem.Read(int(off), 4)
+		b := p.readT(int(off), 4)
 		klen := binary.LittleEndian.Uint16(b)
 		vlen := binary.LittleEndian.Uint16(b[2:])
 		return extent{off, 4 + klen + vlen}
 	case TypeInterior:
-		b := p.mem.Read(int(off), 2)
+		b := p.readT(int(off), 2)
 		klen := binary.LittleEndian.Uint16(b)
 		return extent{off, 6 + klen}
 	default:
@@ -143,16 +214,34 @@ func (p *Page) Child(i int) uint32 {
 		panic("slotted: Child on non-interior page")
 	}
 	off := int(p.hdr.Offsets[i])
-	return binary.LittleEndian.Uint32(p.mem.Read(off+2, 4))
+	return binary.LittleEndian.Uint32(p.readT(off+2, 4))
+}
+
+// keyTransient returns the key of cell i into the page's scratch, issuing
+// the same two reads as Key. The result is valid only until the next read.
+func (p *Page) keyTransient(i int) []byte {
+	off := int(p.hdr.Offsets[i])
+	switch p.hdr.Type {
+	case TypeLeaf:
+		b := p.readT(off, 4)
+		klen := int(binary.LittleEndian.Uint16(b))
+		return p.readT(off+4, klen)
+	case TypeInterior:
+		b := p.readT(off, 2)
+		klen := int(binary.LittleEndian.Uint16(b))
+		return p.readT(off+6, klen)
+	default:
+		panic(fmt.Sprintf("slotted: Key on page type %#x", p.hdr.Type))
+	}
 }
 
 // Search binary-searches the sorted offset array. It returns the index of
 // the first cell with key ≥ key and whether that cell's key equals key.
 func (p *Page) Search(key []byte) (int, bool) {
 	i := sort.Search(len(p.hdr.Offsets), func(i int) bool {
-		return bytes.Compare(p.Key(i), key) >= 0
+		return bytes.Compare(p.keyTransient(i), key) >= 0
 	})
-	if i < len(p.hdr.Offsets) && bytes.Equal(p.Key(i), key) {
+	if i < len(p.hdr.Offsets) && bytes.Equal(p.keyTransient(i), key) {
 		return i, true
 	}
 	return i, false
@@ -199,7 +288,7 @@ func (p *Page) allocate(size int) (uint16, error) {
 	prev := uint16(0)
 	cur := p.hdr.FreeLst
 	for cur != 0 {
-		b := p.mem.Read(int(cur), 4)
+		b := p.readT(int(cur), 4)
 		bsz := binary.LittleEndian.Uint16(b)
 		next := binary.LittleEndian.Uint16(b[2:])
 		if int(bsz) >= size {
@@ -300,9 +389,18 @@ func (p *Page) PendingFrees() int { return len(p.pending) }
 
 // --- Mutations --------------------------------------------------------------
 
+// cellImg returns the reusable cell-image scratch sized to n. The image is
+// consumed (copied into the page) by mem.Write before the operation returns.
+func (p *Page) cellImg(n int) []byte {
+	if cap(p.imgBuf) < n {
+		p.imgBuf = make([]byte, n)
+	}
+	return p.imgBuf[:n]
+}
+
 // Insert adds a record to a leaf page, keeping the offset array sorted.
 func (p *Page) Insert(key, val []byte) error {
-	img := make([]byte, 4+len(key)+len(val))
+	img := p.cellImg(4 + len(key) + len(val))
 	binary.LittleEndian.PutUint16(img, uint16(len(key)))
 	binary.LittleEndian.PutUint16(img[2:], uint16(len(val)))
 	copy(img[4:], key)
@@ -312,7 +410,7 @@ func (p *Page) Insert(key, val []byte) error {
 
 // InsertChild adds a separator cell (key, child) to an interior page.
 func (p *Page) InsertChild(key []byte, child uint32) error {
-	img := make([]byte, 6+len(key))
+	img := p.cellImg(6 + len(key))
 	binary.LittleEndian.PutUint16(img, uint16(len(key)))
 	binary.LittleEndian.PutUint32(img[2:], child)
 	copy(img[6:], key)
@@ -349,8 +447,8 @@ func (p *Page) Update(i int, val []byte) error {
 	if i < 0 || i >= len(p.hdr.Offsets) {
 		return fmt.Errorf("%w: cell %d", ErrNotFound, i)
 	}
-	key := p.Key(i)
-	img := make([]byte, 4+len(key)+len(val))
+	key := p.keyTransient(i)
+	img := p.cellImg(4 + len(key) + len(val))
 	binary.LittleEndian.PutUint16(img, uint16(len(key)))
 	binary.LittleEndian.PutUint16(img[2:], uint16(len(val)))
 	copy(img[4:], key)
@@ -367,8 +465,8 @@ func (p *Page) UpdateChild(i int, child uint32) error {
 	if i < 0 || i >= len(p.hdr.Offsets) {
 		return fmt.Errorf("%w: cell %d", ErrNotFound, i)
 	}
-	key := p.Key(i)
-	img := make([]byte, 6+len(key))
+	key := p.keyTransient(i)
+	img := p.cellImg(6 + len(key))
 	binary.LittleEndian.PutUint16(img, uint16(len(key)))
 	binary.LittleEndian.PutUint32(img[2:], child)
 	copy(img[6:], key)
@@ -451,7 +549,7 @@ func (p *Page) CheckFreeList() error {
 		if int(cur) < HeaderFixedSize || int(cur)+MinFreeBlock > p.mem.PageSize() {
 			return fmt.Errorf("%w: free block at %d out of bounds", ErrCorrupt, cur)
 		}
-		b := p.mem.Read(int(cur), 4)
+		b := p.readT(int(cur), 4)
 		sz := binary.LittleEndian.Uint16(b)
 		if sz < MinFreeBlock || int(cur)+int(sz) > p.mem.PageSize() {
 			return fmt.Errorf("%w: free block at %d size %d invalid", ErrCorrupt, cur, sz)

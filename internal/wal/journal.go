@@ -41,7 +41,8 @@ func (tx *Txn) commitJournal() error {
 		for i, no := range tx.dirtyOrder {
 			entry := jbase + journalEntriesOff + st.journalEntrySize()*int64(i)
 			st.pm.StoreU32(entry, no)
-			orig := st.pm.Read(st.cfg.pageBase(no), st.cfg.PageSize)
+			orig := st.pageBuf(st.cfg.PageSize)
+			st.pm.Load(st.cfg.pageBase(no), orig)
 			st.pm.Store(entry+8, orig)
 			st.pm.Flush(entry, int(st.journalEntrySize()))
 			st.stats.WALBytes += int64(st.cfg.PageSize)
@@ -60,7 +61,8 @@ func (tx *Txn) commitJournal() error {
 	clock.InPhase(phase.Checkpoint, func() {
 		for _, no := range tx.dirtyOrder {
 			base := st.cfg.pageBase(no)
-			img := st.dram.Read(base, st.cfg.PageSize)
+			img := st.pageBuf(st.cfg.PageSize)
+			st.dram.Load(base, img)
 			st.pm.Store(base, img)
 			st.pm.Flush(base, st.cfg.PageSize)
 		}

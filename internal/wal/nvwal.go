@@ -3,6 +3,7 @@ package wal
 import (
 	"encoding/binary"
 	"fmt"
+	"sort"
 
 	"fasp/internal/nvheap"
 	"fasp/internal/pager"
@@ -28,6 +29,13 @@ type pendingFrame struct {
 	n        int
 }
 
+// pageDiff is one dirty page's differential-logging result.
+type pageDiff struct {
+	no     uint32
+	base   int64
+	ranges []byteRange
+}
+
 // commitNVWAL implements the NVWAL commit protocol; fullPage selects the
 // FullWAL variant (whole-page frames, bump allocation, no diffing).
 func (tx *Txn) commitNVWAL(fullPage bool) error {
@@ -36,12 +44,7 @@ func (tx *Txn) commitNVWAL(fullPage bool) error {
 
 	// 1. Differential-logging computation: scan each dirty page to derive
 	//    the dirty byte ranges (Figure 8, "NVWAL Computation").
-	type pageDiff struct {
-		no     uint32
-		base   int64
-		ranges []byteRange
-	}
-	var diffs []pageDiff
+	diffs := st.diffBuf[:0]
 	if !fullPage {
 		clock.InPhase(phase.NVWALCompute, func() {
 			for _, no := range tx.dirtyOrder {
@@ -60,10 +63,12 @@ func (tx *Txn) commitNVWAL(fullPage bool) error {
 		}
 	}
 
+	st.diffBuf = diffs
+
 	// 2. Allocate WAL frames from the persistent heap (Figure 8, "Heap
 	//    Management"). FullWAL uses a bump region instead, checkpointing
 	//    when it runs out.
-	var frames []pendingFrame
+	frames := st.frameBuf[:0]
 	var allocErr error
 	clock.InPhase(phase.Heap, func() {
 		for _, d := range diffs {
@@ -97,6 +102,7 @@ func (tx *Txn) commitNVWAL(fullPage bool) error {
 			}
 		}
 	})
+	st.frameBuf = frames
 	if allocErr != nil {
 		return allocErr
 	}
@@ -116,7 +122,8 @@ func (tx *Txn) commitNVWAL(fullPage bool) error {
 			binary.LittleEndian.PutUint64(hdr[16:], tx.meta.TxID)
 			binary.LittleEndian.PutUint64(hdr[24:], uint64(next))
 			st.pm.Store(f.frameOff, hdr[:])
-			payload := st.dram.Read(st.cfg.pageBase(f.pageNo)+int64(f.off), f.n)
+			payload := st.pageBuf(f.n)
+			st.dram.Load(st.cfg.pageBase(f.pageNo)+int64(f.off), payload)
 			st.pm.Store(f.frameOff+frameHeaderSize, payload)
 			st.pm.Flush(f.frameOff, frameHeaderSize+f.n)
 			st.stats.WALBytes += int64(f.n)
@@ -159,10 +166,18 @@ func (st *Store) Checkpoint() {
 		return
 	}
 	// The buffer cache holds the newest committed image of every logged
-	// page; write those images home and flush them.
+	// page; write those images home and flush them, in ascending page order
+	// so the cache-overlay traffic (and thus simulated time) is
+	// deterministic.
+	pages := make([]uint32, 0, len(st.walIndex))
 	for no := range st.walIndex {
+		pages = append(pages, no)
+	}
+	sort.Slice(pages, func(i, j int) bool { return pages[i] < pages[j] })
+	for _, no := range pages {
 		base := st.cfg.pageBase(no)
-		img := st.dram.Read(base, st.cfg.PageSize)
+		img := st.pageBuf(st.cfg.PageSize)
+		st.dram.Load(base, img)
 		st.pm.Store(base, img)
 		st.pm.Flush(base, st.cfg.PageSize)
 	}

@@ -24,6 +24,7 @@ import (
 	"fasp/internal/nvheap"
 	"fasp/internal/pager"
 	"fasp/internal/pmem"
+	"fasp/internal/slotted"
 )
 
 // Kind selects the baseline scheme.
@@ -115,6 +116,41 @@ type Store struct {
 	walAlloc  int64              // FullWAL bump cursor
 	walBytes  int64              // payload bytes since last checkpoint
 	freePages []uint32           // committed-free page numbers (volatile)
+
+	// Reusable scratch: page-image/payload copies and the differential-
+	// logging coverage bitmap (all consumed within a single call).
+	ioBuf    []byte
+	coverBuf []bool
+	diffBuf  []pageDiff
+	frameBuf []pendingFrame
+
+	// Recycled single-writer transaction resources, handed from finished
+	// transaction to the next Begin (see the fast package for the pattern).
+	rec struct {
+		pages      map[uint32]*txnPage
+		dirtyOrder []uint32
+		poppedFree []uint32
+		freed      []uint32
+		handles    []*txnPage
+	}
+}
+
+// takeHandle pops a pooled page handle (or makes a fresh one).
+func (st *Store) takeHandle() *txnPage {
+	if n := len(st.rec.handles); n > 0 {
+		tp := st.rec.handles[n-1]
+		st.rec.handles = st.rec.handles[:n-1]
+		return tp
+	}
+	return &txnPage{page: new(slotted.Page), mem: new(dramMem)}
+}
+
+// pageBuf returns the store's page-size scratch buffer.
+func (st *Store) pageBuf(n int) []byte {
+	if cap(st.ioBuf) < n {
+		st.ioBuf = make([]byte, n)
+	}
+	return st.ioBuf[:n]
 }
 
 const walMasterSize = 64 // magic u64, head u64, reserved
@@ -196,13 +232,16 @@ func (st *Store) ensureResident(no uint32) {
 		return
 	}
 	base := st.cfg.pageBase(no)
-	img := st.pm.Read(base, st.cfg.PageSize)
+	img := st.pageBuf(st.cfg.PageSize)
+	st.pm.Load(base, img)
 	st.dram.Store(base, img)
 	for _, fo := range st.walIndex[no] {
-		hdr := st.pm.Read(fo, frameHeaderSize)
+		var hdr [frameHeaderSize]byte
+		st.pm.Load(fo, hdr[:])
 		off := int64(leU32(hdr[4:]))
 		n := int(leU32(hdr[8:]))
-		payload := st.pm.Read(fo+frameHeaderSize, n)
+		payload := st.pageBuf(n)
+		st.pm.Load(fo+frameHeaderSize, payload)
 		st.dram.Store(base+off, payload)
 	}
 	st.resident[no] = true

@@ -15,10 +15,21 @@ type byteRange struct{ off, n int }
 // writes hit the DRAM image (charging DRAM latency); dirty byte ranges are
 // recorded for differential logging.
 type dramMem struct {
-	tx    *Txn
-	no    uint32
-	base  int64
-	dirty []byteRange
+	tx     *Txn
+	no     uint32
+	base   int64
+	dirty  []byteRange
+	encBuf []byte      // header-encode scratch
+	merged []byteRange // mergedRanges output, reused per transaction
+}
+
+// bind resets a pooled dramMem for a new page in this transaction.
+func (m *dramMem) bind(tx *Txn, no uint32, base int64) {
+	m.tx = tx
+	m.no = no
+	m.base = base
+	m.dirty = m.dirty[:0]
+	m.merged = m.merged[:0]
 }
 
 func (m *dramMem) PageSize() int { return m.tx.st.cfg.PageSize }
@@ -27,13 +38,20 @@ func (m *dramMem) Read(off, n int) []byte {
 	return m.tx.st.dram.Read(m.base+int64(off), n)
 }
 
+// ReadInto is the allocation-free read path (slotted.ScratchMem); it issues
+// the same DRAM Load as Read.
+func (m *dramMem) ReadInto(off int, dst []byte) {
+	m.tx.st.dram.Load(m.base+int64(off), dst)
+}
+
 func (m *dramMem) Write(off int, src []byte) {
 	m.tx.st.dram.Store(m.base+int64(off), src)
 	m.markDirty(off, len(src))
 }
 
 func (m *dramMem) HeaderChanged(h *slotted.Header) {
-	enc := h.Encode()
+	enc := h.EncodeInto(m.encBuf)
+	m.encBuf = enc[:0]
 	m.tx.st.dram.Store(m.base, enc)
 	m.markDirty(0, len(enc))
 }
@@ -46,19 +64,28 @@ func (m *dramMem) markDirty(off, n int) {
 }
 
 // mergedRanges coalesces the dirty ranges into sorted, disjoint spans —
-// the product of NVWAL's differential-logging computation.
+// the product of NVWAL's differential-logging computation. The result
+// (m.merged) stays valid until the page is rebound to a new transaction;
+// the coverage bitmap is a store-level scratch shared by all pages.
 func (m *dramMem) mergedRanges() []byteRange {
 	if len(m.dirty) == 0 {
 		return nil
 	}
 	ps := m.tx.st.cfg.PageSize
-	covered := make([]bool, ps)
+	covered := m.tx.st.coverBuf
+	if len(covered) < ps {
+		covered = make([]bool, ps)
+		m.tx.st.coverBuf = covered
+	}
+	for i := range covered[:ps] {
+		covered[i] = false
+	}
 	for _, r := range m.dirty {
 		for i := r.off; i < r.off+r.n && i < ps; i++ {
 			covered[i] = true
 		}
 	}
-	var out []byteRange
+	out := m.merged[:0]
 	i := 0
 	for i < ps {
 		if !covered[i] {
@@ -72,6 +99,7 @@ func (m *dramMem) mergedRanges() []byteRange {
 		out = append(out, byteRange{i, j - i})
 		i = j
 	}
+	m.merged = out
 	return out
 }
 
@@ -100,7 +128,19 @@ func (st *Store) Begin() (pager.Txn, error) {
 		return nil, pager.ErrTxnActive
 	}
 	st.open = true
-	return &Txn{st: st, meta: st.meta, pages: make(map[uint32]*txnPage)}, nil
+	pages := st.rec.pages
+	if pages == nil {
+		pages = make(map[uint32]*txnPage)
+	}
+	st.rec.pages = nil
+	return &Txn{
+		st:         st,
+		meta:       st.meta,
+		pages:      pages,
+		dirtyOrder: st.rec.dirtyOrder,
+		poppedFree: st.rec.poppedFree,
+		freed:      st.rec.freed,
+	}, nil
 }
 
 // PageSize returns the page size.
@@ -124,15 +164,17 @@ func (tx *Txn) Page(no uint32) (*slotted.Page, error) {
 		return tp.page, nil
 	}
 	tx.st.ensureResident(no)
-	mem := &dramMem{tx: tx, no: no, base: tx.st.cfg.pageBase(no)}
-	p, err := slotted.Open(mem)
-	if err != nil {
+	tp := tx.st.takeHandle()
+	tp.mem.bind(tx, no, tx.st.cfg.pageBase(no))
+	if err := slotted.OpenInto(tp.page, tp.mem); err != nil {
+		tx.st.rec.handles = append(tx.st.rec.handles, tp)
 		return nil, err
 	}
+	p := tp.page
 	// Volatile cache: freed cell space is reusable immediately (the PM
 	// copy is untouched until commit/checkpoint).
 	p.SetDeferFrees(false)
-	tx.pages[no] = &txnPage{page: p, mem: mem}
+	tx.pages[no] = tp
 	return p, nil
 }
 
@@ -154,10 +196,12 @@ func (tx *Txn) AllocPage(typ byte) (uint32, *slotted.Page, error) {
 	base := tx.st.cfg.pageBase(no)
 	tx.st.dram.Zero(base, tx.st.cfg.PageSize)
 	tx.st.resident[no] = true
-	mem := &dramMem{tx: tx, no: no, base: base}
-	p := slotted.Init(mem, typ)
+	tp := tx.st.takeHandle()
+	tp.mem.bind(tx, no, base)
+	slotted.InitInto(tp.page, tp.mem, typ)
+	p := tp.page
 	p.SetDeferFrees(false)
-	tx.pages[no] = &txnPage{page: p, mem: mem}
+	tx.pages[no] = tp
 	return no, p, nil
 }
 
@@ -233,8 +277,8 @@ func (tx *Txn) flushMetaToCache() {
 	tx.st.ensureResident(pager.MetaPageNo)
 	tp, ok := tx.pages[pager.MetaPageNo]
 	if !ok {
-		mem := &dramMem{tx: tx, no: pager.MetaPageNo, base: 0}
-		tp = &txnPage{mem: mem}
+		tp = tx.st.takeHandle()
+		tp.mem.bind(tx, pager.MetaPageNo, 0)
 		tx.pages[pager.MetaPageNo] = tp
 	}
 	pager.WriteMeta(tx.st.dram, 0, tx.meta)
@@ -243,5 +287,17 @@ func (tx *Txn) flushMetaToCache() {
 
 func (tx *Txn) finish() {
 	tx.done = true
-	tx.st.open = false
+	st := tx.st
+	st.open = false
+	// Return the per-transaction resources to the store for the next Begin.
+	// Map iteration order is irrelevant here: pooling touches no arena.
+	for _, tp := range tx.pages {
+		st.rec.handles = append(st.rec.handles, tp)
+	}
+	clear(tx.pages)
+	st.rec.pages = tx.pages
+	st.rec.dirtyOrder = tx.dirtyOrder[:0]
+	st.rec.poppedFree = tx.poppedFree[:0]
+	st.rec.freed = tx.freed[:0]
+	tx.pages = nil
 }
