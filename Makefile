@@ -22,10 +22,13 @@ bench:
 	$(GO) test -bench 'BenchmarkInsert|BenchmarkGet' -benchmem -run '^$$' .
 
 # Machine-readable wall-clock trajectory: ns/op and allocs/op for insert and
-# search across all five schemes. Set BASELINE to a previous report to embed
-# per-scheme speedup ratios.
+# search across all five schemes, plus the sharded-engine series (wall-clock
+# and simulated-parallel throughput for shards=1 vs SHARDS). Set BASELINE to
+# a previous report to embed per-scheme speedup ratios.
+SHARDS  ?= 8
+CLIENTS ?= 8
 bench-json:
-	$(GO) run ./cmd/faspbench -benchjson BENCH_PR1.json $(if $(BASELINE),-baseline $(BASELINE)) -n $(N)
+	$(GO) run ./cmd/faspbench -benchjson BENCH_PR2.json $(if $(BASELINE),-baseline $(BASELINE)) -n $(N) -shards $(SHARDS) -clients $(CLIENTS)
 
 clean:
-	rm -f BENCH_PR1.json
+	rm -f BENCH_PR1.json BENCH_PR2.json

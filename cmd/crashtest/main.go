@@ -26,15 +26,41 @@ import (
 
 func main() {
 	var (
-		rounds = flag.Int("rounds", 100, "crash rounds to run")
-		scheme = flag.String("scheme", "fast+", "fast+|fast|nvwal|wal|journal")
-		seed   = flag.Int64("seed", 1, "master seed")
-		txns   = flag.Int("txns", 30, "insert transactions per round")
+		rounds  = flag.Int("rounds", 100, "crash rounds to run")
+		scheme  = flag.String("scheme", "fast+", "fast+|fast|nvwal|wal|journal")
+		seed    = flag.Int64("seed", 1, "master seed")
+		txns    = flag.Int("txns", 30, "insert transactions per round (per client when sharded)")
+		shards  = flag.Int("shards", 0, "run the sharded engine with this many shards (0/1 = classic single store)")
+		clients = flag.Int("clients", 4, "with -shards: concurrent client goroutines")
 	)
 	flag.Parse()
 
 	cfgPageSize := 256
 	master := rand.New(rand.NewSource(*seed))
+
+	if *shards > 1 {
+		total := measureSharded(*scheme, *shards, *clients, *txns)
+		fmt.Printf("crashtest: %s, %d shards, %d clients x %d txns/round, ≥%d crash points per shard, %d rounds\n",
+			*scheme, *shards, *clients, *txns, total, *rounds)
+		failures := 0
+		evictHist := map[string]int{}
+		for round := 0; round < *rounds; round++ {
+			victim := master.Intn(*shards)
+			kpt := master.Int63n(total)
+			prob := []float64{0, 0.5, 1}[master.Intn(3)]
+			evictHist[fmt.Sprintf("p=%.1f", prob)]++
+			opts := pmem.CrashOptions{Seed: master.Int63(), EvictProb: prob}
+			if err := oneShardedRound(*scheme, *shards, *clients, *txns, victim, kpt, opts); err != nil {
+				failures++
+				fmt.Printf("round %d: shard %d crash@%d evict=%.1f: %v\n", round, victim, kpt, prob, err)
+			}
+		}
+		fmt.Printf("crashtest: %d/%d sharded rounds passed (%v)\n", *rounds-failures, *rounds, evictHist)
+		if failures > 0 {
+			os.Exit(1)
+		}
+		return
+	}
 
 	// Learn the crash-point budget from one uncrashed run.
 	total := measure(*scheme, cfgPageSize, *txns)
@@ -56,6 +82,12 @@ func main() {
 	if failures > 0 {
 		os.Exit(1)
 	}
+}
+
+// fail prints a fatal setup error and exits.
+func fail(format string, args ...any) {
+	fmt.Fprintf(os.Stderr, "crashtest: "+format+"\n", args...)
+	os.Exit(1)
 }
 
 func key(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }

@@ -34,10 +34,15 @@ type BenchSchemeResult struct {
 type BenchReport struct {
 	Generated string              `json:"generated"`
 	GoVersion string              `json:"go_version"`
+	CPUs      int                 `json:"cpus"`
 	N         int                 `json:"n"`
 	PageSize  int                 `json:"page_size"`
 	Seed      int64               `json:"seed"`
 	Schemes   []BenchSchemeResult `json:"schemes"`
+	// Sharded holds the -shards series: a shards=1 baseline followed by the
+	// requested shard count, with wall-clock and simulated-parallel
+	// throughput (see shardbench.go on interpreting the two on small hosts).
+	Sharded []ShardBenchResult `json:"sharded,omitempty"`
 	// Baseline optionally embeds the previous trajectory point (e.g. the
 	// pre-optimisation numbers) for side-by-side comparison.
 	Baseline *BenchReport `json:"baseline,omitempty"`
@@ -95,10 +100,11 @@ func runBenchScheme(s experiment.Scheme, n, pageSize int, seed int64) (BenchSche
 
 // runBenchJSON runs the wall-clock benchmark for every scheme and writes the
 // JSON report. baselinePath, when non-empty, is a previous report to embed.
-func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64) error {
+func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64, shards, clients, maxBatch int) error {
 	rep := BenchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
 		N:         n,
 		PageSize:  pageSize,
 		Seed:      seed,
@@ -111,6 +117,13 @@ func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64) err
 		fmt.Fprintf(os.Stderr, "%-8s insert %10.0f ns/op %8.1f allocs/op   search %10.0f ns/op %8.1f allocs/op\n",
 			r.Scheme, r.InsertNsOp, r.InsertAllocsOp, r.SearchNsOp, r.SearchAllocsOp)
 		rep.Schemes = append(rep.Schemes, r)
+	}
+	if shards > 0 {
+		series, err := runShardSeries(n, pageSize, seed, shards, clients, maxBatch)
+		if err != nil {
+			return fmt.Errorf("sharded: %w", err)
+		}
+		rep.Sharded = series
 	}
 	if baselinePath != "" {
 		raw, err := os.ReadFile(baselinePath)

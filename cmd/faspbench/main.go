@@ -30,11 +30,14 @@ func main() {
 		seed      = flag.Int64("seed", 42, "workload seed")
 		benchJSON = flag.String("benchjson", "", "write wall-clock insert/search benchmark JSON to this file ('-' = stdout)")
 		baseline  = flag.String("baseline", "", "previous -benchjson report to embed for comparison")
+		shards    = flag.Int("shards", 0, "with -benchjson: also benchmark a sharded KV with this many shards (vs a shards=1 baseline)")
+		clients   = flag.Int("clients", 1, "with -shards: concurrent client goroutines")
+		maxBatch  = flag.Int("maxbatch", 0, "with -shards: group-commit drain bound (0 = default)")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *baseline, *n, *pageSize, *seed); err != nil {
+		if err := runBenchJSON(*benchJSON, *baseline, *n, *pageSize, *seed, *shards, *clients, *maxBatch); err != nil {
 			fmt.Fprintf(os.Stderr, "faspbench: benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -1,0 +1,170 @@
+package main
+
+// KV shell mode (-kv): an interactive ordered key/value store instead of
+// the SQL engine, with optional sharding (-shards). Commands operate on the
+// facade's KV API, so the shell drives the same code paths applications
+// use — including the sharded engine's mailbox writers and group commit.
+
+import (
+	"bufio"
+	"fmt"
+	"os"
+	"strings"
+
+	"fasp"
+	"fasp/internal/metrics"
+)
+
+func runKVShell(kv *fasp.KV, lat, wlat int64) {
+	defer kv.Close()
+	mode := "single store"
+	if kv.Sharded() {
+		mode = fmt.Sprintf("%d shards, group commit ≤%d", kv.Shards(), kv.MaxBatch())
+	}
+	fmt.Printf("faspdb — %s KV (%s) on emulated PM (%d/%d ns). Type help for commands.\n",
+		kv.SchemeName(), mode, lat, wlat)
+
+	sc := bufio.NewScanner(os.Stdin)
+	sc.Buffer(make([]byte, 1<<20), 1<<20)
+	for {
+		fmt.Print("kv> ")
+		if !sc.Scan() {
+			fmt.Println()
+			return
+		}
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		fields := strings.Fields(line)
+		t0 := kv.SimulatedNS()
+		quit := kvCommand(kv, fields)
+		if elapsed := kv.SimulatedNS() - t0; elapsed > 0 {
+			fmt.Printf("(%s simulated us)\n", metrics.Usec(elapsed))
+		}
+		if quit {
+			return
+		}
+	}
+}
+
+// kvCommand executes one shell line; returns true to quit.
+func kvCommand(kv *fasp.KV, fields []string) bool {
+	switch fields[0] {
+	case "quit", "exit", ".quit", ".exit":
+		return true
+	case "help", ".help":
+		fmt.Println(`commands:
+  put <key> <value>    insert or replace
+  get <key>            read
+  del <key>            delete
+  scan [lo [hi]]       list keys in order (merged across shards)
+  count                number of records
+  .shards              per-shard statistics
+  .clock               simulated time and phase totals
+  .stats               PM event counters (summed across shards)
+  .crash               power-fail every shard and recover
+  .save <file>         crash-consistent snapshot (reload: faspdb -kv -open <file>)
+  quit                 exit`)
+	case "put":
+		if len(fields) != 3 {
+			fmt.Println("usage: put <key> <value>")
+			break
+		}
+		if err := kv.Put([]byte(fields[1]), []byte(fields[2])); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	case "get":
+		if len(fields) != 2 {
+			fmt.Println("usage: get <key>")
+			break
+		}
+		v, ok, err := kv.Get([]byte(fields[1]))
+		switch {
+		case err != nil:
+			fmt.Printf("error: %v\n", err)
+		case !ok:
+			fmt.Println("(not found)")
+		default:
+			fmt.Printf("%s\n", v)
+		}
+	case "del":
+		if len(fields) != 2 {
+			fmt.Println("usage: del <key>")
+			break
+		}
+		if err := kv.Delete([]byte(fields[1])); err != nil {
+			fmt.Printf("error: %v\n", err)
+		}
+	case "scan":
+		var lo, hi []byte
+		if len(fields) > 1 {
+			lo = []byte(fields[1])
+		}
+		if len(fields) > 2 {
+			hi = []byte(fields[2])
+		}
+		n := 0
+		err := kv.Scan(lo, hi, func(k, v []byte) bool {
+			fmt.Printf("%s = %s\n", k, v)
+			n++
+			return n < 1000
+		})
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Printf("%d row(s)\n", n)
+	case "count":
+		n, err := kv.Count()
+		if err != nil {
+			fmt.Printf("error: %v\n", err)
+			break
+		}
+		fmt.Println(n)
+	case ".shards":
+		for i := 0; i < kv.Shards(); i++ {
+			in := kv.ShardStats(i)
+			fmt.Printf("shard %d: sim %s us, %d ops, %d batches (largest %d)\n",
+				i, metrics.Usec(in.SimNS), in.Ops, in.Batches, in.MaxDrained)
+		}
+		if kv.Sharded() {
+			st := kv.EngineStats()
+			fmt.Printf("elapsed (slowest shard): %s us; total simulated work: %s us\n",
+				metrics.Usec(st.SimMaxNS), metrics.Usec(st.SimSumNS))
+		}
+	case ".clock":
+		fmt.Printf("simulated time: %s us\n", metrics.Usec(kv.SimulatedNS()))
+		for _, s := range metrics.SortedPhases(kv.Phases()) {
+			fmt.Println("  " + s)
+		}
+	case ".stats":
+		s := kv.PMStats()
+		fmt.Printf("PM line fills:   %d\n", s.LineFills)
+		fmt.Printf("PM cache hits:   %d\n", s.CacheHits)
+		fmt.Printf("word stores:     %d (%d bytes)\n", s.WordStores, s.BytesStored)
+		fmt.Printf("clflush calls:   %d (%d line write-backs)\n", s.FlushCalls, s.LineWritebacks)
+	case ".crash":
+		kv.Crash(fasp.CrashOptions{Seed: kv.SimulatedNS(), EvictProb: 0.5})
+		if err := kv.ReopenKV(); err != nil {
+			fmt.Printf("recovery failed: %v\n", err)
+		} else if kv.Sharded() {
+			fmt.Printf("crashed and recovered all %d shards\n", kv.Shards())
+		} else {
+			fmt.Println("crashed and recovered")
+		}
+	case ".save":
+		if len(fields) != 2 {
+			fmt.Println("usage: .save <file>")
+			break
+		}
+		if err := kv.Save(fields[1]); err != nil {
+			fmt.Printf("save failed: %v\n", err)
+		} else {
+			fmt.Printf("saved to %s\n", fields[1])
+		}
+	default:
+		fmt.Println("unknown command; try help")
+	}
+	return false
+}

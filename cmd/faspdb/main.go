@@ -28,10 +28,34 @@ func main() {
 		lat      = flag.Int64("lat", 300, "PM read/write latency (ns per cache line)")
 		wlat     = flag.Int64("wlat", 0, "PM write latency override (defaults to -lat)")
 		openPath = flag.String("open", "", "load a snapshot saved with .save")
+		kvMode   = flag.Bool("kv", false, "key/value shell instead of SQL (required for -shards)")
+		shards   = flag.Int("shards", 0, "with -kv: hash-partition across this many shards")
+		maxBatch = flag.Int("maxbatch", 0, "with -kv -shards: group-commit drain bound (0 = default)")
 	)
 	flag.Parse()
 	if *wlat == 0 {
 		*wlat = *lat
+	}
+	if *kvMode {
+		opts := fasp.Options{Scheme: *scheme, PMReadNS: *lat, PMWriteNS: *wlat, Shards: *shards, MaxBatch: *maxBatch}
+		var kv *fasp.KV
+		var err error
+		if *openPath != "" {
+			// Shard count and scheme come from the snapshot header.
+			kv, err = fasp.OpenSnapshotKV(*openPath, fasp.Options{PMReadNS: *lat, PMWriteNS: *wlat})
+		} else {
+			kv, err = fasp.OpenKV(opts)
+		}
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faspdb: %v\n", err)
+			os.Exit(1)
+		}
+		runKVShell(kv, *lat, *wlat)
+		return
+	}
+	if *shards > 1 {
+		fmt.Fprintln(os.Stderr, "faspdb: -shards requires -kv (the SQL engine is single-store)")
+		os.Exit(2)
 	}
 	var db *fasp.DB
 	var err error

@@ -21,6 +21,7 @@ import (
 	"reflect"
 	"testing"
 
+	"fasp"
 	"fasp/internal/btree"
 	"fasp/internal/fast"
 	"fasp/internal/pager"
@@ -239,6 +240,145 @@ func TestGoldenDeterminismStable(t *testing.T) {
 	b := runGoldenWorkload(t, "FAST+")
 	if !reflect.DeepEqual(a, b) {
 		t.Fatalf("two identical runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}
+
+// goldenShardRecord pins one shard of the sharded golden workload: its
+// full observable state (simulated time, op/batch counters, PM events,
+// phase breakdown) plus a content checksum, so shard routing and batch
+// boundaries are bit-stable across refactors.
+type goldenShardRecord struct {
+	Info    fasp.ShardInfo `json:"info"`
+	Count   int            `json:"count"`
+	TreeSum uint64         `json:"tree_sum"`
+}
+
+// runGoldenShardedWorkload drives a fixed workload through the facade's
+// deterministic ApplyBatch path on a Shards=4 store — batch boundaries are
+// a pure function of the op sequence (chunks of MaxBatch per shard, in
+// ascending shard order), so per-shard simulated time is reproducible,
+// unlike the timing-dependent mailbox path.
+func runGoldenShardedWorkload(t *testing.T) []goldenShardRecord {
+	t.Helper()
+	const shards = 4
+	kv, err := fasp.OpenKV(fasp.Options{
+		Scheme: "fast+", Shards: shards, MaxBatch: 16,
+		PageSize: 1024, MaxPages: 2048, CacheBytes: 16 << 10,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	gen := workload.New(workload.Config{Seed: 11, RecordSize: 100})
+
+	apply := func(ops []fasp.Op) {
+		t.Helper()
+		for i, err := range kv.ApplyBatch(ops) {
+			if err != nil {
+				t.Fatalf("sharded golden op %d (%s): %v", i, ops[i].Kind, err)
+			}
+		}
+	}
+	var keys [][]byte
+	ops := make([]fasp.Op, 0, 600)
+	for i := 0; i < 600; i++ {
+		k := gen.NextKey()
+		keys = append(keys, k)
+		ops = append(ops, fasp.Op{Kind: fasp.OpInsert, Key: k, Val: gen.NextValue()})
+	}
+	apply(ops)
+	ops = ops[:0]
+	for i := 0; i < 80; i++ {
+		ops = append(ops, fasp.Op{Kind: fasp.OpPut, Key: keys[(i*3)%600], Val: gen.ValueOfSize(120)})
+	}
+	apply(ops)
+	ops = ops[:0]
+	for i := 0; i < 50; i++ {
+		ops = append(ops, fasp.Op{Kind: fasp.OpDelete, Key: keys[(i*7)%400]})
+	}
+	apply(ops)
+
+	// Whole-engine power failure on group-commit boundaries: each shard
+	// runs the eviction lottery with a per-shard decorrelated seed.
+	kv.Crash(pmem.CrashOptions{Seed: 7, EvictProb: 0.5})
+	if err := kv.ReopenKV(); err != nil {
+		t.Fatal(err)
+	}
+	ops = ops[:0]
+	for i := 0; i < 100; i++ {
+		ops = append(ops, fasp.Op{Kind: fasp.OpInsert, Key: gen.NextKey(), Val: gen.NextValue()})
+	}
+	apply(ops)
+
+	recs := make([]goldenShardRecord, shards)
+	for i := 0; i < shards; i++ {
+		rec := goldenShardRecord{Info: kv.ShardStats(i)}
+		h := fnv.New64a()
+		if err := kv.ShardScan(i, nil, nil, func(k, v []byte) bool {
+			h.Write(k)
+			h.Write(v)
+			rec.Count++
+			return true
+		}); err != nil {
+			t.Fatalf("shard %d scan: %v", i, err)
+		}
+		rec.TreeSum = h.Sum64()
+		recs[i] = rec
+	}
+	return recs
+}
+
+// TestGoldenShardedDeterminism compares the Shards=4 workload's per-shard
+// records against testdata/golden_shards.json. Regenerate only on an
+// intentional simulated-behavior change:
+//
+//	go test -run TestGoldenShardedDeterminism -update-golden .
+func TestGoldenShardedDeterminism(t *testing.T) {
+	got := runGoldenShardedWorkload(t)
+
+	path := filepath.Join("testdata", "golden_shards.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("sharded golden rewritten: %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read sharded golden (run with -update-golden to create): %v", err)
+	}
+	var want []goldenShardRecord
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d shards, run produced %d", len(want), len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			gj, _ := json.Marshal(got[i])
+			wj, _ := json.Marshal(want[i])
+			t.Errorf("shard %d: simulated behavior diverged from golden\n got: %s\nwant: %s", i, gj, wj)
+		}
+	}
+}
+
+// TestGoldenShardedStable re-runs the sharded workload twice in-process
+// and requires identical per-shard records.
+func TestGoldenShardedStable(t *testing.T) {
+	a := runGoldenShardedWorkload(t)
+	b := runGoldenShardedWorkload(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical sharded runs diverged:\n a: %+v\n b: %+v", a, b)
 	}
 }
 

@@ -27,6 +27,8 @@ import (
 	"fasp/internal/hashidx"
 	"fasp/internal/pager"
 	"fasp/internal/pmem"
+	"fasp/internal/shard"
+	"fasp/internal/slotted"
 	"fasp/internal/sql"
 	"fasp/internal/wal"
 )
@@ -46,17 +48,32 @@ type Options struct {
 	Scheme string
 	// PageSize is the slotted-page size in bytes (default 4096).
 	PageSize int
-	// MaxPages bounds the page space (default 16384).
+	// MaxPages bounds the page space (default 16384). In sharded mode the
+	// bound applies to each shard's independent page space.
 	MaxPages int
 	// PMReadNS / PMWriteNS are the emulated PM latencies per cache line
-	// (default 300/300, the paper's default point; DRAM is 120).
+	// (default 300/300, the paper's default point; DRAM is 120). 0 selects
+	// the default; pass -1 for an explicitly zero-latency (DRAM-instant)
+	// medium, which 0 cannot express.
 	PMReadNS, PMWriteNS int64
 	// CacheBytes bounds the emulated CPU cache per arena (default 2 MiB).
 	CacheBytes int64
+	// Shards hash-partitions the KV key space across this many independent
+	// stores, each on its own simulated machine with a single-writer
+	// goroutine and group commit (see OpenKV). 0 or 1 keeps the classic
+	// single store; Open and OpenHash ignore the field.
+	Shards int
+	// MaxBatch bounds the operations one sharded group commit may drain
+	// from a shard's mailbox (default 64). Ignored when Shards <= 1,
+	// except by KV.ApplyBatch, which chunks at MaxBatch in both modes.
+	MaxBatch int
 }
 
 // fill applies defaults and normalises Scheme to its canonical lower-case
-// form, so the rest of the package compares it directly.
+// form, so the rest of the package compares it directly. It is idempotent:
+// the -1 latency sentinel survives so that re-filling (each shard's
+// backend fills the same Options) cannot turn an explicit zero back into
+// the 300 ns default; newBase clamps the sentinel when building the model.
 func (o *Options) fill() {
 	if o.Scheme == "" {
 		o.Scheme = SchemeFASTPlus
@@ -74,6 +91,20 @@ func (o *Options) fill() {
 	if o.PMWriteNS == 0 {
 		o.PMWriteNS = 300
 	}
+	if o.Shards < 1 {
+		o.Shards = 1
+	}
+	if o.MaxBatch <= 0 {
+		o.MaxBatch = shard.DefaultMaxBatch
+	}
+}
+
+// latNS resolves a latency field: -1 is the explicit-zero sentinel.
+func latNS(v int64) int64 {
+	if v < 0 {
+		return 0
+	}
+	return v
 }
 
 // Value is a SQL value in query results.
@@ -100,7 +131,7 @@ type base struct {
 
 func newBase(opts Options) (*base, error) {
 	opts.fill()
-	lat := pmem.DefaultLatencies(opts.PMReadNS, opts.PMWriteNS)
+	lat := pmem.DefaultLatencies(latNS(opts.PMReadNS), latNS(opts.PMWriteNS))
 	lat.CacheBytes = opts.CacheBytes
 	sys := pmem.NewSystem(lat)
 	b := &base{opts: opts, sys: sys}
@@ -132,48 +163,50 @@ func newBase(opts Options) (*base, error) {
 	return b, nil
 }
 
-// reattach rebuilds the store over the surviving arena after a crash.
-func (b *base) reattach() error {
-	switch st := b.store.(type) {
-	case *fast.Store:
+// attachStore rebuilds a store of opts.Scheme over an existing arena
+// (after a crash or a snapshot restore) and runs the scheme's recovery.
+// It is the shared reattach path of the single-store facade and of every
+// shard in a sharded KV.
+func attachStore(opts Options, arena *pmem.Arena) (pager.Store, error) {
+	switch opts.Scheme {
+	case SchemeFASTPlus, SchemeFAST:
 		variant := fast.InPlaceCommit
-		if b.opts.Scheme == SchemeFAST {
+		if opts.Scheme == SchemeFAST {
 			variant = fast.SlotHeaderLogging
 		}
-		ns, err := fast.Attach(b.arena, fast.Config{
-			PageSize: b.opts.PageSize, MaxPages: b.opts.MaxPages, Variant: variant,
+		ns, err := fast.Attach(arena, fast.Config{
+			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Variant: variant,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		b.store = ns
-		_ = st
-	case *wal.Store:
+		return ns, ns.Recover()
+	case SchemeNVWAL, SchemeWAL, SchemeJournal:
 		kind := wal.NVWAL
-		switch b.opts.Scheme {
+		switch opts.Scheme {
 		case SchemeWAL:
 			kind = wal.FullWAL
 		case SchemeJournal:
 			kind = wal.Journal
 		}
-		ns, err := wal.Attach(b.arena, wal.Config{
-			PageSize: b.opts.PageSize, MaxPages: b.opts.MaxPages, Kind: kind,
+		ns, err := wal.Attach(arena, wal.Config{
+			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Kind: kind,
 		})
 		if err != nil {
-			return err
+			return nil, err
 		}
-		b.store = ns
-	default:
-		return errors.New("fasp: unknown store type")
+		return ns, ns.Recover()
 	}
-	return b.recover()
+	return nil, fmt.Errorf("fasp: unknown scheme %q", opts.Scheme)
 }
 
-func (b *base) recover() error {
-	type recoverer interface{ Recover() error }
-	if r, ok := b.store.(recoverer); ok {
-		return r.Recover()
+// reattach rebuilds the store over the surviving arena after a crash.
+func (b *base) reattach() error {
+	ns, err := attachStore(b.opts, b.arena)
+	if err != nil {
+		return err
 	}
+	b.store = ns
 	return nil
 }
 
@@ -274,26 +307,120 @@ func (db *DB) Reopen() error {
 // KV is an ordered key/value store over the failure-atomic B-tree —
 // the paper's pager/B-tree layer without the SQL front end (the layer
 // Figures 6–10 measure).
+//
+// With Options.Shards > 1 the store becomes a sharded engine: keys are
+// hash-partitioned across independent stores, each on its own simulated
+// machine, owned by a single-writer goroutine that drains a bounded
+// mailbox and group-commits each drained batch as one transaction
+// (internal/shard). Concurrent callers then run in parallel across shards
+// and are batched within one. Shards == 1 keeps the classic single store
+// with SQLite-style one-at-a-time access and bit-identical simulated
+// time. Sharded stores hold goroutines: call Close when done.
 type KV struct {
-	*base
-	tree *btree.Tree
+	*base               // single-store mode; nil when sharded
+	tree  *btree.Tree   // single-store mode; nil when sharded
+	eng   *shard.Engine // sharded mode; nil when single-store
+	opts  Options
 }
 
-// OpenKV creates a fresh key/value store.
+// Op and OpKind re-export the sharded engine's operation type, used by
+// ApplyBatch in both modes.
+type (
+	Op     = shard.Op
+	OpKind = shard.OpKind
+)
+
+// Operation kinds for ApplyBatch.
+const (
+	OpPut    = shard.OpPut
+	OpInsert = shard.OpInsert
+	OpUpdate = shard.OpUpdate
+	OpDelete = shard.OpDelete
+)
+
+// ErrShardCrashed reports an operation submitted to a crashed shard that
+// has not been recovered yet (call ReopenKV).
+var ErrShardCrashed = shard.ErrCrashed
+
+// errCrossShard reports KV.Batch on a sharded store.
+var errCrossShard = errors.New("fasp: cross-shard transactions are not supported on a sharded store; use ApplyBatch for per-shard group commits")
+
+// OpenKV creates a fresh key/value store (sharded when opts.Shards > 1).
 func OpenKV(opts Options) (*KV, error) {
-	b, err := newBase(opts)
+	opts.fill()
+	if opts.Shards <= 1 {
+		b, err := newBase(opts)
+		if err != nil {
+			return nil, err
+		}
+		return &KV{base: b, tree: btree.New(b.store), opts: opts}, nil
+	}
+	eng, err := newShardEngine(opts)
 	if err != nil {
 		return nil, err
 	}
-	return &KV{base: b, tree: btree.New(b.store)}, nil
+	return &KV{eng: eng, opts: opts}, nil
+}
+
+// newShardEngine wires the scheme-agnostic sharded engine to this
+// package's store constructors: every shard is a full newBase backend on
+// its own simulated machine, and reattach after a crash goes through the
+// same attachStore path the single-store facade uses.
+func newShardEngine(opts Options) (*shard.Engine, error) {
+	return shard.New(shard.Config{
+		Shards:   opts.Shards,
+		MaxBatch: opts.MaxBatch,
+		Open: func(int) (*shard.Backend, error) {
+			b, err := newBase(opts)
+			if err != nil {
+				return nil, err
+			}
+			return &shard.Backend{Sys: b.sys, Arena: b.arena, Store: b.store}, nil
+		},
+		Reattach: func(_ int, be *shard.Backend) (pager.Store, error) {
+			return attachStore(opts, be.Arena)
+		},
+	})
+}
+
+// Close stops a sharded store's writer goroutines after serving every
+// queued operation; on a single store it is a no-op. Submitting
+// operations after Close is a caller error.
+func (kv *KV) Close() {
+	if kv.eng != nil {
+		kv.eng.Close()
+	}
+}
+
+// Sharded reports whether the store is hash-partitioned.
+func (kv *KV) Sharded() bool { return kv.eng != nil }
+
+// Shards returns the shard count (1 for a single store).
+func (kv *KV) Shards() int {
+	if kv.eng != nil {
+		return kv.eng.Shards()
+	}
+	return 1
+}
+
+// MaxBatch returns the group-commit drain bound ApplyBatch (and, when
+// sharded, the writer goroutines) chunk at.
+func (kv *KV) MaxBatch() int {
+	if kv.eng != nil {
+		return kv.eng.MaxBatch()
+	}
+	return kv.opts.MaxBatch
 }
 
 // Put inserts or replaces key's value in one transaction.
 func (kv *KV) Put(key, val []byte) error {
+	if kv.eng != nil {
+		return kv.eng.Do(Op{Kind: OpPut, Key: key, Val: val})
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	err := kv.tree.Insert(key, val)
-	if err != nil && strings.Contains(err.Error(), "duplicate") {
+	if errors.Is(err, slotted.ErrDuplicate) {
 		return kv.tree.Update(key, val)
 	}
 	return err
@@ -301,6 +428,9 @@ func (kv *KV) Put(key, val []byte) error {
 
 // Insert adds a new key, failing on duplicates.
 func (kv *KV) Insert(key, val []byte) error {
+	if kv.eng != nil {
+		return kv.eng.Do(Op{Kind: OpInsert, Key: key, Val: val})
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.tree.Insert(key, val)
@@ -308,6 +438,9 @@ func (kv *KV) Insert(key, val []byte) error {
 
 // Get returns the value stored under key.
 func (kv *KV) Get(key []byte) ([]byte, bool, error) {
+	if kv.eng != nil {
+		return kv.eng.Get(key)
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.tree.Get(key)
@@ -315,13 +448,40 @@ func (kv *KV) Get(key []byte) ([]byte, bool, error) {
 
 // Delete removes key.
 func (kv *KV) Delete(key []byte) error {
+	if kv.eng != nil {
+		return kv.eng.Do(Op{Kind: OpDelete, Key: key})
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.tree.Delete(key)
 }
 
-// Scan visits keys in [lo, hi] in order (nil bounds are open).
+// ApplyBatch applies ops as group commits of at most Options.MaxBatch
+// operations per transaction, returning per-op errors aligned with ops.
+// On a sharded store the ops are partitioned by shard and each shard's
+// sub-batch is applied in submission order, in ascending shard order —
+// batch boundaries (and therefore simulated time) are a pure function of
+// the op sequence, unlike the concurrent mailbox path. Logical failures
+// (duplicate insert, absent key) are reported per op without aborting
+// their batch; see internal/shard.ApplyOps.
+func (kv *KV) ApplyBatch(ops []Op) []error {
+	if kv.eng != nil {
+		return kv.eng.ApplyBatch(ops)
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	errs := make([]error, len(ops))
+	shard.ApplyOps(kv.tree, kv.opts.MaxBatch, ops, errs)
+	return errs
+}
+
+// Scan visits keys in [lo, hi] in order (nil bounds are open). On a
+// sharded store the per-shard streams are collected and k-way merged, so
+// the global order is identical to the single-store order.
 func (kv *KV) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
+	if kv.eng != nil {
+		return kv.eng.Scan(lo, hi, fn)
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return kv.tree.Scan(lo, hi, fn)
@@ -329,6 +489,9 @@ func (kv *KV) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 
 // ScanReverse visits keys in [lo, hi] in descending order.
 func (kv *KV) ScanReverse(lo, hi []byte, fn func(k, v []byte) bool) error {
+	if kv.eng != nil {
+		return kv.eng.ScanReverse(lo, hi, fn)
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	tx, err := kv.tree.Begin()
@@ -354,7 +517,12 @@ type BatchTx interface {
 }
 
 // Batch runs fn inside one transaction; all operations commit atomically.
+// A sharded store cannot offer cross-shard atomicity and rejects Batch;
+// use ApplyBatch for per-shard group commits.
 func (kv *KV) Batch(fn func(tx BatchTx) error) error {
+	if kv.eng != nil {
+		return errCrossShard
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	tx, err := kv.tree.Begin()
@@ -368,8 +536,12 @@ func (kv *KV) Batch(fn func(tx BatchTx) error) error {
 	return tx.Commit()
 }
 
-// Validate checks full structural integrity of the tree.
+// Validate checks full structural integrity of the tree (every shard's
+// tree on a sharded store).
 func (kv *KV) Validate() error {
+	if kv.eng != nil {
+		return kv.eng.Validate()
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	tx, err := kv.tree.Begin()
@@ -380,8 +552,11 @@ func (kv *KV) Validate() error {
 	return tx.Validate()
 }
 
-// Count returns the number of records.
+// Count returns the number of records (summed across shards).
 func (kv *KV) Count() (int, error) {
+	if kv.eng != nil {
+		return kv.eng.Count()
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	tx, err := kv.tree.Begin()
@@ -392,8 +567,11 @@ func (kv *KV) Count() (int, error) {
 	return tx.Count()
 }
 
-// ReopenKV recovers the store after Crash.
+// ReopenKV recovers the store after Crash (every shard when sharded).
 func (kv *KV) ReopenKV() error {
+	if kv.eng != nil {
+		return kv.eng.Reopen()
+	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	if err := kv.reattach(); err != nil {
@@ -401,6 +579,130 @@ func (kv *KV) ReopenKV() error {
 	}
 	kv.tree = btree.New(kv.store)
 	return nil
+}
+
+// Crash simulates a power failure. On a sharded store it hits every
+// shard: each shard's machine runs the eviction lottery with the seed
+// decorrelated per shard, and in-flight group commits finish first (the
+// crash lands on batch boundaries; arm ShardSystem(i).CrashAfter before
+// traffic to fail inside a batch). Call ReopenKV to recover.
+func (kv *KV) Crash(opts CrashOptions) {
+	if kv.eng != nil {
+		kv.eng.Crash(opts)
+		return
+	}
+	kv.base.Crash(opts)
+}
+
+// SchemeName reports the active commit scheme.
+func (kv *KV) SchemeName() string {
+	if kv.eng != nil {
+		return kv.eng.ShardStore(0).Name()
+	}
+	return kv.base.SchemeName()
+}
+
+// System exposes the simulated machine. A sharded store has one machine
+// per shard and returns nil here; use ShardSystem.
+func (kv *KV) System() *pmem.System {
+	if kv.eng != nil {
+		return nil
+	}
+	return kv.base.System()
+}
+
+// ShardSystem returns shard i's simulated machine (shard 0 is the only
+// shard of a single store). Crash-injection harnesses arm it before
+// concurrent traffic starts; the machine is only synchronised by the
+// engine's shard lock.
+func (kv *KV) ShardSystem(i int) *pmem.System {
+	if kv.eng != nil {
+		return kv.eng.ShardSys(i)
+	}
+	return kv.base.System()
+}
+
+// RawStore exposes the underlying pager store for inspection tooling.
+// A sharded store has one store per shard and returns nil; use ShardStore.
+func (kv *KV) RawStore() pager.Store {
+	if kv.eng != nil {
+		return nil
+	}
+	return kv.base.RawStore()
+}
+
+// ShardStore returns shard i's pager store for inspection tooling.
+func (kv *KV) ShardStore(i int) pager.Store {
+	if kv.eng != nil {
+		return kv.eng.ShardStore(i)
+	}
+	return kv.base.RawStore()
+}
+
+// SimulatedNS returns the simulated time: on a sharded store, the slowest
+// shard's clock — the elapsed time of the sharded system, since shards
+// run in parallel on independent machines.
+func (kv *KV) SimulatedNS() int64 {
+	if kv.eng != nil {
+		return kv.eng.Stats().SimMaxNS
+	}
+	return kv.base.SimulatedNS()
+}
+
+// PMStats returns the PM arenas' architectural event counters (summed
+// across shards).
+func (kv *KV) PMStats() pmem.Stats {
+	if kv.eng != nil {
+		return kv.eng.Stats().PM
+	}
+	return kv.base.PMStats()
+}
+
+// Phases returns the simulated-time phase breakdown (summed across
+// shards): total simulated work per phase.
+func (kv *KV) Phases() map[string]int64 {
+	if kv.eng != nil {
+		return kv.eng.Phases()
+	}
+	return kv.base.System().Clock().Phases()
+}
+
+// ShardInfo is one shard's observable state.
+type ShardInfo = shard.Info
+
+// ShardStats returns shard i's simulated time, op/batch counters, PM
+// stats, and phase breakdown. On a single store, shard 0 reports the
+// whole store (with no batch counters — group commit is a sharded-engine
+// notion there).
+func (kv *KV) ShardStats(i int) ShardInfo {
+	if kv.eng != nil {
+		return kv.eng.ShardInfo(i)
+	}
+	return ShardInfo{
+		SimNS:  kv.base.SimulatedNS(),
+		PM:     kv.base.PMStats(),
+		Phases: kv.base.System().Clock().Phases(),
+	}
+}
+
+// EngineStats aggregates the sharded engine's counters (zero value on a
+// single store).
+func (kv *KV) EngineStats() shard.Stats {
+	if kv.eng != nil {
+		return kv.eng.Stats()
+	}
+	return shard.Stats{Shards: 1, SimMaxNS: kv.base.SimulatedNS(), SimSumNS: kv.base.SimulatedNS(), PM: kv.base.PMStats()}
+}
+
+// ShardScan visits shard i's records in [lo, hi] in ascending order —
+// per-shard contents for tooling and the golden determinism tests.
+func (kv *KV) ShardScan(i int, lo, hi []byte, fn func(k, v []byte) bool) error {
+	if kv.eng != nil {
+		return kv.eng.ScanShard(i, lo, hi, fn)
+	}
+	kv.mu.Lock()
+	defer kv.mu.Unlock()
+	return kv.tree.Scan(lo, hi, fn)
 }
 
 // Hash is a persistent hash index over failure-atomic slotted pages — the

@@ -1,0 +1,178 @@
+// Package shard implements a sharded store engine: the key space is
+// hash-partitioned across N independent stores — each with its own
+// simulated machine, commit scheme and B-tree — and every shard is owned
+// by a single-writer goroutine that drains a bounded mailbox of operations
+// and commits each drained batch as one transaction (group commit).
+//
+// Why this composes with the paper's failure atomicity: FAST, FAST+ and
+// the baseline schemes are all per-store local — a commit's durability
+// point (the slot-header log's commit mark, the HTM cache-line write, the
+// WAL frame) lives inside one store's arena and never references another
+// store. Hash partitioning therefore preserves failure atomicity shard by
+// shard: a crash leaves every shard either before or after each of its own
+// commit marks, and recovery runs independently per shard. What is given
+// up is only cross-shard transactions, which the engine does not offer.
+//
+// Group commit amortises the commit protocol the way SiloR-style redo-only
+// logging batches its log writes: a drained batch of K operations pays one
+// log-flush/commit-mark/checkpoint sequence instead of K. When a drained
+// batch happens to touch exactly one leaf page, the FAST+ store's in-place
+// eligibility check still holds and the batch commits through the single
+// HTM cache-line write — the engine does not need to special-case it.
+package shard
+
+import (
+	"errors"
+
+	"fasp/internal/btree"
+	"fasp/internal/slotted"
+)
+
+// OpKind selects the mutation an Op performs.
+type OpKind uint8
+
+const (
+	// OpPut inserts the key or replaces its value if present.
+	OpPut OpKind = iota
+	// OpInsert inserts the key, failing on duplicates.
+	OpInsert
+	// OpUpdate replaces an existing key's value, failing if absent.
+	OpUpdate
+	// OpDelete removes the key, failing if absent.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpPut:
+		return "put"
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// Op is one key/value mutation routed to a shard.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+	Val  []byte
+}
+
+// benign reports whether err is a per-operation logical failure (duplicate
+// key, absent key, oversized record) that leaves the enclosing transaction's
+// working state untouched, so the rest of a group-commit batch can proceed.
+// Everything else (page-space exhaustion, corruption) is a hard error.
+func benign(err error) bool {
+	return errors.Is(err, slotted.ErrDuplicate) ||
+		errors.Is(err, btree.ErrKeyNotFound) ||
+		errors.Is(err, btree.ErrTooLarge)
+}
+
+// applyTxOp applies one op inside an open batch transaction.
+func applyTxOp(tx *btree.Tx, op *Op) error {
+	switch op.Kind {
+	case OpPut:
+		err := tx.Insert(op.Key, op.Val)
+		if errors.Is(err, slotted.ErrDuplicate) {
+			return tx.Update(op.Key, op.Val)
+		}
+		return err
+	case OpInsert:
+		return tx.Insert(op.Key, op.Val)
+	case OpUpdate:
+		return tx.Update(op.Key, op.Val)
+	case OpDelete:
+		return tx.Delete(op.Key)
+	}
+	return errors.New("shard: unknown op kind")
+}
+
+// applySingle applies one op in its own transaction (the group-commit
+// fallback when a batch hits a hard error).
+func applySingle(tree *btree.Tree, op *Op) error {
+	switch op.Kind {
+	case OpPut:
+		err := tree.Insert(op.Key, op.Val)
+		if errors.Is(err, slotted.ErrDuplicate) {
+			return tree.Update(op.Key, op.Val)
+		}
+		return err
+	case OpInsert:
+		return tree.Insert(op.Key, op.Val)
+	case OpUpdate:
+		return tree.Update(op.Key, op.Val)
+	case OpDelete:
+		return tree.Delete(op.Key)
+	}
+	return errors.New("shard: unknown op kind")
+}
+
+// ApplyOps applies ops to tree as group commits of at most maxBatch
+// operations per transaction, filling errs (which must have len(ops)).
+// It returns the number of transactions committed.
+//
+// Per-op logical failures (duplicate insert, update/delete of an absent
+// key, oversized record) are recorded in errs without aborting the batch:
+// the B-tree reports them before mutating anything, so the transaction's
+// other operations commit untouched. A hard error (e.g. out of pages)
+// rolls the whole batch transaction back and re-applies each of its ops in
+// its own transaction so every caller gets an individual verdict.
+//
+// This is the shared core of the per-shard writer goroutines, of
+// Engine.ApplyBatch, and of the facade's deterministic single-store batch
+// path; keeping them on one code path keeps batch boundaries — and
+// therefore simulated time — a pure function of the op sequence.
+func ApplyOps(tree *btree.Tree, maxBatch int, ops []Op, errs []error) int64 {
+	if maxBatch <= 0 {
+		maxBatch = DefaultMaxBatch
+	}
+	var batches int64
+	for lo := 0; lo < len(ops); lo += maxBatch {
+		hi := lo + maxBatch
+		if hi > len(ops) {
+			hi = len(ops)
+		}
+		batches += applyChunk(tree, ops[lo:hi], errs[lo:hi])
+	}
+	return batches
+}
+
+// applyChunk runs one group commit, returning the transaction count (1 for
+// the batch, or one per op on the individual-retry fallback).
+func applyChunk(tree *btree.Tree, ops []Op, errs []error) int64 {
+	tx, err := tree.Begin()
+	if err != nil {
+		for i := range errs {
+			errs[i] = err
+		}
+		return 0
+	}
+	for i := range ops {
+		opErr := applyTxOp(tx, &ops[i])
+		errs[i] = opErr
+		if opErr != nil && !benign(opErr) {
+			// Hard error mid-batch: the transaction's working state may be
+			// partially mutated. Abandon it and give every op its own
+			// transaction so failures stay per-op.
+			tx.Rollback()
+			for j := range ops {
+				errs[j] = applySingle(tree, &ops[j])
+			}
+			return int64(len(ops))
+		}
+	}
+	if cerr := tx.Commit(); cerr != nil {
+		// Commit failed before the durability point: nothing from this
+		// batch survives, report that to every op.
+		for i := range errs {
+			errs[i] = cerr
+		}
+		return 0
+	}
+	return 1
+}

@@ -1,0 +1,546 @@
+package shard
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+
+	"fasp/internal/btree"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+)
+
+// Defaults for Config.
+const (
+	// DefaultMaxBatch bounds the operations one group commit may drain.
+	DefaultMaxBatch = 64
+	// defaultMailboxFactor sizes a shard's mailbox as a multiple of
+	// MaxBatch, so a burst can queue a few batches ahead of the writer.
+	defaultMailboxFactor = 4
+)
+
+// ErrCrashed is returned for operations submitted to a shard whose
+// simulated machine has suffered a (injected or explicit) power failure
+// and has not been recovered yet; call Engine.Reopen.
+var ErrCrashed = errors.New("shard: store crashed; recovery required")
+
+// Backend is one shard's independent store: its own simulated machine,
+// PM arena, and commit-scheme store. The engine owns all access to it.
+type Backend struct {
+	Sys   *pmem.System
+	Arena *pmem.Arena
+	Store pager.Store
+}
+
+// Config builds an Engine. Open and Reattach keep the engine
+// scheme-agnostic: the facade supplies closures that construct and recover
+// whichever commit scheme the caller picked.
+type Config struct {
+	// Shards is the number of hash partitions (≥ 1).
+	Shards int
+	// MaxBatch bounds the operations per group commit (default 64).
+	MaxBatch int
+	// Mailbox is each shard's queue capacity (default 4×MaxBatch).
+	Mailbox int
+	// Open creates shard i's backend on a fresh simulated machine.
+	Open func(i int) (*Backend, error)
+	// Reattach rebuilds shard i's store over its surviving arena after a
+	// crash and runs the scheme's recovery.
+	Reattach func(i int, be *Backend) (pager.Store, error)
+}
+
+func (c *Config) fill() error {
+	if c.Shards < 1 {
+		return fmt.Errorf("shard: Shards must be ≥ 1, got %d", c.Shards)
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = DefaultMaxBatch
+	}
+	if c.Mailbox <= 0 {
+		c.Mailbox = defaultMailboxFactor * c.MaxBatch
+	}
+	if c.Open == nil {
+		return errors.New("shard: Config.Open is required")
+	}
+	if c.Reattach == nil {
+		return errors.New("shard: Config.Reattach is required")
+	}
+	return nil
+}
+
+// Info is one shard's observable state, for stats aggregation and the
+// golden determinism tests.
+type Info struct {
+	// SimNS is the shard machine's simulated time.
+	SimNS int64 `json:"sim_ns"`
+	// Ops counts operations applied through the writer or ApplyBatch.
+	Ops int64 `json:"ops"`
+	// Batches counts committed group-commit transactions.
+	Batches int64 `json:"batches"`
+	// MaxDrained is the largest batch one drain has committed.
+	MaxDrained int `json:"max_drained"`
+	// PM is the shard arena's architectural event counters.
+	PM pmem.Stats `json:"pm_stats"`
+	// Phases is the shard clock's per-phase simulated-time breakdown.
+	Phases map[string]int64 `json:"phases"`
+}
+
+// Stats aggregates the engine's shards.
+type Stats struct {
+	Shards  int
+	Ops     int64
+	Batches int64
+	// MaxDrained is the largest single group commit across shards.
+	MaxDrained int
+	// PM sums the per-shard architectural event counters.
+	PM pmem.Stats
+	// SimMaxNS is the slowest shard's simulated time — the simulated
+	// elapsed time of the sharded system, since shards run in parallel.
+	SimMaxNS int64
+	// SimSumNS is the total simulated work across shards.
+	SimSumNS int64
+}
+
+// state is one shard: a backend plus its writer goroutine. mu guards
+// everything below it — the simulated machine is not internally
+// synchronised, so reads take the lock too.
+type state struct {
+	id int
+
+	mu         sync.Mutex
+	be         *Backend
+	tree       *btree.Tree
+	crashed    bool
+	ops        int64
+	batches    int64
+	maxDrained int
+
+	mail chan *request
+	quit chan struct{}
+	done chan struct{}
+}
+
+// Engine is the sharded store engine.
+type Engine struct {
+	cfg       Config
+	shards    []*state
+	closeOnce sync.Once
+}
+
+// New builds the engine and starts one writer goroutine per shard.
+func New(cfg Config) (*Engine, error) {
+	if err := cfg.fill(); err != nil {
+		return nil, err
+	}
+	e := &Engine{cfg: cfg, shards: make([]*state, cfg.Shards)}
+	for i := range e.shards {
+		be, err := cfg.Open(i)
+		if err != nil {
+			return nil, fmt.Errorf("shard %d: %w", i, err)
+		}
+		e.shards[i] = &state{
+			id:   i,
+			be:   be,
+			tree: btree.New(be.Store),
+			mail: make(chan *request, cfg.Mailbox),
+			quit: make(chan struct{}),
+			done: make(chan struct{}),
+		}
+	}
+	for _, s := range e.shards {
+		go s.run(cfg.MaxBatch)
+	}
+	return e, nil
+}
+
+// Shards returns the shard count.
+func (e *Engine) Shards() int { return len(e.shards) }
+
+// MaxBatch returns the group-commit drain bound.
+func (e *Engine) MaxBatch() int { return e.cfg.MaxBatch }
+
+// ShardFor routes a key: FNV-1a over the key, modulo the shard count.
+// The hash is part of the on-disk contract — snapshots record the shard
+// count and images are only valid under the same routing.
+func (e *Engine) ShardFor(key []byte) int {
+	const (
+		offset64 = 14695981039346656037
+		prime64  = 1099511628211
+	)
+	h := uint64(offset64)
+	for _, c := range key {
+		h = (h ^ uint64(c)) * prime64
+	}
+	return int(h % uint64(len(e.shards)))
+}
+
+// Close stops the writer goroutines after serving every queued request.
+// Submitting operations after (or concurrently with) Close is a caller
+// error: there is no writer left to serve them.
+func (e *Engine) Close() {
+	e.closeOnce.Do(func() {
+		for _, s := range e.shards {
+			close(s.quit)
+		}
+		for _, s := range e.shards {
+			<-s.done
+		}
+	})
+}
+
+// ApplyBatch partitions ops by shard and applies each shard's sub-batch —
+// in submission order, in ascending shard order, as group commits of at
+// most MaxBatch ops — returning per-op errors aligned with ops.
+//
+// Unlike the mailbox path, batch boundaries here are a pure function of
+// the op sequence, so per-shard simulated time is bit-reproducible; the
+// golden determinism tests pin it.
+func (e *Engine) ApplyBatch(ops []Op) []error {
+	errs := make([]error, len(ops))
+	parts := make([][]int, len(e.shards))
+	for i := range ops {
+		si := e.ShardFor(ops[i].Key)
+		parts[si] = append(parts[si], i)
+	}
+	var sOps []Op
+	var sErrs []error
+	for si, idxs := range parts {
+		if len(idxs) == 0 {
+			continue
+		}
+		sOps = sOps[:0]
+		for _, i := range idxs {
+			sOps = append(sOps, ops[i])
+		}
+		sErrs = append(sErrs[:0], make([]error, len(idxs))...)
+		e.shards[si].applyLocked(e.cfg.MaxBatch, sOps, sErrs)
+		for k, i := range idxs {
+			errs[i] = sErrs[k]
+		}
+	}
+	return errs
+}
+
+// applyLocked takes the shard lock and applies ops, honouring the crashed
+// flag and converting an injected simulated power failure into ErrCrashed
+// for every op of the poisoned batch.
+func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		for i := range errs {
+			errs[i] = ErrCrashed
+		}
+		return
+	}
+	crashed := s.be.Sys.RunToCrash(func() {
+		s.batches += ApplyOps(s.tree, maxBatch, ops, errs)
+	})
+	if crashed {
+		// The failure unwound mid-batch: whatever did not reach a commit
+		// mark is gone, and even committed ops cannot be acknowledged
+		// (the crash may have fired between the mark and the reply), so
+		// the whole drained batch reports ErrCrashed. The shard stays
+		// poisoned with its volatile state frozen; the harness then calls
+		// Engine.Crash to run the eviction lottery (the power failure
+		// proper) and Reopen to recover — the same arm/crash/reattach
+		// protocol cmd/crashtest drives on a single store.
+		s.crashed = true
+		for i := range errs {
+			errs[i] = ErrCrashed
+		}
+	}
+	s.ops += int64(len(ops))
+	// ApplyOps chunks at maxBatch, so the largest single group commit out
+	// of this submission is capped by it.
+	drained := len(ops)
+	if drained > maxBatch {
+		drained = maxBatch
+	}
+	if drained > s.maxDrained {
+		s.maxDrained = drained
+	}
+}
+
+// Get reads a key from its shard.
+func (e *Engine) Get(key []byte) ([]byte, bool, error) {
+	s := e.shards[e.ShardFor(key)]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, false, ErrCrashed
+	}
+	return s.tree.Get(key)
+}
+
+// kvPair is one collected scan record (copies: the underlying page bytes
+// are only stable while the shard lock is held).
+type kvPair struct{ k, v []byte }
+
+// collect gathers one shard's records in [lo, hi], in the given direction.
+func (s *state) collect(lo, hi []byte, reverse bool) ([]kvPair, error) {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return nil, ErrCrashed
+	}
+	var out []kvPair
+	gather := func(k, v []byte) bool {
+		out = append(out, kvPair{
+			k: append([]byte(nil), k...),
+			v: append([]byte(nil), v...),
+		})
+		return true
+	}
+	tx, err := s.tree.Begin()
+	if err != nil {
+		return nil, err
+	}
+	defer tx.Rollback()
+	if reverse {
+		return out, tx.ScanReverse(lo, hi, gather)
+	}
+	return out, tx.Scan(lo, hi, gather)
+}
+
+// Scan visits keys in [lo, hi] in ascending order across all shards
+// (nil bounds are open). Each shard holds a disjoint subset of the key
+// space, so the global order is a k-way merge of the per-shard streams;
+// the engine collects each shard under its lock and merges. Early
+// termination by fn stops the merge but not the (already done) collection.
+func (e *Engine) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
+	return e.scan(lo, hi, false, fn)
+}
+
+// ScanReverse visits keys in [lo, hi] in descending order across shards.
+func (e *Engine) ScanReverse(lo, hi []byte, fn func(k, v []byte) bool) error {
+	return e.scan(lo, hi, true, fn)
+}
+
+func (e *Engine) scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) error {
+	lists := make([][]kvPair, len(e.shards))
+	for i, s := range e.shards {
+		var err error
+		if lists[i], err = s.collect(lo, hi, reverse); err != nil {
+			return err
+		}
+	}
+	// K-way merge by linear probe: shard counts are small (≤ a few dozen),
+	// so a heap would not pay for itself.
+	idx := make([]int, len(lists))
+	for {
+		best := -1
+		for i := range lists {
+			if idx[i] >= len(lists[i]) {
+				continue
+			}
+			if best < 0 {
+				best = i
+				continue
+			}
+			c := bytes.Compare(lists[i][idx[i]].k, lists[best][idx[best]].k)
+			if (!reverse && c < 0) || (reverse && c > 0) {
+				best = i
+			}
+		}
+		if best < 0 {
+			return nil
+		}
+		p := lists[best][idx[best]]
+		idx[best]++
+		if !fn(p.k, p.v) {
+			return nil
+		}
+	}
+}
+
+// ScanShard visits shard i's records in [lo, hi] in ascending order —
+// inspection tooling and the golden tests read per-shard contents.
+func (e *Engine) ScanShard(i int, lo, hi []byte, fn func(k, v []byte) bool) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if s.crashed {
+		return ErrCrashed
+	}
+	return s.tree.Scan(lo, hi, fn)
+}
+
+// Count sums the record counts of all shards.
+func (e *Engine) Count() (int, error) {
+	total := 0
+	for _, s := range e.shards {
+		n, err := func() (int, error) {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.crashed {
+				return 0, ErrCrashed
+			}
+			tx, err := s.tree.Begin()
+			if err != nil {
+				return 0, err
+			}
+			defer tx.Rollback()
+			return tx.Count()
+		}()
+		if err != nil {
+			return 0, err
+		}
+		total += n
+	}
+	return total, nil
+}
+
+// Validate checks full structural integrity of every shard's tree.
+func (e *Engine) Validate() error {
+	for i, s := range e.shards {
+		err := func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			if s.crashed {
+				return ErrCrashed
+			}
+			tx, err := s.tree.Begin()
+			if err != nil {
+				return err
+			}
+			defer tx.Rollback()
+			return tx.Validate()
+		}()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// Crash simulates a power failure on every shard: each shard's machine
+// runs its eviction lottery (with the seed decorrelated per shard) and the
+// shard is poisoned until Reopen. In-flight batches finish first — the
+// crash takes each shard's lock — so explicit Crash lands on group-commit
+// boundaries; use pmem's crash injection (ShardSys + CrashAfter) to fail
+// *inside* a batch.
+func (e *Engine) Crash(opts pmem.CrashOptions) {
+	for _, s := range e.shards {
+		s.mu.Lock()
+	}
+	for i, s := range e.shards {
+		o := opts
+		o.Seed = opts.Seed + int64(i)
+		s.be.Sys.Crash(o)
+		s.crashed = true
+	}
+	for _, s := range e.shards {
+		s.mu.Unlock()
+	}
+}
+
+// Reopen recovers every shard after a crash: the configured Reattach
+// rebuilds each store over its surviving arena and runs the commit
+// scheme's recovery, then the shard accepts operations again.
+func (e *Engine) Reopen() error {
+	for i, s := range e.shards {
+		err := func() error {
+			s.mu.Lock()
+			defer s.mu.Unlock()
+			ns, err := e.cfg.Reattach(i, s.be)
+			if err != nil {
+				return err
+			}
+			s.be.Store = ns
+			s.tree = btree.New(ns)
+			s.crashed = false
+			return nil
+		}()
+		if err != nil {
+			return fmt.Errorf("shard %d: %w", i, err)
+		}
+	}
+	return nil
+}
+
+// ShardSys returns shard i's simulated machine, for crash-injection
+// harnesses (CrashAfter/CrashPoints). Arm it before concurrent traffic
+// starts: the machine itself is only synchronised by the shard lock.
+func (e *Engine) ShardSys(i int) *pmem.System { return e.shards[i].be.Sys }
+
+// ShardStore returns shard i's pager store, for inspection tooling.
+func (e *Engine) ShardStore(i int) pager.Store {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.be.Store
+}
+
+// ShardInfo returns shard i's observable state.
+func (e *Engine) ShardInfo(i int) Info {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return Info{
+		SimNS:      s.be.Sys.Clock().Now(),
+		Ops:        s.ops,
+		Batches:    s.batches,
+		MaxDrained: s.maxDrained,
+		PM:         s.be.Arena.Stats(),
+		Phases:     s.be.Sys.Clock().Phases(),
+	}
+}
+
+// Stats aggregates all shards.
+func (e *Engine) Stats() Stats {
+	st := Stats{Shards: len(e.shards)}
+	for i := range e.shards {
+		in := e.ShardInfo(i)
+		st.Ops += in.Ops
+		st.Batches += in.Batches
+		if in.MaxDrained > st.MaxDrained {
+			st.MaxDrained = in.MaxDrained
+		}
+		st.PM = st.PM.Add(in.PM)
+		st.SimSumNS += in.SimNS
+		if in.SimNS > st.SimMaxNS {
+			st.SimMaxNS = in.SimNS
+		}
+	}
+	return st
+}
+
+// Phases sums the per-shard simulated-time phase breakdowns.
+func (e *Engine) Phases() map[string]int64 {
+	out := map[string]int64{}
+	for i := range e.shards {
+		for k, v := range e.ShardInfo(i).Phases {
+			out[k] += v
+		}
+	}
+	return out
+}
+
+// MediumSnapshots returns a crash-consistent PM image per shard, each
+// taken under its shard's lock. Cross-shard skew (a batch committing on
+// shard j while shard i is copied) is benign: there are no cross-shard
+// transactions, so every image pins a valid prefix of its own history.
+func (e *Engine) MediumSnapshots() [][]byte {
+	imgs := make([][]byte, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		imgs[i] = s.be.Arena.MediumSnapshot()
+		s.mu.Unlock()
+	}
+	return imgs
+}
+
+// RestoreShard replaces shard i's durable medium with a snapshot image and
+// poisons the shard until Reopen runs recovery over it.
+func (e *Engine) RestoreShard(i int, img []byte) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	if err := s.be.Arena.RestoreMedium(img); err != nil {
+		return err
+	}
+	s.crashed = true
+	return nil
+}

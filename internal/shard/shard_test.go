@@ -1,0 +1,520 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"reflect"
+	"sort"
+	"sync"
+	"testing"
+
+	"fasp/internal/btree"
+	"fasp/internal/fast"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+	"fasp/internal/shard"
+	"fasp/internal/slotted"
+)
+
+// testGeometry mirrors the golden-test environment: small pages so batches
+// span leaves, small cache so flushes hit the simulated medium.
+const (
+	testPageSize = 1024
+	testMaxPages = 2048
+)
+
+func testConfig(shards, maxBatch, maxPages int) shard.Config {
+	if maxPages == 0 {
+		maxPages = testMaxPages
+	}
+	fcfg := fast.Config{PageSize: testPageSize, MaxPages: maxPages, Variant: fast.SlotHeaderLogging}
+	return shard.Config{
+		Shards:   shards,
+		MaxBatch: maxBatch,
+		Open: func(i int) (*shard.Backend, error) {
+			lat := pmem.DefaultLatencies(300, 300)
+			lat.CacheBytes = 16 << 10
+			sys := pmem.NewSystem(lat)
+			st := fast.Create(sys, fcfg)
+			return &shard.Backend{Sys: sys, Arena: st.Arena(), Store: st}, nil
+		},
+		Reattach: func(i int, be *shard.Backend) (pager.Store, error) {
+			ns, err := fast.Attach(be.Arena, fcfg)
+			if err != nil {
+				return nil, err
+			}
+			return ns, ns.Recover()
+		},
+	}
+}
+
+func newTestEngine(t *testing.T, shards, maxBatch int) *shard.Engine {
+	t.Helper()
+	e, err := shard.New(testConfig(shards, maxBatch, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	t.Cleanup(e.Close)
+	return e
+}
+
+func key(i int) []byte { return []byte(fmt.Sprintf("key%06d", i)) }
+func val(i int) []byte { return []byte(fmt.Sprintf("val%06d", i)) }
+
+func TestBasicOps(t *testing.T) {
+	e := newTestEngine(t, 4, 8)
+	const n = 200
+	for i := 0; i < n; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(i), Val: val(i)}); err != nil {
+			t.Fatalf("put %d: %v", i, err)
+		}
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := e.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("get %d: %q %v %v", i, v, ok, err)
+		}
+	}
+	// Update via put, then delete odd keys.
+	for i := 0; i < n; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(i), Val: []byte("v2")}); err != nil {
+			t.Fatalf("overwrite %d: %v", i, err)
+		}
+	}
+	for i := 1; i < n; i += 2 {
+		if err := e.Do(shard.Op{Kind: shard.OpDelete, Key: key(i)}); err != nil {
+			t.Fatalf("delete %d: %v", i, err)
+		}
+	}
+	c, err := e.Count()
+	if err != nil || c != n/2 {
+		t.Fatalf("count = %d, %v; want %d", c, err, n/2)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Per-op verdicts for the kinds that can fail.
+	if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: key(0), Val: val(0)}); !errors.Is(err, slotted.ErrDuplicate) {
+		t.Fatalf("duplicate insert: %v", err)
+	}
+	if err := e.Do(shard.Op{Kind: shard.OpUpdate, Key: []byte("nope"), Val: val(0)}); !errors.Is(err, btree.ErrKeyNotFound) {
+		t.Fatalf("update absent: %v", err)
+	}
+	if err := e.Do(shard.Op{Kind: shard.OpDelete, Key: []byte("nope")}); !errors.Is(err, btree.ErrKeyNotFound) {
+		t.Fatalf("delete absent: %v", err)
+	}
+}
+
+func TestScanMerge(t *testing.T) {
+	e := newTestEngine(t, 5, 16)
+	const n = 300
+	ops := make([]shard.Op, n)
+	want := make([]string, n)
+	for i := 0; i < n; i++ {
+		ops[i] = shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)}
+		want[i] = string(key(i))
+	}
+	for _, err := range e.ApplyBatch(ops) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	sort.Strings(want)
+
+	var got []string
+	if err := e.Scan(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if !reflect.DeepEqual(got, want) {
+		t.Fatalf("ascending merge broken: %d keys, first %v", len(got), got[:3])
+	}
+
+	got = got[:0]
+	if err := e.ScanReverse(nil, nil, func(k, v []byte) bool {
+		got = append(got, string(k))
+		return true
+	}); err != nil {
+		t.Fatal(err)
+	}
+	for i, j := 0, len(want)-1; i < len(got); i, j = i+1, j-1 {
+		if got[i] != want[j] {
+			t.Fatalf("descending merge broken at %d: %s != %s", i, got[i], want[j])
+		}
+	}
+	if len(got) != n {
+		t.Fatalf("reverse scan saw %d keys, want %d", len(got), n)
+	}
+
+	// Bounded scan with early termination.
+	var first []string
+	if err := e.Scan([]byte("key000010"), []byte("key000290"), func(k, v []byte) bool {
+		first = append(first, string(k))
+		return len(first) < 5
+	}); err != nil {
+		t.Fatal(err)
+	}
+	if len(first) != 5 || first[0] != "key000010" || first[4] != "key000014" {
+		t.Fatalf("bounded scan: %v", first)
+	}
+
+	// Per-shard scans partition the key space exactly.
+	seen := 0
+	for i := 0; i < e.Shards(); i++ {
+		if err := e.ScanShard(i, nil, nil, func(k, v []byte) bool {
+			if e.ShardFor(k) != i {
+				t.Fatalf("key %q on shard %d, routed to %d", k, i, e.ShardFor(k))
+			}
+			seen++
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if seen != n {
+		t.Fatalf("shard scans saw %d keys, want %d", seen, n)
+	}
+}
+
+// TestApplyBatchDeterminism: batch boundaries on the ApplyBatch path are a
+// pure function of the op sequence, so two engines fed the same sequence
+// have bit-identical per-shard simulated time, phases, and PM counters.
+func TestApplyBatchDeterminism(t *testing.T) {
+	run := func() *shard.Engine {
+		e := newTestEngine(t, 4, 16)
+		var ops []shard.Op
+		for i := 0; i < 400; i++ {
+			ops = append(ops, shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)})
+		}
+		for i := 0; i < 100; i += 3 {
+			ops = append(ops, shard.Op{Kind: shard.OpPut, Key: key(i), Val: []byte("updated")})
+		}
+		for i := 0; i < 50; i += 5 {
+			ops = append(ops, shard.Op{Kind: shard.OpDelete, Key: key(i)})
+		}
+		for _, err := range e.ApplyBatch(ops) {
+			if err != nil {
+				t.Fatal(err)
+			}
+		}
+		return e
+	}
+	a, b := run(), run()
+	for i := 0; i < a.Shards(); i++ {
+		ia, ib := a.ShardInfo(i), b.ShardInfo(i)
+		if !reflect.DeepEqual(ia, ib) {
+			t.Fatalf("shard %d diverged:\n%+v\n%+v", i, ia, ib)
+		}
+		if ia.SimNS == 0 || ia.Batches == 0 {
+			t.Fatalf("shard %d did no work: %+v", i, ia)
+		}
+	}
+}
+
+// TestGroupCommitBatching: concurrent clients on one shard are drained into
+// fewer commits than operations.
+func TestGroupCommitBatching(t *testing.T) {
+	e := newTestEngine(t, 1, 64)
+	const clients, per = 8, 50
+	var wg sync.WaitGroup
+	for c := 0; c < clients; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				op := shard.Op{Kind: shard.OpPut, Key: key(c*per + i), Val: val(i)}
+				if err := e.Do(op); err != nil {
+					t.Errorf("client %d op %d: %v", c, i, err)
+					return
+				}
+			}
+		}(c)
+	}
+	wg.Wait()
+	st := e.Stats()
+	if st.Ops != clients*per {
+		t.Fatalf("ops = %d, want %d", st.Ops, clients*per)
+	}
+	if st.Batches == 0 || st.Batches > st.Ops {
+		t.Fatalf("batches = %d out of range (ops %d)", st.Batches, st.Ops)
+	}
+	if st.MaxDrained < 1 || st.MaxDrained > 64 {
+		t.Fatalf("maxDrained = %d out of range", st.MaxDrained)
+	}
+	if c, err := e.Count(); err != nil || c != clients*per {
+		t.Fatalf("count = %d, %v", c, err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestConcurrentClients exercises the mailbox path across shards with mixed
+// readers and writers; run under -race this is the engine's thread-safety
+// proof.
+func TestConcurrentClients(t *testing.T) {
+	e := newTestEngine(t, 4, 16)
+	const writers, readers, per = 6, 3, 80
+	var wg sync.WaitGroup
+	for w := 0; w < writers; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			base := w * per
+			for i := 0; i < per; i++ {
+				if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(base + i), Val: val(base + i)}); err != nil {
+					t.Errorf("writer %d: %v", w, err)
+					return
+				}
+			}
+			// And a multi-shard batch through the pipelined path.
+			ops := make([]shard.Op, 10)
+			for i := range ops {
+				ops[i] = shard.Op{Kind: shard.OpPut, Key: key(base + i), Val: []byte("batched")}
+			}
+			for _, err := range e.DoBatch(ops) {
+				if err != nil {
+					t.Errorf("writer %d batch: %v", w, err)
+				}
+			}
+		}(w)
+	}
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for i := 0; i < per; i++ {
+				if _, _, err := e.Get(key(i)); err != nil {
+					t.Errorf("get: %v", err)
+					return
+				}
+			}
+			e.Scan(nil, nil, func(k, v []byte) bool { return true })
+			e.Count()
+		}()
+	}
+	wg.Wait()
+	if c, err := e.Count(); err != nil || c != writers*per {
+		t.Fatalf("count = %d, %v; want %d", c, err, writers*per)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestBenignErrorsInBatch: logical per-op failures don't abort the rest of
+// a group commit.
+func TestBenignErrorsInBatch(t *testing.T) {
+	e := newTestEngine(t, 2, 32)
+	if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: key(0), Val: val(0)}); err != nil {
+		t.Fatal(err)
+	}
+	ops := []shard.Op{
+		{Kind: shard.OpInsert, Key: key(0), Val: val(9)},             // duplicate
+		{Kind: shard.OpInsert, Key: key(1), Val: val(1)},             // fine
+		{Kind: shard.OpDelete, Key: []byte("missing")},               // absent
+		{Kind: shard.OpInsert, Key: key(2), Val: val(2)},             // fine
+		{Kind: shard.OpUpdate, Key: []byte("missing2"), Val: val(0)}, // absent
+	}
+	errs := e.ApplyBatch(ops)
+	if !errors.Is(errs[0], slotted.ErrDuplicate) {
+		t.Fatalf("errs[0] = %v", errs[0])
+	}
+	if errs[1] != nil || errs[3] != nil {
+		t.Fatalf("good ops failed: %v %v", errs[1], errs[3])
+	}
+	if !errors.Is(errs[2], btree.ErrKeyNotFound) || !errors.Is(errs[4], btree.ErrKeyNotFound) {
+		t.Fatalf("absent-key errors: %v %v", errs[2], errs[4])
+	}
+	// The failed duplicate must not have clobbered the original value.
+	v, ok, err := e.Get(key(0))
+	if err != nil || !ok || !bytes.Equal(v, val(0)) {
+		t.Fatalf("key0 = %q %v %v", v, ok, err)
+	}
+	for _, k := range [][]byte{key(1), key(2)} {
+		if _, ok, _ := e.Get(k); !ok {
+			t.Fatalf("key %q missing after batch with benign errors", k)
+		}
+	}
+}
+
+// TestHardErrorFallback: page-space exhaustion mid-batch falls back to
+// per-op transactions so every caller gets an individual verdict and the
+// tree stays structurally valid.
+func TestHardErrorFallback(t *testing.T) {
+	cfg := testConfig(1, 64, 24) // tiny page space
+	e, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+	ops := make([]shard.Op, 600)
+	for i := range ops {
+		ops[i] = shard.Op{Kind: shard.OpInsert, Key: key(i), Val: bytes.Repeat([]byte("x"), 64)}
+	}
+	errs := e.ApplyBatch(ops)
+	full, okc := 0, 0
+	for _, err := range errs {
+		switch {
+		case err == nil:
+			okc++
+		case errors.Is(err, pager.ErrFull):
+			full++
+		default:
+			t.Fatalf("unexpected error class: %v", err)
+		}
+	}
+	if full == 0 {
+		t.Fatal("never hit ErrFull; grow the workload")
+	}
+	if okc == 0 {
+		t.Fatal("no op succeeded before exhaustion")
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := e.Count(); err != nil || c != okc {
+		t.Fatalf("count = %d, %v; want %d successes", c, err, okc)
+	}
+}
+
+// TestCrashReopen: an explicit whole-engine crash lands on batch
+// boundaries; committed data on every shard survives recovery.
+func TestCrashReopen(t *testing.T) {
+	e := newTestEngine(t, 4, 8)
+	const n = 250
+	for i := 0; i < n; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Crash(pmem.CrashOptions{Seed: 42, EvictProb: 0.5})
+	// Every path reports the poisoned state.
+	if _, _, err := e.Get(key(0)); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("get after crash: %v", err)
+	}
+	if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(0), Val: val(0)}); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("do after crash: %v", err)
+	}
+	if _, err := e.Count(); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("count after crash: %v", err)
+	}
+	if err := e.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < n; i++ {
+		v, ok, err := e.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("key %d lost after crash+reopen: %q %v %v", i, v, ok, err)
+		}
+	}
+	// The engine accepts writes again.
+	if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(n), Val: val(n)}); err != nil {
+		t.Fatal(err)
+	}
+}
+
+// TestInjectedCrashMidBatch: arm one shard's crash injector so the power
+// failure fires inside a group commit; that batch reports ErrCrashed,
+// other shards keep serving, and recovery yields exactly the pre-batch
+// committed state on the crashed shard.
+func TestInjectedCrashMidBatch(t *testing.T) {
+	e := newTestEngine(t, 2, 32)
+	// Commit a baseline on both shards.
+	var ops []shard.Op
+	for i := 0; i < 100; i++ {
+		ops = append(ops, shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)})
+	}
+	for _, err := range e.ApplyBatch(ops) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	committed := map[int]bool{}
+	for i := 0; i < 100; i++ {
+		committed[e.ShardFor(key(i))] = true
+	}
+
+	const victim = 0
+	e.ShardSys(victim).CrashAfter(10)
+
+	// Route a batch to each shard. The victim's batch dies mid-flight.
+	var vops, oops []shard.Op
+	for i := 100; len(vops) < 20 || len(oops) < 20; i++ {
+		op := shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)}
+		if e.ShardFor(op.Key) == victim {
+			vops = append(vops, op)
+		} else {
+			oops = append(oops, op)
+		}
+	}
+	for _, err := range e.ApplyBatch(vops) {
+		if !errors.Is(err, shard.ErrCrashed) {
+			t.Fatalf("victim batch op: %v", err)
+		}
+	}
+	for _, err := range e.ApplyBatch(oops) {
+		if err != nil {
+			t.Fatalf("healthy shard refused op: %v", err)
+		}
+	}
+
+	// Power-failure proper: eviction lottery, then recovery.
+	e.Crash(pmem.CrashOptions{Seed: 7, EvictProb: 0.5})
+	if err := e.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// Baseline survived everywhere.
+	for i := 0; i < 100; i++ {
+		if _, ok, err := e.Get(key(i)); err != nil || !ok {
+			t.Fatalf("baseline key %d lost: %v %v", i, ok, err)
+		}
+	}
+	// The victim's mid-batch ops are gone: the group commit is atomic.
+	for _, op := range vops {
+		if _, ok, err := e.Get(op.Key); err != nil || ok {
+			t.Fatalf("uncommitted key %q survived the crash: %v %v", op.Key, ok, err)
+		}
+	}
+	// The healthy shard's batch committed before the explicit crash.
+	for _, op := range oops {
+		if _, ok, err := e.Get(op.Key); err != nil || !ok {
+			t.Fatalf("healthy-shard key %q lost: %v %v", op.Key, ok, err)
+		}
+	}
+}
+
+func TestCloseIdempotent(t *testing.T) {
+	e, err := shard.New(testConfig(3, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+	if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(1), Val: val(1)}); err != nil {
+		t.Fatal(err)
+	}
+	e.Close()
+	e.Close()
+}
+
+func TestConfigValidation(t *testing.T) {
+	if _, err := shard.New(shard.Config{Shards: 0}); err == nil {
+		t.Fatal("Shards=0 accepted")
+	}
+	if _, err := shard.New(shard.Config{Shards: 2}); err == nil {
+		t.Fatal("missing Open accepted")
+	}
+	cfg := testConfig(2, 0, 0)
+	cfg.Reattach = nil
+	if _, err := shard.New(cfg); err == nil {
+		t.Fatal("missing Reattach accepted")
+	}
+}

@@ -1,0 +1,143 @@
+package shard
+
+import "sync"
+
+// request is one client submission: one or more ops bound for a single
+// shard, a parallel error slice the writer fills, and a reusable
+// completion channel. Requests are pooled — Do/DoBatch recycle them after
+// the reply is consumed.
+type request struct {
+	ops  []Op
+	errs []error
+	done chan struct{}
+}
+
+var reqPool = sync.Pool{New: func() any {
+	return &request{done: make(chan struct{}, 1)}
+}}
+
+// run is a shard's single-writer loop: block for one request, then drain
+// the mailbox without blocking until MaxBatch operations are queued, and
+// commit the drained set as one group-commit transaction. The drain bound
+// keeps latency bounded under sustained load; the blocking receive means
+// an idle shard costs nothing.
+func (s *state) run(maxBatch int) {
+	defer close(s.done)
+	var (
+		reqs []*request
+		ops  []Op
+		errs []error
+	)
+	for {
+		select {
+		case r := <-s.mail:
+			reqs = append(reqs[:0], r)
+			n := len(r.ops)
+		drain:
+			for n < maxBatch {
+				select {
+				case r2 := <-s.mail:
+					reqs = append(reqs, r2)
+					n += len(r2.ops)
+				default:
+					break drain
+				}
+			}
+			s.serve(maxBatch, reqs, &ops, &errs)
+		case <-s.quit:
+			// Serve the backlog, then exit. No new senders are allowed
+			// once Close has been called.
+			for {
+				select {
+				case r := <-s.mail:
+					reqs = append(reqs[:0], r)
+					s.serve(maxBatch, reqs, &ops, &errs)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// serve flattens a drained request set into one op slice, applies it as a
+// group commit, and distributes the per-op errors back to each request.
+func (s *state) serve(maxBatch int, reqs []*request, ops *[]Op, errs *[]error) {
+	flat := (*ops)[:0]
+	for _, r := range reqs {
+		flat = append(flat, r.ops...)
+	}
+	ferrs := (*errs)[:0]
+	for range flat {
+		ferrs = append(ferrs, nil)
+	}
+	s.applyLocked(maxBatch, flat, ferrs)
+	k := 0
+	for _, r := range reqs {
+		copy(r.errs, ferrs[k:k+len(r.ops)])
+		k += len(r.ops)
+		r.done <- struct{}{}
+	}
+	*ops, *errs = flat, ferrs
+}
+
+// submit enqueues ops on shard si's mailbox and waits for the verdicts,
+// copying them into out (len(ops)).
+func (e *Engine) submit(si int, ops []Op, out []error) {
+	s := e.shards[si]
+	r := reqPool.Get().(*request)
+	r.ops = append(r.ops[:0], ops...)
+	r.errs = append(r.errs[:0], make([]error, len(ops))...)
+	s.mail <- r
+	<-r.done
+	copy(out, r.errs)
+	reqPool.Put(r)
+}
+
+// Do routes one operation to its shard's mailbox and waits for the
+// verdict. Concurrent callers hitting the same shard are drained into one
+// group commit by the shard's writer.
+func (e *Engine) Do(op Op) error {
+	var out [1]error
+	e.submit(e.ShardFor(op.Key), op1(op), out[:])
+	return out[0]
+}
+
+// op1 avoids a heap-allocated slice header for the common single-op case.
+func op1(op Op) []Op {
+	return []Op{op}
+}
+
+// DoBatch partitions ops by shard, submits every shard's sub-batch to its
+// mailbox concurrently, and waits for all verdicts — the pipelined client
+// path: one caller keeps every shard's writer busy at once. Per-op errors
+// come back aligned with ops.
+func (e *Engine) DoBatch(ops []Op) []error {
+	errs := make([]error, len(ops))
+	parts := make([][]int, len(e.shards))
+	for i := range ops {
+		si := e.ShardFor(ops[i].Key)
+		parts[si] = append(parts[si], i)
+	}
+	var wg sync.WaitGroup
+	for si, idxs := range parts {
+		if len(idxs) == 0 {
+			continue
+		}
+		wg.Add(1)
+		go func(si int, idxs []int) {
+			defer wg.Done()
+			sOps := make([]Op, len(idxs))
+			sErrs := make([]error, len(idxs))
+			for k, i := range idxs {
+				sOps[k] = ops[i]
+			}
+			e.submit(si, sOps, sErrs)
+			for k, i := range idxs {
+				errs[i] = sErrs[k]
+			}
+		}(si, idxs)
+	}
+	wg.Wait()
+	return errs
+}

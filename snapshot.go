@@ -8,72 +8,150 @@ import (
 	"fasp/internal/hashidx"
 	"fmt"
 	"os"
+	"path/filepath"
 )
 
-// snapshotHeader describes a saved store; the payload is the gzip'd PM
-// medium image (crash-consistent by construction: only flushed data is in
-// the medium).
+// snapshotHeader describes a saved store; the payload is one gzip'd PM
+// medium image (version 1, single store) or N images (version 2, sharded)
+// — crash-consistent by construction: only flushed data is in the medium.
+//
+// Version 2 additionally records the shard count and group-commit bound so
+// a sharded store reopens with the same key partitioning (ShardFor is an
+// on-disk contract: images are only meaningful under the hash that built
+// them).
 type snapshotHeader struct {
 	Magic    string
 	Version  int
 	Scheme   string
 	PageSize int
 	MaxPages int
+	Shards   int // version >= 2
+	MaxBatch int // version >= 2
 }
 
 const snapshotMagic = "FASP-SNAPSHOT"
 
-// Save writes a crash-consistent snapshot of the store's persistent memory
-// to path. Unflushed (volatile) data is not included — loading a snapshot
-// is equivalent to recovering after a power failure at the moment of the
-// save, so committed transactions are always recovered intact.
-func (b *base) Save(path string) error {
-	f, err := os.Create(path)
+// writeSnapshotAtomic writes a snapshot through fn to a temp file in
+// path's directory and renames it into place only after the data is
+// synced, so a mid-save error or crash never destroys the previous good
+// snapshot. The write-side Close error is propagated, not discarded.
+func writeSnapshotAtomic(path string, fn func(enc *gob.Encoder) error) (err error) {
+	dir := filepath.Dir(path)
+	f, err := os.CreateTemp(dir, filepath.Base(path)+".tmp*")
 	if err != nil {
 		return err
 	}
-	defer f.Close()
+	tmp := f.Name()
+	defer func() {
+		if err != nil {
+			f.Close()
+			os.Remove(tmp)
+		}
+	}()
 	zw := gzip.NewWriter(f)
-	enc := gob.NewEncoder(zw)
-	hdr := snapshotHeader{
-		Magic:    snapshotMagic,
-		Version:  1,
-		Scheme:   b.opts.Scheme,
-		PageSize: b.opts.PageSize,
-		MaxPages: b.opts.MaxPages,
-	}
-	if err := enc.Encode(hdr); err != nil {
+	if err = fn(gob.NewEncoder(zw)); err != nil {
 		return err
 	}
-	if err := enc.Encode(b.arena.MediumSnapshot()); err != nil {
+	if err = zw.Close(); err != nil {
 		return err
 	}
-	if err := zw.Close(); err != nil {
+	if err = f.Sync(); err != nil {
 		return err
 	}
-	return f.Sync()
+	if err = f.Close(); err != nil {
+		return err
+	}
+	return os.Rename(tmp, path)
 }
 
-// loadSnapshot builds a base from a snapshot file. opts supplies the
-// simulated-machine knobs (latencies, cache size); the store geometry and
-// scheme come from the file.
-func loadSnapshot(path string, opts Options) (*base, error) {
+// Save writes a crash-consistent snapshot of the store's persistent memory
+// to path. Unflushed (volatile) data is not included — loading a snapshot
+// is equivalent to recovering after a power failure at the moment of the
+// save, so committed transactions are always recovered intact. The file is
+// written to a temp sibling and atomically renamed into place.
+func (b *base) Save(path string) error {
+	return writeSnapshotAtomic(path, func(enc *gob.Encoder) error {
+		hdr := snapshotHeader{
+			Magic:    snapshotMagic,
+			Version:  1,
+			Scheme:   b.opts.Scheme,
+			PageSize: b.opts.PageSize,
+			MaxPages: b.opts.MaxPages,
+		}
+		if err := enc.Encode(hdr); err != nil {
+			return err
+		}
+		return enc.Encode(b.arena.MediumSnapshot())
+	})
+}
+
+// Save writes a crash-consistent snapshot to path. A sharded store writes
+// a version-2 snapshot holding every shard's medium image; each image is
+// individually crash-consistent, and because the engine offers no
+// cross-shard transactions, any skew between shard images is benign (it
+// looks like shards crashing microseconds apart).
+func (kv *KV) Save(path string) error {
+	if kv.eng == nil {
+		return kv.base.Save(path)
+	}
+	return writeSnapshotAtomic(path, func(enc *gob.Encoder) error {
+		hdr := snapshotHeader{
+			Magic:    snapshotMagic,
+			Version:  2,
+			Scheme:   kv.opts.Scheme,
+			PageSize: kv.opts.PageSize,
+			MaxPages: kv.opts.MaxPages,
+			Shards:   kv.eng.Shards(),
+			MaxBatch: kv.eng.MaxBatch(),
+		}
+		if err := enc.Encode(hdr); err != nil {
+			return err
+		}
+		for _, img := range kv.eng.MediumSnapshots() {
+			if err := enc.Encode(img); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+}
+
+// readSnapshotHeader opens path and decodes the header, returning the
+// still-open decoder positioned at the first medium image.
+func readSnapshotHeader(path string) (*os.File, *gob.Decoder, snapshotHeader, error) {
+	var hdr snapshotHeader
 	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, hdr, err
+	}
+	zr, err := gzip.NewReader(f)
+	if err != nil {
+		f.Close()
+		return nil, nil, hdr, fmt.Errorf("fasp: bad snapshot: %w", err)
+	}
+	dec := gob.NewDecoder(zr)
+	if err := dec.Decode(&hdr); err != nil {
+		f.Close()
+		return nil, nil, hdr, fmt.Errorf("fasp: bad snapshot header: %w", err)
+	}
+	if hdr.Magic != snapshotMagic || hdr.Version < 1 || hdr.Version > 2 {
+		f.Close()
+		return nil, nil, hdr, fmt.Errorf("fasp: not a fasp snapshot (magic %q v%d)", hdr.Magic, hdr.Version)
+	}
+	return f, dec, hdr, nil
+}
+
+// loadSnapshot builds a base from a version-1 (single-store) snapshot
+// file. opts supplies the simulated-machine knobs (latencies, cache size);
+// the store geometry and scheme come from the file.
+func loadSnapshot(path string, opts Options) (*base, error) {
+	f, dec, hdr, err := readSnapshotHeader(path)
 	if err != nil {
 		return nil, err
 	}
 	defer f.Close()
-	zr, err := gzip.NewReader(f)
-	if err != nil {
-		return nil, fmt.Errorf("fasp: bad snapshot: %w", err)
-	}
-	dec := gob.NewDecoder(zr)
-	var hdr snapshotHeader
-	if err := dec.Decode(&hdr); err != nil {
-		return nil, fmt.Errorf("fasp: bad snapshot header: %w", err)
-	}
-	if hdr.Magic != snapshotMagic || hdr.Version != 1 {
-		return nil, fmt.Errorf("fasp: not a fasp snapshot (magic %q v%d)", hdr.Magic, hdr.Version)
+	if hdr.Version != 1 {
+		return nil, fmt.Errorf("fasp: snapshot %s is sharded (v%d); only OpenSnapshotKV can load it", path, hdr.Version)
 	}
 	var img []byte
 	if err := dec.Decode(&img); err != nil {
@@ -106,13 +184,52 @@ func OpenSnapshot(path string, opts Options) (*DB, error) {
 	return &DB{base: b, eng: engine.Open(b.store)}, nil
 }
 
-// OpenSnapshotKV loads a key/value store saved with Save.
+// OpenSnapshotKV loads a key/value store saved with Save. A version-2
+// (sharded) snapshot restores every shard's image and runs per-shard crash
+// recovery; opts supplies the machine knobs, while scheme, geometry, shard
+// count and batch bound come from the file.
 func OpenSnapshotKV(path string, opts Options) (*KV, error) {
-	b, err := loadSnapshot(path, opts)
+	f, dec, hdr, err := readSnapshotHeader(path)
 	if err != nil {
 		return nil, err
 	}
-	return &KV{base: b, tree: btree.New(b.store)}, nil
+	defer f.Close()
+	opts.Scheme = hdr.Scheme
+	opts.PageSize = hdr.PageSize
+	opts.MaxPages = hdr.MaxPages
+	if hdr.Version == 1 {
+		f.Close()
+		b, err := loadSnapshot(path, opts)
+		if err != nil {
+			return nil, err
+		}
+		opts.fill()
+		return &KV{base: b, tree: btree.New(b.store), opts: opts}, nil
+	}
+	opts.Shards = hdr.Shards
+	opts.MaxBatch = hdr.MaxBatch
+	opts.fill()
+	eng, err := newShardEngine(opts)
+	if err != nil {
+		return nil, err
+	}
+	for i := 0; i < hdr.Shards; i++ {
+		var img []byte
+		if err := dec.Decode(&img); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("fasp: bad snapshot payload (shard %d): %w", i, err)
+		}
+		if err := eng.RestoreShard(i, img); err != nil {
+			eng.Close()
+			return nil, fmt.Errorf("fasp: restore shard %d: %w", i, err)
+		}
+	}
+	// The restored images are power-failure images: run per-shard recovery.
+	if err := eng.Reopen(); err != nil {
+		eng.Close()
+		return nil, err
+	}
+	return &KV{eng: eng, opts: opts}, nil
 }
 
 // OpenSnapshotHash loads a hash index saved with Save.

@@ -1,0 +1,216 @@
+package fasp
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+// TestSnapshotRoundTripAllSchemes: insert → save → load on every commit
+// scheme; all committed data — including a just-committed batch whose
+// pages are still in the volatile cache — survives the round trip, because
+// Save captures the durable medium and loading runs crash recovery.
+func TestSnapshotRoundTripAllSchemes(t *testing.T) {
+	for _, scheme := range []string{SchemeFASTPlus, SchemeFAST, SchemeNVWAL, SchemeWAL, SchemeJournal} {
+		t.Run(scheme, func(t *testing.T) {
+			path := filepath.Join(t.TempDir(), "kv.fasp")
+			// A small cache keeps plenty of committed-but-unflushed pages
+			// at save time, so the recovery path is genuinely exercised.
+			kv, err := OpenKV(Options{Scheme: scheme, PageSize: 1024, CacheBytes: 16 << 10})
+			if err != nil {
+				t.Fatal(err)
+			}
+			const n = 200
+			for i := 0; i < n; i++ {
+				if err := kv.Insert(k(i), v(i)); err != nil {
+					t.Fatal(err)
+				}
+			}
+			// One committed multi-op transaction right before the save.
+			if err := kv.Batch(func(tx BatchTx) error {
+				for i := n; i < n+8; i++ {
+					if err := tx.Insert(k(i), v(i)); err != nil {
+						return err
+					}
+				}
+				return nil
+			}); err != nil {
+				t.Fatal(err)
+			}
+			if err := kv.Save(path); err != nil {
+				t.Fatal(err)
+			}
+			kv2, err := OpenSnapshotKV(path, Options{})
+			if err != nil {
+				t.Fatal(err)
+			}
+			if err := kv2.Validate(); err != nil {
+				t.Fatal(err)
+			}
+			if kv2.SchemeName() == "" {
+				t.Fatal("no scheme name after load")
+			}
+			if c, err := kv2.Count(); err != nil || c != n+8 {
+				t.Fatalf("count = %d, %v; want %d", c, err, n+8)
+			}
+			for i := 0; i < n+8; i++ {
+				got, ok, err := kv2.Get(k(i))
+				if err != nil || !ok || !bytes.Equal(got, v(i)) {
+					t.Fatalf("key %d: %q %v %v", i, got, ok, err)
+				}
+			}
+		})
+	}
+}
+
+// TestSnapshotSaveAtomic: Save never leaves temp droppings, overwrites an
+// existing snapshot only after the new one is durable, and a failing save
+// cannot destroy anything.
+func TestSnapshotSaveAtomic(t *testing.T) {
+	dir := t.TempDir()
+	path := filepath.Join(dir, "kv.fasp")
+	kv, err := OpenKV(Options{PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 50; i++ {
+		if err := kv.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	// Overwrite with more data; the file is replaced atomically.
+	for i := 50; i < 80; i++ {
+		if err := kv.Insert(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	entries, err := os.ReadDir(dir)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, e := range entries {
+		if strings.Contains(e.Name(), ".tmp") {
+			t.Fatalf("temp file left behind: %s", e.Name())
+		}
+	}
+	if len(entries) != 1 {
+		t.Fatalf("dir has %d entries, want 1", len(entries))
+	}
+	kv2, err := OpenSnapshotKV(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if c, _ := kv2.Count(); c != 80 {
+		t.Fatalf("count = %d", c)
+	}
+	// A save into a nonexistent directory fails before touching anything.
+	if err := kv.Save(filepath.Join(dir, "no-such-dir", "kv.fasp")); err == nil {
+		t.Fatal("save into missing directory succeeded")
+	}
+	if kv3, err := OpenSnapshotKV(path, Options{}); err != nil {
+		t.Fatalf("original snapshot damaged by failed save: %v", err)
+	} else if c, _ := kv3.Count(); c != 80 {
+		t.Fatalf("original snapshot content damaged: count = %d", c)
+	}
+}
+
+// TestSnapshotShardedRoundTrip: a sharded store saves a version-2 snapshot
+// holding every shard's image; loading restores the partitioning, runs
+// per-shard recovery, and yields the same contents.
+func TestSnapshotShardedRoundTrip(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "skv.fasp")
+	kv, err := OpenKV(Options{Shards: 4, MaxBatch: 16, PageSize: 1024, CacheBytes: 16 << 10})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	const n = 300
+	ops := make([]Op, n)
+	for i := range ops {
+		ops[i] = Op{Kind: OpInsert, Key: k(i), Val: v(i)}
+	}
+	for _, err := range kv.ApplyBatch(ops) {
+		if err != nil {
+			t.Fatal(err)
+		}
+	}
+	if err := kv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	kv2, err := OpenSnapshotKV(path, Options{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv2.Close()
+	if !kv2.Sharded() || kv2.Shards() != 4 {
+		t.Fatalf("Sharded=%v Shards=%d after load", kv2.Sharded(), kv2.Shards())
+	}
+	if err := kv2.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	if c, err := kv2.Count(); err != nil || c != n {
+		t.Fatalf("count = %d, %v", c, err)
+	}
+	for i := 0; i < n; i++ {
+		got, ok, err := kv2.Get(k(i))
+		if err != nil || !ok || !bytes.Equal(got, v(i)) {
+			t.Fatalf("key %d: %q %v %v", i, got, ok, err)
+		}
+	}
+	// The loaded store keeps working: routing matches the saved hash.
+	if err := kv2.Put(k(n), v(n)); err != nil {
+		t.Fatal(err)
+	}
+	// Per-shard contents must be identical to the original partitioning.
+	for i := 0; i < 4; i++ {
+		var orig, loaded []string
+		if err := kv.ShardScan(i, nil, nil, func(key, _ []byte) bool {
+			orig = append(orig, string(key))
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if err := kv2.ShardScan(i, nil, nil, func(key, _ []byte) bool {
+			if string(key) != string(k(n)) {
+				loaded = append(loaded, string(key))
+			}
+			return true
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if strings.Join(orig, ",") != strings.Join(loaded, ",") {
+			t.Fatalf("shard %d contents diverged after round trip", i)
+		}
+	}
+}
+
+// TestSnapshotVersionGates: single-store loaders refuse sharded (v2)
+// snapshots instead of misreading them.
+func TestSnapshotVersionGates(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "skv.fasp")
+	kv, err := OpenKV(Options{Shards: 2, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	if err := kv.Put([]byte("a"), []byte("1")); err != nil {
+		t.Fatal(err)
+	}
+	if err := kv.Save(path); err != nil {
+		t.Fatal(err)
+	}
+	if _, err := OpenSnapshot(path, Options{}); err == nil {
+		t.Fatal("OpenSnapshot accepted a sharded snapshot")
+	}
+	if _, err := OpenSnapshotHash(path, Options{}); err == nil {
+		t.Fatal("OpenSnapshotHash accepted a sharded snapshot")
+	}
+}
