@@ -1,7 +1,7 @@
 GO ?= go
 N  ?= 20000
 
-.PHONY: all build vet test race bench bench-json clean
+.PHONY: all build vet test race crashx bench bench-json clean
 
 all: vet build test
 
@@ -15,7 +15,14 @@ test:
 	$(GO) test ./...
 
 race:
-	$(GO) test -race -short ./internal/...
+	$(GO) test -race ./...
+
+# Exhaustive crash-schedule exploration with nested recovery crashes, the
+# CI smoke configuration; run with BUDGET=0 for full enumeration.
+BUDGET ?= 60
+crashx:
+	$(GO) run ./cmd/crashtest -exhaustive -nested -budget $(BUDGET) -samples 30 -nested-budget 12 -nested-samples 6 -scheme fast+ -txns 12
+	$(GO) run ./cmd/crashtest -exhaustive -nested -budget $(BUDGET) -samples 30 -nested-budget 12 -nested-samples 6 -scheme fast -txns 12
 
 # Go-benchmark view (wall clock + simulated metrics + allocs).
 bench:

@@ -1,13 +1,26 @@
-// Command crashtest is a randomised crash-injection recovery checker: it
-// runs a workload on a chosen scheme, fires a simulated power failure at a
-// random architectural event (word store or cache-line flush), applies an
-// adversarial eviction lottery, recovers, and verifies that the recovered
-// tree is structurally valid and contains exactly the committed
-// transactions. It repeats for -rounds rounds and reports a summary.
+// Command crashtest is a crash-injection recovery checker with two single-
+// store modes and a sharded mode:
 //
-// Usage:
+//   - Random mode (default): -rounds random (crash point, eviction lottery)
+//     schedules, the original smoke test.
+//   - Exhaustive mode (-exhaustive): the internal/crashx explorer measures
+//     the workload's crash-point count, enumerates every crash point up to
+//     -budget (0 = all of them, stratified-sampling -samples points past a
+//     nonzero budget), sweeps eviction lotteries per point, and checks an
+//     exact-state durability oracle after recovery. With -nested it
+//     additionally injects a second crash at recovery's own crash points
+//     and recovers again, proving recovery idempotent.
+//   - Sharded mode (-shards N): concurrent clients against the sharded
+//     engine with a crash injected inside one shard's group commit.
 //
-//	crashtest -rounds 200 -scheme fast+ -seed 1
+// Every schedule is deterministic: a violation prints a -repro spec that
+// replays the identical failure byte-for-byte:
+//
+//	crashtest -exhaustive -nested -scheme fast+ -txns 30
+//	crashtest -scheme fast+ -txns 30 -repro '734:0.5:12345'
+//
+// Any oracle violation makes the process exit non-zero; by default it
+// stops at the first one (use -keep-going to collect them all).
 package main
 
 import (
@@ -17,7 +30,7 @@ import (
 	"math/rand"
 	"os"
 
-	"fasp/internal/btree"
+	"fasp/internal/crashx"
 	"fasp/internal/fast"
 	"fasp/internal/pager"
 	"fasp/internal/pmem"
@@ -26,59 +39,175 @@ import (
 
 func main() {
 	var (
-		rounds  = flag.Int("rounds", 100, "crash rounds to run")
+		rounds  = flag.Int("rounds", 100, "random mode: crash rounds to run")
 		scheme  = flag.String("scheme", "fast+", "fast+|fast|nvwal|wal|journal")
 		seed    = flag.Int64("seed", 1, "master seed")
-		txns    = flag.Int("txns", 30, "insert transactions per round (per client when sharded)")
+		txns    = flag.Int("txns", 30, "workload transactions per run (per client when sharded)")
 		shards  = flag.Int("shards", 0, "run the sharded engine with this many shards (0/1 = classic single store)")
 		clients = flag.Int("clients", 4, "with -shards: concurrent client goroutines")
+
+		exhaustive = flag.Bool("exhaustive", false, "enumerate crash schedules with the crashx explorer")
+		nested     = flag.Bool("nested", false, "with -exhaustive: inject a second crash inside recovery")
+		budget     = flag.Int("budget", 0, "with -exhaustive: crash points enumerated from 0 (0 = every point)")
+		samples    = flag.Int("samples", 64, "with -exhaustive: stratified samples past the budget")
+		lotteries  = flag.Int("lotteries", 2, "with -exhaustive: seeded p=0.5 eviction lotteries per point (plus evict-none/evict-all)")
+		nbudget    = flag.Int("nested-budget", 0, "with -nested: recovery crash points enumerated per schedule (0 = every point)")
+		nsamples   = flag.Int("nested-samples", 16, "with -nested: stratified samples past the nested budget")
+		repro      = flag.String("repro", "", "replay one failing schedule spec (point:prob:seed[/recpoint:recprob:recseed]) and exit")
+		keepGoing  = flag.Bool("keep-going", false, "collect every violation instead of stopping at the first")
 	)
 	flag.Parse()
 
-	cfgPageSize := 256
-	master := rand.New(rand.NewSource(*seed))
+	const cfgPageSize = 256
 
 	if *shards > 1 {
-		total := measureSharded(*scheme, *shards, *clients, *txns)
-		fmt.Printf("crashtest: %s, %d shards, %d clients x %d txns/round, ≥%d crash points per shard, %d rounds\n",
-			*scheme, *shards, *clients, *txns, total, *rounds)
-		failures := 0
-		evictHist := map[string]int{}
-		for round := 0; round < *rounds; round++ {
-			victim := master.Intn(*shards)
-			kpt := master.Int63n(total)
-			prob := []float64{0, 0.5, 1}[master.Intn(3)]
-			evictHist[fmt.Sprintf("p=%.1f", prob)]++
-			opts := pmem.CrashOptions{Seed: master.Int63(), EvictProb: prob}
-			if err := oneShardedRound(*scheme, *shards, *clients, *txns, victim, kpt, opts); err != nil {
-				failures++
-				fmt.Printf("round %d: shard %d crash@%d evict=%.1f: %v\n", round, victim, kpt, prob, err)
-			}
-		}
-		fmt.Printf("crashtest: %d/%d sharded rounds passed (%v)\n", *rounds-failures, *rounds, evictHist)
-		if failures > 0 {
-			os.Exit(1)
-		}
+		runSharded(*scheme, *shards, *clients, *txns, *rounds, *seed, *keepGoing)
 		return
 	}
 
-	// Learn the crash-point budget from one uncrashed run.
-	total := measure(*scheme, cfgPageSize, *txns)
-	fmt.Printf("crashtest: %s, %d txns/round, %d crash points per run, %d rounds\n",
-		*scheme, *txns, total, *rounds)
+	cfg := explorerConfig(*scheme, cfgPageSize, *txns)
+	cfg.Seed = *seed
 
+	switch {
+	case *repro != "":
+		runRepro(cfg, *scheme, *txns, *repro)
+	case *exhaustive:
+		cfg.Budget = *budget
+		cfg.Samples = *samples
+		cfg.Lotteries = *lotteries
+		cfg.Nested = *nested
+		cfg.NestedBudget = *nbudget
+		cfg.NestedSamples = *nsamples
+		runExhaustive(cfg, *scheme, *txns, *keepGoing)
+	default:
+		runRandom(cfg, *scheme, *txns, *rounds, *seed, *keepGoing)
+	}
+}
+
+// explorerConfig wires crashx to this command's store constructors.
+func explorerConfig(scheme string, pageSize, txns int) *crashx.Config {
+	return &crashx.Config{
+		Open: func() (*pmem.System, pager.Store) {
+			sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
+			return sys, mkStore(scheme, pageSize, sys)
+		},
+		Reattach: func(st pager.Store) (pager.Store, error) {
+			return reattach(scheme, pageSize, st)
+		},
+		Workload: crashx.DefaultWorkload(txns),
+	}
+}
+
+// reproCmd renders the one-command reproduction for a failing schedule.
+func reproCmd(scheme string, txns int, spec crashx.Spec) string {
+	return fmt.Sprintf("go run ./cmd/crashtest -scheme %s -txns %d -repro '%s'", scheme, txns, spec)
+}
+
+// runRepro replays one pinned schedule and reports its exact outcome.
+func runRepro(cfg *crashx.Config, scheme string, txns int, spec string) {
+	s, err := crashx.ParseSpec(spec)
+	if err != nil {
+		fail("%v", err)
+	}
+	res := crashx.Run(cfg, s)
+	fmt.Printf("crashtest: %s, %d txns, spec %s: crashed=%v acked=%d recCrashed=%v\n",
+		scheme, txns, s, res.Crashed, res.Acked, res.RecCrashed)
+	if res.Err != nil {
+		fmt.Printf("VIOLATION: %v\n", res.Err)
+		os.Exit(1)
+	}
+	fmt.Println("ok: schedule recovers cleanly")
+}
+
+// runExhaustive drives the crashx explorer and reports its schedule
+// coverage, printing each violation's repro command the moment it is found.
+func runExhaustive(cfg *crashx.Config, scheme string, txns int, keepGoing bool) {
+	if keepGoing {
+		cfg.MaxFailures = 1 << 30
+	}
+	cfg.OnFailure = func(f crashx.Failure) {
+		fmt.Printf("VIOLATION at %s: %s\n  reproduce: %s\n", f.Spec, f.Err, reproCmd(scheme, txns, f.Spec))
+	}
+	lastPct := -1
+	cfg.Progress = func(done, total, runs int) {
+		if pct := done * 10 / total; pct > lastPct {
+			lastPct = pct
+			fmt.Printf("crashtest: %d/%d points explored (%d runs)\n", done, total, runs)
+		}
+	}
+	rep, err := crashx.Explore(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("crashtest: %s, %d txns, %d crash points (%d enumerated + %d sampled), %d lotteries/point, %d runs (%d nested)\n",
+		scheme, txns, rep.TotalPoints, rep.Enumerated, rep.Sampled, rep.LotteriesPerPoint, rep.Runs, rep.NestedRuns)
+	if !rep.Ok() {
+		fmt.Printf("crashtest: %d violation(s)\n", len(rep.Failures))
+		os.Exit(1)
+	}
+	fmt.Println("crashtest: all schedules recover cleanly")
+}
+
+// runRandom keeps the original randomised smoke test, rebuilt on crashx:
+// each round replays one random schedule through the same oracle the
+// explorer uses, so failures carry the same reproducible spec.
+func runRandom(cfg *crashx.Config, scheme string, txns, rounds int, seed int64, keepGoing bool) {
+	total, err := crashx.Measure(cfg)
+	if err != nil {
+		fail("%v", err)
+	}
+	fmt.Printf("crashtest: %s, %d txns/round, %d crash points per run, %d rounds\n",
+		scheme, txns, total, rounds)
+	master := rand.New(rand.NewSource(seed))
 	failures := 0
 	evictHist := map[string]int{}
-	for round := 0; round < *rounds; round++ {
+	for round := 0; round < rounds; round++ {
+		prob := []float64{0, 0.5, 1}[master.Intn(3)]
+		evictHist[fmt.Sprintf("p=%.1f", prob)]++
+		spec := crashx.Spec{
+			Point:    master.Int63n(total),
+			Evict:    pmem.CrashOptions{Seed: master.Int63(), EvictProb: prob},
+			RecPoint: -1,
+		}
+		if res := crashx.Run(cfg, spec); res.Err != nil {
+			failures++
+			fmt.Printf("round %d: VIOLATION at %s: %v\n  reproduce: %s\n",
+				round, spec, res.Err, reproCmd(scheme, txns, spec))
+			if !keepGoing {
+				os.Exit(1)
+			}
+		}
+	}
+	fmt.Printf("crashtest: %d/%d rounds passed (%v)\n", rounds-failures, rounds, evictHist)
+	if failures > 0 {
+		os.Exit(1)
+	}
+}
+
+// runSharded drives the randomised sharded-engine rounds.
+func runSharded(scheme string, shards, clients, txns, rounds int, seed int64, keepGoing bool) {
+	master := rand.New(rand.NewSource(seed))
+	total := measureSharded(scheme, shards, clients, txns)
+	fmt.Printf("crashtest: %s, %d shards, %d clients x %d txns/round, ≥%d crash points per shard, %d rounds\n",
+		scheme, shards, clients, txns, total, rounds)
+	failures := 0
+	evictHist := map[string]int{}
+	for round := 0; round < rounds; round++ {
+		victim := master.Intn(shards)
 		kpt := master.Int63n(total)
 		prob := []float64{0, 0.5, 1}[master.Intn(3)]
 		evictHist[fmt.Sprintf("p=%.1f", prob)]++
-		if err := oneRound(*scheme, cfgPageSize, *txns, kpt, pmem.CrashOptions{Seed: master.Int63(), EvictProb: prob}); err != nil {
+		opts := pmem.CrashOptions{Seed: master.Int63(), EvictProb: prob}
+		if err := oneShardedRound(scheme, shards, clients, txns, victim, kpt, opts); err != nil {
 			failures++
-			fmt.Printf("round %d: crash@%d evict=%.1f: %v\n", round, kpt, prob, err)
+			fmt.Printf("round %d: VIOLATION shard %d crash@%d evict=%.1f seed=%d: %v\n",
+				round, victim, kpt, prob, opts.Seed, err)
+			if !keepGoing {
+				os.Exit(1)
+			}
 		}
 	}
-	fmt.Printf("crashtest: %d/%d rounds passed (%v)\n", *rounds-failures, *rounds, evictHist)
+	fmt.Printf("crashtest: %d/%d sharded rounds passed (%v)\n", rounds-failures, rounds, evictHist)
 	if failures > 0 {
 		os.Exit(1)
 	}
@@ -92,6 +221,7 @@ func fail(format string, args ...any) {
 
 func key(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }
 func val(i int) []byte { return bytes.Repeat([]byte{byte('a' + i%26)}, 40) }
+
 func mkStore(scheme string, pageSize int, sys *pmem.System) pager.Store {
 	switch scheme {
 	case "fast":
@@ -138,66 +268,4 @@ func reattach(scheme string, pageSize int, st pager.Store) (pager.Store, error) 
 		return ns, ns.Recover()
 	}
 	return nil, fmt.Errorf("unknown store")
-}
-
-func measure(scheme string, pageSize, txns int) int64 {
-	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
-	st := mkStore(scheme, pageSize, sys)
-	tr := btree.New(st)
-	base := sys.CrashPoints()
-	for i := 0; i < txns; i++ {
-		if err := tr.Insert(key(i), val(i)); err != nil {
-			fmt.Fprintf(os.Stderr, "crashtest: measure: %v\n", err)
-			os.Exit(1)
-		}
-	}
-	return sys.CrashPoints() - base
-}
-
-func oneRound(scheme string, pageSize, txns int, kpt int64, opts pmem.CrashOptions) error {
-	sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
-	st := mkStore(scheme, pageSize, sys)
-	tr := btree.New(st)
-	committed := 0
-	sys.CrashAfter(kpt)
-	sys.RunToCrash(func() {
-		for i := 0; i < txns; i++ {
-			if err := tr.Insert(key(i), val(i)); err != nil {
-				panic(err)
-			}
-			committed++
-		}
-	})
-	sys.Crash(opts)
-
-	st2, err := reattach(scheme, pageSize, st)
-	if err != nil {
-		return fmt.Errorf("recover: %w", err)
-	}
-	tr2 := btree.New(st2)
-	tx, err := tr2.Begin()
-	if err != nil {
-		return err
-	}
-	defer tx.Rollback()
-	if err := tx.Validate(); err != nil {
-		return fmt.Errorf("tree invalid: %w", err)
-	}
-	count, err := tx.Count()
-	if err != nil {
-		return err
-	}
-	for i := 0; i < committed; i++ {
-		got, ok, err := tx.Get(key(i))
-		if err != nil || !ok {
-			return fmt.Errorf("committed key %d missing", i)
-		}
-		if !bytes.Equal(got, val(i)) {
-			return fmt.Errorf("committed key %d corrupt", i)
-		}
-	}
-	if count != committed && count != committed+1 {
-		return fmt.Errorf("recovered %d keys, committed %d", count, committed)
-	}
-	return nil
 }

@@ -20,6 +20,7 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"time"
 
 	"fasp/internal/btree"
 	"fasp/internal/engine"
@@ -67,6 +68,10 @@ type Options struct {
 	// from a shard's mailbox (default 64). Ignored when Shards <= 1,
 	// except by KV.ApplyBatch, which chunks at MaxBatch in both modes.
 	MaxBatch int
+	// EnqueueTimeout bounds how long a sharded submission waits for
+	// mailbox space before failing with ErrShardBusy (default 2s).
+	// Ignored when Shards <= 1.
+	EnqueueTimeout time.Duration
 }
 
 // fill applies defaults and normalises Scheme to its canonical lower-case
@@ -342,6 +347,16 @@ const (
 // has not been recovered yet (call ReopenKV).
 var ErrShardCrashed = shard.ErrCrashed
 
+// ErrShardDown reports an operation submitted to a shard whose writer hit
+// a contained fault (store panic / hard PM error); the other shards keep
+// serving. Call Heal on the degraded shard to re-run recovery.
+var ErrShardDown = shard.ErrShardDown
+
+// ErrShardBusy reports a sharded submission that timed out waiting for
+// mailbox space (wedged or badly oversubscribed shard); the operation was
+// not applied.
+var ErrShardBusy = shard.ErrBusy
+
 // errCrossShard reports KV.Batch on a sharded store.
 var errCrossShard = errors.New("fasp: cross-shard transactions are not supported on a sharded store; use ApplyBatch for per-shard group commits")
 
@@ -368,8 +383,9 @@ func OpenKV(opts Options) (*KV, error) {
 // same attachStore path the single-store facade uses.
 func newShardEngine(opts Options) (*shard.Engine, error) {
 	return shard.New(shard.Config{
-		Shards:   opts.Shards,
-		MaxBatch: opts.MaxBatch,
+		Shards:         opts.Shards,
+		MaxBatch:       opts.MaxBatch,
+		EnqueueTimeout: opts.EnqueueTimeout,
 		Open: func(int) (*shard.Backend, error) {
 			b, err := newBase(opts)
 			if err != nil {
@@ -565,6 +581,17 @@ func (kv *KV) Count() (int, error) {
 	}
 	defer tx.Rollback()
 	return tx.Count()
+}
+
+// Heal re-runs recovery on one shard of a sharded store — the containment
+// path after ErrShardDown: the degraded shard reattaches over its arena
+// while the healthy shards keep serving. On a single store it is
+// equivalent to ReopenKV.
+func (kv *KV) Heal(i int) error {
+	if kv.eng != nil {
+		return kv.eng.Heal(i)
+	}
+	return kv.ReopenKV()
 }
 
 // ReopenKV recovers the store after Crash (every shard when sharded).

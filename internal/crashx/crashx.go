@@ -1,0 +1,301 @@
+// Package crashx is a deterministic crash-schedule explorer for the commit
+// schemes under test. Where cmd/crashtest's classic mode samples one random
+// crash point per round, crashx *enumerates* schedules: it measures a
+// recorded workload's crash-point count, then replays the workload crashing
+// at every point up to a budget (stratified-sampling the rest), sweeps a
+// small set of eviction lotteries per point, and checks an exact-state
+// durability oracle after recovery. It can additionally inject a second
+// crash at every crash point *inside recovery itself* and recover again,
+// proving recovery idempotent — the paper asserts it (§4.4), this tests it.
+//
+// Every run is a pure function of its Spec (crash point, eviction lottery,
+// optional nested recovery crash point and lottery): the workload is fixed,
+// the simulated machine is deterministic, and the eviction lottery iterates
+// dirty lines in sorted offset order under a seeded generator. A failing
+// schedule therefore reproduces byte-for-byte from its Spec string, which
+// cmd/crashtest accepts via -repro.
+package crashx
+
+import (
+	"fmt"
+	"strconv"
+	"strings"
+
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+)
+
+// OpKind selects the mutation one workload transaction performs.
+type OpKind uint8
+
+const (
+	// OpInsert adds a new key (the workload guarantees it is absent).
+	OpInsert OpKind = iota
+	// OpUpdate replaces an existing key's value.
+	OpUpdate
+	// OpDelete removes an existing key.
+	OpDelete
+)
+
+func (k OpKind) String() string {
+	switch k {
+	case OpInsert:
+		return "insert"
+	case OpUpdate:
+		return "update"
+	case OpDelete:
+		return "delete"
+	}
+	return "unknown"
+}
+
+// Op is one workload transaction. Each op runs in its own B-tree
+// transaction so the acknowledgement boundary — the durability oracle's
+// ground truth — is exact: ops [0, acked) returned to the caller, op
+// `acked` (if any) was in flight when the crash fired.
+type Op struct {
+	Kind OpKind
+	Key  []byte
+	Val  []byte
+}
+
+// DefaultWorkload builds a deterministic n-transaction workload of inserts
+// with periodic updates and deletes of still-live keys, so crash points land
+// inside record writes, slot-header commits, page splits, and free-page
+// pushes alike. Every op is valid against the state left by its
+// predecessors (Measure verifies this).
+func DefaultWorkload(n int) []Op {
+	ops := make([]Op, 0, n)
+	var live []int
+	id := 0
+	for len(ops) < n {
+		switch {
+		case len(live) > 4 && len(ops)%7 == 5:
+			k := live[len(ops)%len(live)]
+			ops = append(ops, Op{Kind: OpUpdate, Key: wkey(k), Val: wval(k + 1000)})
+		case len(live) > 6 && len(ops)%11 == 8:
+			i := len(ops) % len(live)
+			k := live[i]
+			live = append(live[:i], live[i+1:]...)
+			ops = append(ops, Op{Kind: OpDelete, Key: wkey(k)})
+		default:
+			ops = append(ops, Op{Kind: OpInsert, Key: wkey(id), Val: wval(id)})
+			live = append(live, id)
+			id++
+		}
+	}
+	return ops
+}
+
+func wkey(i int) []byte { return []byte(fmt.Sprintf("k%06d", i)) }
+func wval(i int) []byte {
+	return []byte(strings.Repeat(string(rune('a'+i%26)), 40))
+}
+
+// Spec pins one crash schedule completely: where the primary crash fires,
+// which eviction lottery runs, and — when RecPoint >= 0 — where a second
+// crash fires inside recovery and which lottery follows it. Point counts
+// crash points from the start of the workload run; RecPoint counts from the
+// start of recovery.
+type Spec struct {
+	Point    int64
+	Evict    pmem.CrashOptions
+	RecPoint int64 // -1: no nested crash
+	RecEvict pmem.CrashOptions
+}
+
+// String renders the spec in the form cmd/crashtest -repro accepts:
+// "point:prob:seed" or "point:prob:seed/recpoint:recprob:recseed".
+func (s Spec) String() string {
+	out := fmt.Sprintf("%d:%s:%d", s.Point, formatProb(s.Evict.EvictProb), s.Evict.Seed)
+	if s.RecPoint >= 0 {
+		out += fmt.Sprintf("/%d:%s:%d", s.RecPoint, formatProb(s.RecEvict.EvictProb), s.RecEvict.Seed)
+	}
+	return out
+}
+
+func formatProb(p float64) string { return strconv.FormatFloat(p, 'g', -1, 64) }
+
+// ParseSpec parses the String form back into a Spec, validating the
+// eviction probabilities.
+func ParseSpec(s string) (Spec, error) {
+	spec := Spec{RecPoint: -1}
+	prim, nested, hasNested := strings.Cut(strings.TrimSpace(s), "/")
+	var err error
+	if spec.Point, spec.Evict, err = parseStage(prim); err != nil {
+		return Spec{}, fmt.Errorf("crashx: bad spec %q: %w", s, err)
+	}
+	if hasNested {
+		if spec.RecPoint, spec.RecEvict, err = parseStage(nested); err != nil {
+			return Spec{}, fmt.Errorf("crashx: bad spec %q: %w", s, err)
+		}
+	}
+	return spec, nil
+}
+
+func parseStage(s string) (int64, pmem.CrashOptions, error) {
+	parts := strings.Split(s, ":")
+	if len(parts) != 3 {
+		return 0, pmem.CrashOptions{}, fmt.Errorf("want point:prob:seed, got %q", s)
+	}
+	point, err := strconv.ParseInt(parts[0], 10, 64)
+	if err != nil || point < 0 {
+		return 0, pmem.CrashOptions{}, fmt.Errorf("bad crash point %q", parts[0])
+	}
+	prob, err := strconv.ParseFloat(parts[1], 64)
+	if err != nil {
+		return 0, pmem.CrashOptions{}, fmt.Errorf("bad eviction probability %q", parts[1])
+	}
+	seed, err := strconv.ParseInt(parts[2], 10, 64)
+	if err != nil {
+		return 0, pmem.CrashOptions{}, fmt.Errorf("bad eviction seed %q", parts[2])
+	}
+	opts := pmem.CrashOptions{Seed: seed, EvictProb: prob}
+	if err := opts.Validate(); err != nil {
+		return 0, pmem.CrashOptions{}, err
+	}
+	return point, opts, nil
+}
+
+// Config drives an exploration. Open and Reattach keep the explorer
+// scheme-agnostic, exactly like internal/shard's Config: the caller supplies
+// closures that build a fresh store on a new simulated machine and that
+// rebuild + recover a store over its surviving arena.
+type Config struct {
+	// Open creates a fresh store on a fresh simulated machine.
+	Open func() (*pmem.System, pager.Store)
+	// Reattach rebuilds the store over its surviving arena after a crash
+	// and runs the scheme's recovery. It is called a second time when a
+	// nested crash interrupts the first recovery.
+	Reattach func(st pager.Store) (pager.Store, error)
+	// Workload is the recorded transaction sequence (one txn per op).
+	Workload []Op
+
+	// Budget is the number of crash points enumerated exhaustively from
+	// point 0; 0 enumerates every point. Beyond the budget, Samples points
+	// are stratified-sampled (seeded) from the remaining range.
+	Budget int
+	// Samples is the stratified sample count past the budget (default 64;
+	// ignored when the budget covers the whole range).
+	Samples int
+	// Lotteries is the number of seeded probabilistic (p=0.5) eviction
+	// lotteries swept per crash point, in addition to EvictNone and
+	// EvictAll (default 2).
+	Lotteries int
+	// Seed derives every sampled point and lottery seed (default 1).
+	Seed int64
+
+	// Nested injects a second crash at recovery crash points: for each
+	// primary schedule that crashed, recovery's crash points are counted
+	// and re-explored under NestedBudget/NestedSamples (same semantics as
+	// Budget/Samples; NestedBudget 0 enumerates all of them).
+	Nested        bool
+	NestedBudget  int
+	NestedSamples int
+
+	// MaxFailures stops the exploration after this many oracle violations
+	// (default 1 — fail fast; raise it to keep going).
+	MaxFailures int
+
+	// Check, when set, runs as an extra oracle clause over the recovered
+	// state (tests use it to deliberately weaken or strengthen the
+	// invariants). got maps key → value of the fully recovered store.
+	Check func(got map[string]string, acked int) error
+
+	// Progress, when set, is called after each explored primary point.
+	Progress func(pointsDone, pointsTotal, runs int)
+
+	// OnFailure, when set, is called the moment each oracle violation is
+	// recorded — harnesses print the reproduction command immediately
+	// instead of waiting for the final report.
+	OnFailure func(Failure)
+}
+
+func (c *Config) fill() error {
+	if c.Open == nil || c.Reattach == nil {
+		return fmt.Errorf("crashx: Config.Open and Config.Reattach are required")
+	}
+	if len(c.Workload) == 0 {
+		return fmt.Errorf("crashx: Config.Workload is empty")
+	}
+	if c.Samples <= 0 {
+		c.Samples = 64
+	}
+	if c.Lotteries < 0 {
+		c.Lotteries = 0
+	} else if c.Lotteries == 0 {
+		c.Lotteries = 2
+	}
+	if c.Seed == 0 {
+		c.Seed = 1
+	}
+	if c.NestedSamples <= 0 {
+		c.NestedSamples = 16
+	}
+	if c.MaxFailures <= 0 {
+		c.MaxFailures = 1
+	}
+	return nil
+}
+
+// lotteries returns the eviction sweep for one crash point: EvictNone,
+// EvictAll, then c.Lotteries seeded p=0.5 draws decorrelated per point.
+func (c *Config) lotteries(point int64) []pmem.CrashOptions {
+	out := make([]pmem.CrashOptions, 0, 2+c.Lotteries)
+	out = append(out, pmem.EvictNone, pmem.EvictAll)
+	for i := 0; i < c.Lotteries; i++ {
+		out = append(out, pmem.CrashOptions{
+			Seed:      mix(c.Seed, point, int64(i)),
+			EvictProb: 0.5,
+		})
+	}
+	return out
+}
+
+// mix is a splitmix64-style hash combining the master seed with schedule
+// coordinates, so derived seeds are deterministic yet decorrelated.
+func mix(vs ...int64) int64 {
+	h := uint64(0x9E3779B97F4A7C15)
+	for _, v := range vs {
+		h ^= uint64(v) + 0x9E3779B97F4A7C15 + (h << 6) + (h >> 2)
+		h *= 0xBF58476D1CE4E5B9
+		h ^= h >> 31
+	}
+	// Keep it positive so specs stay readable.
+	return int64(h &^ (1 << 63))
+}
+
+// schedule returns the crash points to explore in [0, total): the first
+// min(budget, total) points enumerated, then `samples` stratified seeded
+// picks from the remainder. budget <= 0 enumerates everything.
+func schedule(total int64, budget, samples int, seed int64) []int64 {
+	if total <= 0 {
+		return nil
+	}
+	if budget <= 0 || int64(budget) >= total {
+		pts := make([]int64, total)
+		for i := range pts {
+			pts[i] = int64(i)
+		}
+		return pts
+	}
+	pts := make([]int64, 0, budget+samples)
+	for i := 0; i < budget; i++ {
+		pts = append(pts, int64(i))
+	}
+	rest := total - int64(budget)
+	if int64(samples) > rest {
+		samples = int(rest)
+	}
+	// One pick per equal stratum of the unenumerated tail; seeded offsets
+	// keep the schedule reproducible without ever repeating a point.
+	for i := 0; i < samples; i++ {
+		lo := int64(budget) + rest*int64(i)/int64(samples)
+		hi := int64(budget) + rest*int64(i+1)/int64(samples)
+		if hi <= lo {
+			continue
+		}
+		pts = append(pts, lo+int64(uint64(mix(seed, int64(i), total))%uint64(hi-lo)))
+	}
+	return pts
+}

@@ -1,6 +1,9 @@
 package pmem
 
-import "math/rand"
+import (
+	"fmt"
+	"math/rand"
+)
 
 // crashSignal is the panic value used to simulate a power failure at an
 // arbitrary architectural event. It unwinds through whatever protocol code
@@ -33,9 +36,25 @@ func (ci *crashInjector) tick() {
 // a correct protocol must tolerate every subset. EvictProb selects each
 // dirty line for write-back independently using the seeded generator, so a
 // given (Seed, EvictProb) pair is fully reproducible.
+//
+// EvictProb must lie in [0, 1]; System.Crash rejects anything else. The
+// boundary values take deterministic fast paths — EvictProb 0 loses every
+// dirty line and EvictProb 1 writes every dirty line back — so Seed is
+// ignored for them and only influences the lottery for 0 < EvictProb < 1.
 type CrashOptions struct {
 	Seed      int64
 	EvictProb float64
+}
+
+// Validate rejects an eviction probability outside [0, 1] (including NaN,
+// which fails both comparisons). Harnesses that accept user-supplied
+// probabilities should call this before arming a crash; System.Crash
+// enforces it with a panic, since by then the caller is committed.
+func (o CrashOptions) Validate() error {
+	if !(o.EvictProb >= 0 && o.EvictProb <= 1) {
+		return fmt.Errorf("pmem: CrashOptions.EvictProb must be in [0, 1], got %v", o.EvictProb)
+	}
+	return nil
 }
 
 // EvictNone loses all unflushed data: only explicitly flushed lines survive.

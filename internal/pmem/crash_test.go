@@ -1,0 +1,57 @@
+package pmem
+
+import (
+	"math"
+	"strings"
+	"testing"
+)
+
+func TestCrashOptionsValidate(t *testing.T) {
+	for _, p := range []float64{0, 0.25, 0.5, 1} {
+		if err := (CrashOptions{EvictProb: p}).Validate(); err != nil {
+			t.Errorf("EvictProb=%v rejected: %v", p, err)
+		}
+	}
+	for _, p := range []float64{-0.01, -1, 1.01, 42, math.NaN(), math.Inf(1), math.Inf(-1)} {
+		err := (CrashOptions{EvictProb: p}).Validate()
+		if err == nil {
+			t.Errorf("EvictProb=%v accepted", p)
+			continue
+		}
+		if !strings.Contains(err.Error(), "EvictProb") {
+			t.Errorf("EvictProb=%v: error does not name the field: %v", p, err)
+		}
+	}
+}
+
+func TestSystemCrashRejectsBadProb(t *testing.T) {
+	sys := NewSystem(DefaultLatencies(300, 300))
+	sys.NewArena("t", 4096, PM)
+	defer func() {
+		if recover() == nil {
+			t.Fatal("Crash with EvictProb=2 did not panic")
+		}
+	}()
+	sys.Crash(CrashOptions{EvictProb: 2})
+}
+
+// TestBoundaryLotteriesIgnoreSeed pins the documented fast paths: at
+// EvictProb 0 and 1 the outcome is independent of Seed.
+func TestBoundaryLotteriesIgnoreSeed(t *testing.T) {
+	run := func(opts CrashOptions) []byte {
+		sys := NewSystem(DefaultLatencies(300, 300))
+		a := sys.NewArena("t", 4096, PM)
+		a.Store(0, []byte("flushed"))
+		a.Persist(0, 8)
+		a.Store(64, []byte("dirty"))
+		sys.Crash(opts)
+		return a.MediumBytes(0, 128)
+	}
+	for _, p := range []float64{0, 1} {
+		a := run(CrashOptions{EvictProb: p, Seed: 1})
+		b := run(CrashOptions{EvictProb: p, Seed: 999})
+		if string(a) != string(b) {
+			t.Errorf("EvictProb=%v: seed changed the outcome", p)
+		}
+	}
+}

@@ -151,7 +151,14 @@ func (s *System) RunToCrash(fn func()) (crashed bool) {
 // lost; for PM arenas each dirty cache line is independently written back
 // (as if evicted just before the failure) with probability opts.EvictProb,
 // and otherwise lost. Explicitly flushed data always survives.
+//
+// Crash panics if opts fails CrashOptions.Validate — an out-of-range
+// eviction probability is a harness bug, and silently clamping it would
+// corrupt the crash schedule being explored.
 func (s *System) Crash(opts CrashOptions) {
+	if err := opts.Validate(); err != nil {
+		panic(err)
+	}
 	s.injector.armed = false
 	evict := opts.evictFn()
 	for _, a := range s.arenas {

@@ -5,6 +5,7 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"time"
 
 	"fasp/internal/btree"
 	"fasp/internal/pager"
@@ -18,12 +19,28 @@ const (
 	// defaultMailboxFactor sizes a shard's mailbox as a multiple of
 	// MaxBatch, so a burst can queue a few batches ahead of the writer.
 	defaultMailboxFactor = 4
+	// DefaultEnqueueTimeout bounds how long a submission waits for mailbox
+	// space before giving up with ErrBusy.
+	DefaultEnqueueTimeout = 2 * time.Second
 )
 
 // ErrCrashed is returned for operations submitted to a shard whose
 // simulated machine has suffered a (injected or explicit) power failure
 // and has not been recovered yet; call Engine.Reopen.
 var ErrCrashed = errors.New("shard: store crashed; recovery required")
+
+// ErrShardDown is returned (wrapped, with the root cause) for operations
+// submitted to a shard whose writer hit a fault that is not a simulated
+// power failure — a store panic or hard PM error. The fault is contained:
+// the writer keeps draining its mailbox (failing every batch with this
+// error), the other shards keep serving, and Engine.Heal re-runs recovery
+// on just the degraded shard.
+var ErrShardDown = errors.New("shard: writer faulted; shard degraded until healed")
+
+// ErrBusy is returned when a shard's mailbox stays full for the whole
+// enqueue timeout — the writer is wedged or the shard is badly
+// oversubscribed. The submission is not applied.
+var ErrBusy = errors.New("shard: mailbox full; enqueue timed out")
 
 // Backend is one shard's independent store: its own simulated machine,
 // PM arena, and commit-scheme store. The engine owns all access to it.
@@ -43,6 +60,9 @@ type Config struct {
 	MaxBatch int
 	// Mailbox is each shard's queue capacity (default 4×MaxBatch).
 	Mailbox int
+	// EnqueueTimeout bounds how long a submission waits (with backoff) for
+	// mailbox space before failing with ErrBusy (default 2s).
+	EnqueueTimeout time.Duration
 	// Open creates shard i's backend on a fresh simulated machine.
 	Open func(i int) (*Backend, error)
 	// Reattach rebuilds shard i's store over its surviving arena after a
@@ -60,6 +80,9 @@ func (c *Config) fill() error {
 	if c.Mailbox <= 0 {
 		c.Mailbox = defaultMailboxFactor * c.MaxBatch
 	}
+	if c.EnqueueTimeout <= 0 {
+		c.EnqueueTimeout = DefaultEnqueueTimeout
+	}
 	if c.Open == nil {
 		return errors.New("shard: Config.Open is required")
 	}
@@ -67,6 +90,33 @@ func (c *Config) fill() error {
 		return errors.New("shard: Config.Reattach is required")
 	}
 	return nil
+}
+
+// Health is one shard's serving state.
+type Health int
+
+const (
+	// Healthy shards serve reads and writes. The zero value, so healthy
+	// shards keep their golden-test JSON stable.
+	Healthy Health = iota
+	// Crashed shards suffered a simulated power failure; Reopen (or Heal)
+	// runs recovery.
+	Crashed
+	// Degraded shards hit a writer fault (store panic / hard PM error);
+	// Heal re-runs recovery on just that shard.
+	Degraded
+)
+
+func (h Health) String() string {
+	switch h {
+	case Healthy:
+		return "healthy"
+	case Crashed:
+		return "crashed"
+	case Degraded:
+		return "degraded"
+	}
+	return fmt.Sprintf("health(%d)", int(h))
 }
 
 // Info is one shard's observable state, for stats aggregation and the
@@ -84,13 +134,20 @@ type Info struct {
 	PM pmem.Stats `json:"pm_stats"`
 	// Phases is the shard clock's per-phase simulated-time breakdown.
 	Phases map[string]int64 `json:"phases"`
+	// Health is the shard's serving state (zero = healthy).
+	Health Health `json:"health,omitempty"`
+	// Fault is the root cause text when Health is Degraded.
+	Fault string `json:"fault,omitempty"`
 }
 
 // Stats aggregates the engine's shards.
 type Stats struct {
-	Shards  int
-	Ops     int64
-	Batches int64
+	Shards int
+	// CrashedShards and DegradedShards count the shards not serving.
+	CrashedShards  int
+	DegradedShards int
+	Ops            int64
+	Batches        int64
 	// MaxDrained is the largest single group commit across shards.
 	MaxDrained int
 	// PM sums the per-shard architectural event counters.
@@ -112,6 +169,8 @@ type state struct {
 	be         *Backend
 	tree       *btree.Tree
 	crashed    bool
+	degraded   bool
+	downCause  error
 	ops        int64
 	batches    int64
 	maxDrained int
@@ -222,22 +281,59 @@ func (e *Engine) ApplyBatch(ops []Op) []error {
 	return errs
 }
 
+// unavailable returns the error every operation on this shard gets while
+// it is not serving, or nil. Callers hold s.mu.
+func (s *state) unavailable() error {
+	switch {
+	case s.crashed:
+		return ErrCrashed
+	case s.degraded:
+		return fmt.Errorf("shard %d: %w: %v", s.id, ErrShardDown, s.downCause)
+	}
+	return nil
+}
+
+// runContained executes fn under the shard machine's crash injector and
+// additionally contains every other panic — a store bug or a hard PM
+// error must degrade this one shard, not kill the writer goroutine (which
+// would wedge the mailbox) or the process.
+func (s *state) runContained(fn func()) (crashed bool, fault error) {
+	defer func() {
+		if r := recover(); r != nil {
+			fault = fmt.Errorf("writer panic: %v", r)
+		}
+	}()
+	return s.be.Sys.RunToCrash(fn), nil
+}
+
 // applyLocked takes the shard lock and applies ops, honouring the crashed
-// flag and converting an injected simulated power failure into ErrCrashed
-// for every op of the poisoned batch.
+// and degraded flags, converting an injected simulated power failure into
+// ErrCrashed for every op of the poisoned batch, and containing writer
+// faults as ErrShardDown.
 func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.crashed {
+	if err := s.unavailable(); err != nil {
 		for i := range errs {
-			errs[i] = ErrCrashed
+			errs[i] = err
 		}
 		return
 	}
-	crashed := s.be.Sys.RunToCrash(func() {
+	crashed, fault := s.runContained(func() {
 		s.batches += ApplyOps(s.tree, maxBatch, ops, errs)
 	})
-	if crashed {
+	if fault != nil {
+		// The batch died mid-apply; like a crash, nothing in it can be
+		// acknowledged. The shard stops serving until Heal re-runs
+		// recovery over its (intact) arena; the other shards are
+		// untouched.
+		s.degraded = true
+		s.downCause = fault
+		err := s.unavailable()
+		for i := range errs {
+			errs[i] = err
+		}
+	} else if crashed {
 		// The failure unwound mid-batch: whatever did not reach a commit
 		// mark is gone, and even committed ops cannot be acknowledged
 		// (the crash may have fired between the mark and the reply), so
@@ -268,8 +364,8 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 	s := e.shards[e.ShardFor(key)]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.crashed {
-		return nil, false, ErrCrashed
+	if err := s.unavailable(); err != nil {
+		return nil, false, err
 	}
 	return s.tree.Get(key)
 }
@@ -282,8 +378,8 @@ type kvPair struct{ k, v []byte }
 func (s *state) collect(lo, hi []byte, reverse bool) ([]kvPair, error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.crashed {
-		return nil, ErrCrashed
+	if err := s.unavailable(); err != nil {
+		return nil, err
 	}
 	var out []kvPair
 	gather := func(k, v []byte) bool {
@@ -361,8 +457,8 @@ func (e *Engine) ScanShard(i int, lo, hi []byte, fn func(k, v []byte) bool) erro
 	s := e.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	if s.crashed {
-		return ErrCrashed
+	if err := s.unavailable(); err != nil {
+		return err
 	}
 	return s.tree.Scan(lo, hi, fn)
 }
@@ -374,8 +470,8 @@ func (e *Engine) Count() (int, error) {
 		n, err := func() (int, error) {
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			if s.crashed {
-				return 0, ErrCrashed
+			if err := s.unavailable(); err != nil {
+				return 0, err
 			}
 			tx, err := s.tree.Begin()
 			if err != nil {
@@ -398,8 +494,8 @@ func (e *Engine) Validate() error {
 		err := func() error {
 			s.mu.Lock()
 			defer s.mu.Unlock()
-			if s.crashed {
-				return ErrCrashed
+			if err := s.unavailable(); err != nil {
+				return err
 			}
 			tx, err := s.tree.Begin()
 			if err != nil {
@@ -436,25 +532,34 @@ func (e *Engine) Crash(opts pmem.CrashOptions) {
 	}
 }
 
-// Reopen recovers every shard after a crash: the configured Reattach
-// rebuilds each store over its surviving arena and runs the commit
-// scheme's recovery, then the shard accepts operations again.
+// Heal recovers one shard: the configured Reattach rebuilds its store over
+// the surviving arena and runs the commit scheme's recovery, clearing the
+// crashed and degraded flags. It is the containment counterpart of Reopen —
+// after a writer fault, healing the one degraded shard brings it back
+// without touching the healthy ones. A fresh store over the arena also
+// resets any poisoned in-DRAM store state the faulting batch left behind;
+// acked writes live in PM and survive.
+func (e *Engine) Heal(i int) error {
+	s := e.shards[i]
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	ns, err := e.cfg.Reattach(i, s.be)
+	if err != nil {
+		return fmt.Errorf("shard %d: heal: %w", i, err)
+	}
+	s.be.Store = ns
+	s.tree = btree.New(ns)
+	s.crashed = false
+	s.degraded = false
+	s.downCause = nil
+	return nil
+}
+
+// Reopen recovers every shard after a crash: Heal on each one in turn.
 func (e *Engine) Reopen() error {
-	for i, s := range e.shards {
-		err := func() error {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			ns, err := e.cfg.Reattach(i, s.be)
-			if err != nil {
-				return err
-			}
-			s.be.Store = ns
-			s.tree = btree.New(ns)
-			s.crashed = false
-			return nil
-		}()
-		if err != nil {
-			return fmt.Errorf("shard %d: %w", i, err)
+	for i := range e.shards {
+		if err := e.Heal(i); err != nil {
+			return err
 		}
 	}
 	return nil
@@ -478,7 +583,7 @@ func (e *Engine) ShardInfo(i int) Info {
 	s := e.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
-	return Info{
+	in := Info{
 		SimNS:      s.be.Sys.Clock().Now(),
 		Ops:        s.ops,
 		Batches:    s.batches,
@@ -486,6 +591,14 @@ func (e *Engine) ShardInfo(i int) Info {
 		PM:         s.be.Arena.Stats(),
 		Phases:     s.be.Sys.Clock().Phases(),
 	}
+	switch {
+	case s.crashed:
+		in.Health = Crashed
+	case s.degraded:
+		in.Health = Degraded
+		in.Fault = s.downCause.Error()
+	}
+	return in
 }
 
 // Stats aggregates all shards.
@@ -493,6 +606,12 @@ func (e *Engine) Stats() Stats {
 	st := Stats{Shards: len(e.shards)}
 	for i := range e.shards {
 		in := e.ShardInfo(i)
+		switch in.Health {
+		case Crashed:
+			st.CrashedShards++
+		case Degraded:
+			st.DegradedShards++
+		}
 		st.Ops += in.Ops
 		st.Batches += in.Batches
 		if in.MaxDrained > st.MaxDrained {

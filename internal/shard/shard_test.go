@@ -7,7 +7,9 @@ import (
 	"reflect"
 	"sort"
 	"sync"
+	"sync/atomic"
 	"testing"
+	"time"
 
 	"fasp/internal/btree"
 	"fasp/internal/fast"
@@ -503,6 +505,172 @@ func TestCloseIdempotent(t *testing.T) {
 	}
 	e.Close()
 	e.Close()
+}
+
+// faultyStore wraps a real store; when armed, the next Begin panics — a
+// stand-in for a store bug or a hard PM error surfacing inside the writer.
+type faultyStore struct {
+	pager.Store
+	arm atomic.Bool
+}
+
+func (f *faultyStore) Begin() (pager.Txn, error) {
+	if f.arm.CompareAndSwap(true, false) {
+		panic("injected hard PM fault")
+	}
+	return f.Store.Begin()
+}
+
+// TestWriterPanicContainment: a panic inside one shard's writer must not
+// kill the process or wedge the mailbox — the batch fails with
+// ErrShardDown, the shard degrades, the other shards keep serving, and
+// Heal restores the degraded shard with no acked-write loss.
+func TestWriterPanicContainment(t *testing.T) {
+	const shards = 2
+	cfg := testConfig(shards, 8, 0)
+	faults := make([]*faultyStore, shards)
+	open := cfg.Open
+	cfg.Open = func(i int) (*shard.Backend, error) {
+		be, err := open(i)
+		if err != nil {
+			return nil, err
+		}
+		faults[i] = &faultyStore{Store: be.Store}
+		be.Store = faults[i]
+		return be, nil
+	}
+	e, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	// Route one key to each shard for the post-fault probes.
+	probe := make([][]byte, shards)
+	for i := 0; probe[0] == nil || probe[1] == nil; i++ {
+		k := key(n + i)
+		probe[e.ShardFor(k)] = k
+	}
+
+	const victim = 0
+	faults[victim].arm.Store(true)
+	err = e.Do(shard.Op{Kind: shard.OpInsert, Key: probe[victim], Val: val(0)})
+	if !errors.Is(err, shard.ErrShardDown) {
+		t.Fatalf("faulted batch: %v", err)
+	}
+	// The degraded shard refuses reads and writes with the cause attached...
+	if _, _, err := e.Get(probe[victim]); !errors.Is(err, shard.ErrShardDown) {
+		t.Fatalf("get on degraded shard: %v", err)
+	}
+	// ...while the other shard keeps serving both.
+	if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: probe[1], Val: val(1)}); err != nil {
+		t.Fatalf("healthy shard refused a write: %v", err)
+	}
+	if _, ok, err := e.Get(probe[1]); err != nil || !ok {
+		t.Fatalf("healthy shard refused a read: %v %v", ok, err)
+	}
+
+	in := e.ShardInfo(victim)
+	if in.Health != shard.Degraded || in.Fault == "" {
+		t.Fatalf("victim info: health=%v fault=%q", in.Health, in.Fault)
+	}
+	if st := e.Stats(); st.DegradedShards != 1 || st.CrashedShards != 0 {
+		t.Fatalf("stats: %+v", st)
+	}
+
+	if err := e.Heal(victim); err != nil {
+		t.Fatal(err)
+	}
+	if in := e.ShardInfo(victim); in.Health != shard.Healthy {
+		t.Fatalf("victim not healthy after heal: %+v", in)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	// No acked write was lost, and the healed shard serves again.
+	for i := 0; i < n; i++ {
+		v, ok, err := e.Get(key(i))
+		if err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("acked key %d lost across the fault: %q %v %v", i, v, ok, err)
+		}
+	}
+	if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: probe[victim], Val: val(0)}); err != nil {
+		t.Fatalf("healed shard refused a write: %v", err)
+	}
+}
+
+// blockingStore wedges the writer: when armed, the next Begin signals
+// entry and then blocks until released.
+type blockingStore struct {
+	pager.Store
+	arm     atomic.Bool
+	entered chan struct{}
+	release chan struct{}
+}
+
+func (s *blockingStore) Begin() (pager.Txn, error) {
+	if s.arm.CompareAndSwap(true, false) {
+		s.entered <- struct{}{}
+		<-s.release
+	}
+	return s.Store.Begin()
+}
+
+// TestEnqueueBusy: with the writer wedged and the mailbox full, a
+// submission fails with ErrBusy after the bounded enqueue timeout instead
+// of blocking forever; once the writer resumes, queued work completes.
+func TestEnqueueBusy(t *testing.T) {
+	cfg := testConfig(1, 1, 0)
+	cfg.Mailbox = 1
+	cfg.EnqueueTimeout = 100 * time.Millisecond
+	bs := &blockingStore{entered: make(chan struct{}, 1), release: make(chan struct{})}
+	open := cfg.Open
+	cfg.Open = func(i int) (*shard.Backend, error) {
+		be, err := open(i)
+		if err != nil {
+			return nil, err
+		}
+		bs.Store = be.Store
+		be.Store = bs
+		return be, nil
+	}
+	e, err := shard.New(cfg)
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer e.Close()
+
+	bs.arm.Store(true)
+	first := make(chan error, 1)
+	go func() { first <- e.Do(shard.Op{Kind: shard.OpInsert, Key: key(0), Val: val(0)}) }()
+	<-bs.entered // the writer is now wedged mid-batch; the mailbox is empty
+
+	// Two more submissions race for the single mailbox slot: the loser
+	// must time out with ErrBusy while the winner waits for the writer.
+	rest := make(chan error, 2)
+	go func() { rest <- e.Do(shard.Op{Kind: shard.OpInsert, Key: key(1), Val: val(1)}) }()
+	go func() { rest <- e.Do(shard.Op{Kind: shard.OpInsert, Key: key(2), Val: val(2)}) }()
+	if err := <-rest; !errors.Is(err, shard.ErrBusy) {
+		t.Fatalf("full mailbox submission: %v", err)
+	}
+
+	close(bs.release)
+	if err := <-first; err != nil {
+		t.Fatalf("wedged batch after release: %v", err)
+	}
+	if err := <-rest; err != nil {
+		t.Fatalf("queued batch after release: %v", err)
+	}
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
 }
 
 func TestConfigValidation(t *testing.T) {

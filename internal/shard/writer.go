@@ -1,6 +1,10 @@
 package shard
 
-import "sync"
+import (
+	"fmt"
+	"sync"
+	"time"
+)
 
 // request is one client submission: one or more ops bound for a single
 // shard, a parallel error slice the writer fills, and a reusable
@@ -82,16 +86,56 @@ func (s *state) serve(maxBatch int, reqs []*request, ops *[]Op, errs *[]error) {
 }
 
 // submit enqueues ops on shard si's mailbox and waits for the verdicts,
-// copying them into out (len(ops)).
+// copying them into out (len(ops)). A mailbox that stays full for the
+// whole enqueue timeout fails the submission with ErrBusy instead of
+// blocking the caller forever on a wedged writer.
 func (e *Engine) submit(si int, ops []Op, out []error) {
 	s := e.shards[si]
 	r := reqPool.Get().(*request)
 	r.ops = append(r.ops[:0], ops...)
 	r.errs = append(r.errs[:0], make([]error, len(ops))...)
-	s.mail <- r
+	if !e.enqueue(s, r) {
+		err := fmt.Errorf("shard %d: %w", s.id, ErrBusy)
+		for i := range out {
+			out[i] = err
+		}
+		reqPool.Put(r)
+		return
+	}
 	<-r.done
 	copy(out, r.errs)
 	reqPool.Put(r)
+}
+
+// enqueue places r on s's mailbox, backing off exponentially (1 ms
+// doubling to 64 ms) while the mailbox is full, up to the configured
+// enqueue timeout. It reports whether the request was enqueued.
+func (e *Engine) enqueue(s *state, r *request) bool {
+	select {
+	case s.mail <- r:
+		return true
+	default:
+	}
+	deadline := time.Now().Add(e.cfg.EnqueueTimeout)
+	backoff := time.Millisecond
+	for {
+		wait := backoff
+		if left := time.Until(deadline); left <= 0 {
+			return false
+		} else if wait > left {
+			wait = left
+		}
+		t := time.NewTimer(wait)
+		select {
+		case s.mail <- r:
+			t.Stop()
+			return true
+		case <-t.C:
+		}
+		if backoff < 64*time.Millisecond {
+			backoff *= 2
+		}
+	}
 }
 
 // Do routes one operation to its shard's mailbox and waits for the

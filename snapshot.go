@@ -3,6 +3,7 @@ package fasp
 import (
 	"compress/gzip"
 	"encoding/gob"
+	"errors"
 	"fasp/internal/btree"
 	"fasp/internal/engine"
 	"fasp/internal/hashidx"
@@ -10,6 +11,12 @@ import (
 	"os"
 	"path/filepath"
 )
+
+// ErrBadSnapshot tags every snapshot-format failure — truncated or
+// corrupted file, wrong magic, implausible header fields, short payload —
+// so callers can distinguish "this file is not a usable snapshot" from
+// environmental errors (missing file, permissions) with errors.Is.
+var ErrBadSnapshot = errors.New("fasp: bad snapshot")
 
 // snapshotHeader describes a saved store; the payload is one gzip'd PM
 // medium image (version 1, single store) or N images (version 2, sharded)
@@ -30,6 +37,26 @@ type snapshotHeader struct {
 }
 
 const snapshotMagic = "FASP-SNAPSHOT"
+
+// validate rejects headers that could not have been written by Save —
+// wrong magic or version, geometry outside any buildable store, or (v2) a
+// shard count the restore loop could silently mishandle: a zero shard
+// count would restore no images at all and hand back an empty store.
+func (h snapshotHeader) validate() error {
+	if h.Magic != snapshotMagic || h.Version < 1 || h.Version > 2 {
+		return fmt.Errorf("%w: not a fasp snapshot (magic %q v%d)", ErrBadSnapshot, h.Magic, h.Version)
+	}
+	if h.PageSize < 64 || h.PageSize > 1<<20 {
+		return fmt.Errorf("%w: implausible page size %d", ErrBadSnapshot, h.PageSize)
+	}
+	if h.MaxPages < 1 || h.MaxPages > 1<<28 {
+		return fmt.Errorf("%w: implausible page bound %d", ErrBadSnapshot, h.MaxPages)
+	}
+	if h.Version >= 2 && (h.Shards < 1 || h.Shards > 4096) {
+		return fmt.Errorf("%w: implausible shard count %d", ErrBadSnapshot, h.Shards)
+	}
+	return nil
+}
 
 // writeSnapshotAtomic writes a snapshot through fn to a temp file in
 // path's directory and renames it into place only after the data is
@@ -127,16 +154,16 @@ func readSnapshotHeader(path string) (*os.File, *gob.Decoder, snapshotHeader, er
 	zr, err := gzip.NewReader(f)
 	if err != nil {
 		f.Close()
-		return nil, nil, hdr, fmt.Errorf("fasp: bad snapshot: %w", err)
+		return nil, nil, hdr, fmt.Errorf("%w: %w", ErrBadSnapshot, err)
 	}
 	dec := gob.NewDecoder(zr)
 	if err := dec.Decode(&hdr); err != nil {
 		f.Close()
-		return nil, nil, hdr, fmt.Errorf("fasp: bad snapshot header: %w", err)
+		return nil, nil, hdr, fmt.Errorf("%w: header: %w", ErrBadSnapshot, err)
 	}
-	if hdr.Magic != snapshotMagic || hdr.Version < 1 || hdr.Version > 2 {
+	if err := hdr.validate(); err != nil {
 		f.Close()
-		return nil, nil, hdr, fmt.Errorf("fasp: not a fasp snapshot (magic %q v%d)", hdr.Magic, hdr.Version)
+		return nil, nil, hdr, err
 	}
 	return f, dec, hdr, nil
 }
@@ -155,7 +182,7 @@ func loadSnapshot(path string, opts Options) (*base, error) {
 	}
 	var img []byte
 	if err := dec.Decode(&img); err != nil {
-		return nil, fmt.Errorf("fasp: bad snapshot payload: %w", err)
+		return nil, fmt.Errorf("%w: payload: %w", ErrBadSnapshot, err)
 	}
 	opts.Scheme = hdr.Scheme
 	opts.PageSize = hdr.PageSize
@@ -165,7 +192,7 @@ func loadSnapshot(path string, opts Options) (*base, error) {
 		return nil, err
 	}
 	if err := b.arena.RestoreMedium(img); err != nil {
-		return nil, err
+		return nil, fmt.Errorf("%w: restore: %w", ErrBadSnapshot, err)
 	}
 	// A snapshot is a power-failure image: run recovery via reattach.
 	if err := b.reattach(); err != nil {
@@ -217,11 +244,11 @@ func OpenSnapshotKV(path string, opts Options) (*KV, error) {
 		var img []byte
 		if err := dec.Decode(&img); err != nil {
 			eng.Close()
-			return nil, fmt.Errorf("fasp: bad snapshot payload (shard %d): %w", i, err)
+			return nil, fmt.Errorf("%w: payload (shard %d): %w", ErrBadSnapshot, i, err)
 		}
 		if err := eng.RestoreShard(i, img); err != nil {
 			eng.Close()
-			return nil, fmt.Errorf("fasp: restore shard %d: %w", i, err)
+			return nil, fmt.Errorf("%w: restore shard %d: %w", ErrBadSnapshot, i, err)
 		}
 	}
 	// The restored images are power-failure images: run per-shard recovery.
