@@ -1,7 +1,7 @@
 GO ?= go
 N  ?= 20000
 
-.PHONY: all build vet test race crashx bench bench-json clean
+.PHONY: all build vet test race crashx obsv bench bench-json clean
 
 all: vet build test
 
@@ -23,6 +23,14 @@ BUDGET ?= 60
 crashx:
 	$(GO) run ./cmd/crashtest -exhaustive -nested -budget $(BUDGET) -samples 30 -nested-budget 12 -nested-samples 6 -scheme fast+ -txns 12
 	$(GO) run ./cmd/crashtest -exhaustive -nested -budget $(BUDGET) -samples 30 -nested-budget 12 -nested-samples 6 -scheme fast -txns 12
+
+# Observability smoke: vet, the obsv + facade metrics tests, then a
+# sharded bench run that serves /metrics, self-scrapes once and validates
+# the Prometheus text exposition.
+obsv:
+	$(GO) vet ./...
+	$(GO) test ./internal/obsv/ .
+	$(GO) run ./cmd/faspbench -benchjson - -n 2000 -shards 4 -clients 4 -metrics-addr 127.0.0.1:0 -scrape > /dev/null
 
 # Go-benchmark view (wall clock + simulated metrics + allocs).
 bench:

@@ -29,6 +29,7 @@ import (
 	"fmt"
 	"math/rand"
 	"os"
+	"sort"
 
 	"fasp/internal/crashx"
 	"fasp/internal/fast"
@@ -84,18 +85,56 @@ func main() {
 	}
 }
 
+// lastRun stashes the machine and store of the most recently opened
+// schedule, so a violation can dump the run's commit-path counters (the
+// explorer runs schedules sequentially).
+var lastRun struct {
+	sys *pmem.System
+	st  pager.Store
+}
+
 // explorerConfig wires crashx to this command's store constructors.
 func explorerConfig(scheme string, pageSize, txns int) *crashx.Config {
 	return &crashx.Config{
 		Open: func() (*pmem.System, pager.Store) {
 			sys := pmem.NewSystem(pmem.DefaultLatencies(300, 300))
-			return sys, mkStore(scheme, pageSize, sys)
+			st := mkStore(scheme, pageSize, sys)
+			lastRun.sys, lastRun.st = sys, st
+			return sys, st
 		},
 		Reattach: func(st pager.Store) (pager.Store, error) {
 			return reattach(scheme, pageSize, st)
 		},
 		Workload: crashx.DefaultWorkload(txns),
 	}
+}
+
+// dumpMachine prints the failing run's machine-level commit-path evidence
+// (simulated clock, fences, PM event counters, phase totals) — the
+// single-store analogue of the sharded mode's recorder trace dump.
+func dumpMachine() {
+	sys := lastRun.sys
+	if sys == nil {
+		return
+	}
+	fmt.Printf("  machine at failure: sim=%dns fences=%d crash-points=%d\n",
+		sys.Clock().Now(), sys.Fences(), sys.CrashPoints())
+	if a, ok := lastRun.st.(interface{ Arena() *pmem.Arena }); ok {
+		s := a.Arena().Stats()
+		fmt.Printf("  pm: clflush=%d writebacks=%d stores=%d (%dB) fills=%d hits=%d\n",
+			s.FlushCalls, s.LineWritebacks, s.WordStores, s.BytesStored, s.LineFills, s.CacheHits)
+	}
+	phases := sys.Clock().Phases()
+	names := make([]string, 0, len(phases))
+	for name := range phases {
+		names = append(names, name)
+	}
+	sort.Strings(names)
+	fmt.Printf("  phases:")
+	for _, name := range names {
+		fmt.Printf(" %s=%dns", name, phases[name])
+	}
+	fmt.Println()
 }
 
 // reproCmd renders the one-command reproduction for a failing schedule.
@@ -114,6 +153,7 @@ func runRepro(cfg *crashx.Config, scheme string, txns int, spec string) {
 		scheme, txns, s, res.Crashed, res.Acked, res.RecCrashed)
 	if res.Err != nil {
 		fmt.Printf("VIOLATION: %v\n", res.Err)
+		dumpMachine()
 		os.Exit(1)
 	}
 	fmt.Println("ok: schedule recovers cleanly")
@@ -127,6 +167,7 @@ func runExhaustive(cfg *crashx.Config, scheme string, txns int, keepGoing bool) 
 	}
 	cfg.OnFailure = func(f crashx.Failure) {
 		fmt.Printf("VIOLATION at %s: %s\n  reproduce: %s\n", f.Spec, f.Err, reproCmd(scheme, txns, f.Spec))
+		dumpMachine()
 	}
 	lastPct := -1
 	cfg.Progress = func(done, total, runs int) {
@@ -173,6 +214,7 @@ func runRandom(cfg *crashx.Config, scheme string, txns, rounds int, seed int64, 
 			failures++
 			fmt.Printf("round %d: VIOLATION at %s: %v\n  reproduce: %s\n",
 				round, spec, res.Err, reproCmd(scheme, txns, spec))
+			dumpMachine()
 			if !keepGoing {
 				os.Exit(1)
 			}

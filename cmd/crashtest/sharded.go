@@ -38,7 +38,11 @@ func measureSharded(scheme string, shards, clients, txns int) int64 {
 	runClients(kv, clients, txns, nil)
 	min := int64(-1)
 	for i := 0; i < shards; i++ {
-		if pts := kv.ShardSystem(i).CrashPoints(); min < 0 || pts < min {
+		sys, err := kv.ShardSystem(i)
+		if err != nil {
+			fail("shard %d: %v", i, err)
+		}
+		if pts := sys.CrashPoints(); min < 0 || pts < min {
 			min = pts
 		}
 	}
@@ -96,30 +100,34 @@ func oneShardedRound(scheme string, shards, clients, txns int, victim int, kpt i
 		return err
 	}
 	defer kv.Close()
-	kv.ShardSystem(victim).CrashAfter(kpt)
+	vsys, err := kv.ShardSystem(victim)
+	if err != nil {
+		return err
+	}
+	vsys.CrashAfter(kpt)
 
 	a := &ack{ok: map[int]bool{}}
 	runClients(kv, clients, txns, a)
 	if a.hard != nil {
-		return a.hard
+		return dumpTrace(kv, a.hard)
 	}
 
 	// Power failure across the whole store (per-shard eviction lottery),
 	// then recovery of every shard.
 	kv.Crash(opts)
 	if err := kv.ReopenKV(); err != nil {
-		return fmt.Errorf("recover: %w", err)
+		return dumpTrace(kv, fmt.Errorf("recover: %w", err))
 	}
 	if err := kv.Validate(); err != nil {
-		return fmt.Errorf("tree invalid: %w", err)
+		return dumpTrace(kv, fmt.Errorf("tree invalid: %w", err))
 	}
 	for id := range a.ok {
 		got, ok, err := kv.Get(key(id))
 		if err != nil || !ok {
-			return fmt.Errorf("acknowledged key %d missing (err=%v)", id, err)
+			return dumpTrace(kv, fmt.Errorf("acknowledged key %d missing (err=%v)", id, err))
 		}
 		if !bytes.Equal(got, val(id)) {
-			return fmt.Errorf("acknowledged key %d corrupt", id)
+			return dumpTrace(kv, fmt.Errorf("acknowledged key %d corrupt", id))
 		}
 	}
 	count, err := kv.Count()
@@ -127,8 +135,32 @@ func oneShardedRound(scheme string, shards, clients, txns int, victim int, kpt i
 		return err
 	}
 	if count < len(a.ok) || count > len(a.ok)+a.crashed {
-		return fmt.Errorf("recovered %d keys, acknowledged %d, crashed-unacknowledged %d",
-			count, len(a.ok), a.crashed)
+		return dumpTrace(kv, fmt.Errorf("recovered %d keys, acknowledged %d, crashed-unacknowledged %d",
+			count, len(a.ok), a.crashed))
 	}
 	return nil
+}
+
+// dumpTrace prints the store's sampled commit-path traces on a violation,
+// so a failing round carries its own per-transaction event evidence
+// (batch sizes, clflush/fence counts, simulated latencies) alongside the
+// repro spec. The error passes through unchanged.
+func dumpTrace(kv *fasp.KV, cause error) error {
+	samples := kv.TraceSample()
+	if len(samples) == 0 {
+		return cause
+	}
+	// The most recent samples are the ones that surround the crash.
+	const show = 16
+	if len(samples) > show {
+		samples = samples[len(samples)-show:]
+	}
+	fmt.Printf("  trace sample (%d most recent transactions):\n", len(samples))
+	for _, s := range samples {
+		fmt.Printf("    seq=%d shard=%d %s ops=%d sim=%dns wall=%dns clflush=%d fence=%d htm=%d/%d log=%d ckpt=%d\n",
+			s.Seq, s.Shard, s.Op, s.Ops, s.SimNS, s.WallNS,
+			s.Events.Flush, s.Events.Fence, s.Events.HTMCommit, s.Events.HTMAbort,
+			s.Events.LogAppend, s.Events.Checkpoint)
+	}
+	return cause
 }

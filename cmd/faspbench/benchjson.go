@@ -15,9 +15,30 @@ import (
 	"time"
 
 	"fasp/internal/experiment"
+	"fasp/internal/obsv"
 	"fasp/internal/pmem"
 	"fasp/internal/workload"
 )
+
+// LatencyQuantiles summarises one op's latency distribution (histogram
+// percentiles, in nanoseconds). Wall quantiles are host-dependent; sim
+// quantiles are machine-independent.
+type LatencyQuantiles struct {
+	WallP50NS int64 `json:"wall_p50_ns"`
+	WallP95NS int64 `json:"wall_p95_ns"`
+	WallP99NS int64 `json:"wall_p99_ns"`
+	SimP50NS  int64 `json:"sim_p50_ns"`
+	SimP95NS  int64 `json:"sim_p95_ns"`
+	SimP99NS  int64 `json:"sim_p99_ns"`
+}
+
+// quantilesOf reduces a pair of histogram snapshots to the report fields.
+func quantilesOf(wall, sim obsv.HistSnapshot) LatencyQuantiles {
+	return LatencyQuantiles{
+		WallP50NS: wall.Quantile(0.50), WallP95NS: wall.Quantile(0.95), WallP99NS: wall.Quantile(0.99),
+		SimP50NS: sim.Quantile(0.50), SimP95NS: sim.Quantile(0.95), SimP99NS: sim.Quantile(0.99),
+	}
+}
 
 // BenchSchemeResult is one scheme's wall-clock measurements.
 type BenchSchemeResult struct {
@@ -28,6 +49,12 @@ type BenchSchemeResult struct {
 	SearchNsOp     float64 `json:"search_ns_op"`
 	SearchAllocsOp float64 `json:"search_allocs_op"`
 	SearchSimUsOp  float64 `json:"search_sim_us_op"`
+	// Latency distributions (per-op histograms, not just means).
+	Insert LatencyQuantiles `json:"insert_latency"`
+	Search LatencyQuantiles `json:"search_latency"`
+	// Commit-path cost per insert transaction.
+	FlushPerTxn float64 `json:"flush_per_txn"`
+	FencePerTxn float64 `json:"fence_per_txn"`
 }
 
 // BenchReport is the JSON document emitted by -benchjson.
@@ -64,43 +91,59 @@ func runBenchScheme(s experiment.Scheme, n, pageSize int, seed int64) (BenchSche
 
 	res := BenchSchemeResult{Scheme: s.String()}
 	var ms0, ms1 runtime.MemStats
+	// Per-op latencies go into log-bucketed histograms. Recording is
+	// allocation-free (two clock reads + atomic adds per op), so the
+	// allocs/op trajectory is unaffected; the ~tens-of-ns recording cost is
+	// inside the measured region and applies equally to every scheme.
+	rec := obsv.New(obsv.Config{SampleEvery: 1 << 62}) // histograms only, no trace capture
 
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
+	flush0, fence0 := e.PM.Stats().FlushCalls, e.Sys.Fences()
 	sim0 := e.Sys.Clock().Now()
 	t0 := time.Now()
 	for i := 0; i < n; i++ {
+		ow, osim := time.Now(), e.Sys.Clock().Now()
 		if err := e.Tree.Insert(keys[i], vals[i]); err != nil {
 			return res, fmt.Errorf("%s insert %d: %w", s, i, err)
 		}
+		rec.ObserveWall(obsv.OpInsert, 0, time.Since(ow).Nanoseconds())
+		rec.ObserveSim(obsv.OpInsert, e.Sys.Clock().Now()-osim)
 	}
 	wall := time.Since(t0)
 	runtime.ReadMemStats(&ms1)
 	res.InsertNsOp = float64(wall.Nanoseconds()) / float64(n)
 	res.InsertAllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
 	res.InsertSimUsTxn = float64(e.Sys.Clock().Now()-sim0) / float64(n) / 1000
+	res.Insert = quantilesOf(rec.WallHist(obsv.OpInsert), rec.SimHist(obsv.OpInsert))
+	res.FlushPerTxn = float64(e.PM.Stats().FlushCalls-flush0) / float64(n)
+	res.FencePerTxn = float64(e.Sys.Fences()-fence0) / float64(n)
 
 	runtime.GC()
 	runtime.ReadMemStats(&ms0)
 	sim0 = e.Sys.Clock().Now()
 	t0 = time.Now()
 	for i := 0; i < n; i++ {
+		ow, osim := time.Now(), e.Sys.Clock().Now()
 		v, ok, err := e.Tree.Get(keys[i])
 		if err != nil || !ok || len(v) == 0 {
 			return res, fmt.Errorf("%s search %d: ok=%v err=%v", s, i, ok, err)
 		}
+		rec.ObserveWall(obsv.OpGet, 0, time.Since(ow).Nanoseconds())
+		rec.ObserveSim(obsv.OpGet, e.Sys.Clock().Now()-osim)
 	}
 	wall = time.Since(t0)
 	runtime.ReadMemStats(&ms1)
 	res.SearchNsOp = float64(wall.Nanoseconds()) / float64(n)
 	res.SearchAllocsOp = float64(ms1.Mallocs-ms0.Mallocs) / float64(n)
 	res.SearchSimUsOp = float64(e.Sys.Clock().Now()-sim0) / float64(n) / 1000
+	res.Search = quantilesOf(rec.WallHist(obsv.OpGet), rec.SimHist(obsv.OpGet))
 	return res, nil
 }
 
 // runBenchJSON runs the wall-clock benchmark for every scheme and writes the
 // JSON report. baselinePath, when non-empty, is a previous report to embed.
-func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64, shards, clients, maxBatch int) error {
+func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64, shards, clients, maxBatch int, metricsAddr string, scrape bool) error {
 	rep := BenchReport{
 		Generated: time.Now().UTC().Format(time.RFC3339),
 		GoVersion: runtime.Version(),
@@ -119,7 +162,7 @@ func runBenchJSON(outPath, baselinePath string, n, pageSize int, seed int64, sha
 		rep.Schemes = append(rep.Schemes, r)
 	}
 	if shards > 0 {
-		series, err := runShardSeries(n, pageSize, seed, shards, clients, maxBatch)
+		series, err := runShardSeries(n, pageSize, seed, shards, clients, maxBatch, metricsAddr, scrape)
 		if err != nil {
 			return fmt.Errorf("sharded: %w", err)
 		}

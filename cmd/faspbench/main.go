@@ -33,11 +33,13 @@ func main() {
 		shards    = flag.Int("shards", 0, "with -benchjson: also benchmark a sharded KV with this many shards (vs a shards=1 baseline)")
 		clients   = flag.Int("clients", 1, "with -shards: concurrent client goroutines")
 		maxBatch  = flag.Int("maxbatch", 0, "with -shards: group-commit drain bound (0 = default)")
+		mAddr     = flag.String("metrics-addr", "", "with -shards: serve /metrics on this address during the sharded run (e.g. 127.0.0.1:0)")
+		scrape    = flag.Bool("scrape", false, "with -metrics-addr: self-scrape /metrics once and validate the Prometheus text (CI smoke)")
 	)
 	flag.Parse()
 
 	if *benchJSON != "" {
-		if err := runBenchJSON(*benchJSON, *baseline, *n, *pageSize, *seed, *shards, *clients, *maxBatch); err != nil {
+		if err := runBenchJSON(*benchJSON, *baseline, *n, *pageSize, *seed, *shards, *clients, *maxBatch, *mAddr, *scrape); err != nil {
 			fmt.Fprintf(os.Stderr, "faspbench: benchjson: %v\n", err)
 			os.Exit(1)
 		}

@@ -312,7 +312,11 @@ func runGoldenShardedWorkload(t *testing.T) []goldenShardRecord {
 
 	recs := make([]goldenShardRecord, shards)
 	for i := 0; i < shards; i++ {
-		rec := goldenShardRecord{Info: kv.ShardStats(i)}
+		in, err := kv.ShardStats(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := goldenShardRecord{Info: in}
 		h := fnv.New64a()
 		if err := kv.ShardScan(i, nil, nil, func(k, v []byte) bool {
 			h.Write(k)

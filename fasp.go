@@ -20,16 +20,17 @@ import (
 	"fmt"
 	"strings"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fasp/internal/btree"
 	"fasp/internal/engine"
 	"fasp/internal/fast"
 	"fasp/internal/hashidx"
+	"fasp/internal/obsv"
 	"fasp/internal/pager"
 	"fasp/internal/pmem"
 	"fasp/internal/shard"
-	"fasp/internal/slotted"
 	"fasp/internal/sql"
 	"fasp/internal/wal"
 )
@@ -72,6 +73,17 @@ type Options struct {
 	// mailbox space before failing with ErrShardBusy (default 2s).
 	// Ignored when Shards <= 1.
 	EnqueueTimeout time.Duration
+	// DisableMetrics turns the observability recorder off entirely (KV
+	// only). Metrics are on by default; the instrumented hot path is
+	// allocation-free either way, so disabling only saves a few atomic
+	// adds per operation.
+	DisableMetrics bool
+	// MetricsSampleEvery samples every Nth transaction's full commit-path
+	// event counts into the trace ring (default 64).
+	MetricsSampleEvery int
+	// SlowOpNS is the wall-clock latency threshold above which an
+	// operation lands in the slow-op log (default 1ms).
+	SlowOpNS int64
 }
 
 // fill applies defaults and normalises Scheme to its canonical lower-case
@@ -326,6 +338,13 @@ type KV struct {
 	tree  *btree.Tree   // single-store mode; nil when sharded
 	eng   *shard.Engine // sharded mode; nil when single-store
 	opts  Options
+
+	// rec is the observability recorder (nil with DisableMetrics); regName
+	// is the store's name in the exporter registry; closed makes Close
+	// idempotent.
+	rec     *obsv.Recorder
+	regName string
+	closed  atomic.Bool
 }
 
 // Op and OpKind re-export the sharded engine's operation type, used by
@@ -363,25 +382,30 @@ var errCrossShard = errors.New("fasp: cross-shard transactions are not supported
 // OpenKV creates a fresh key/value store (sharded when opts.Shards > 1).
 func OpenKV(opts Options) (*KV, error) {
 	opts.fill()
+	rec := newRecorder(opts)
+	var kv *KV
 	if opts.Shards <= 1 {
 		b, err := newBase(opts)
 		if err != nil {
 			return nil, err
 		}
-		return &KV{base: b, tree: btree.New(b.store), opts: opts}, nil
+		kv = &KV{base: b, tree: btree.New(b.store), opts: opts, rec: rec}
+	} else {
+		eng, err := newShardEngine(opts, rec)
+		if err != nil {
+			return nil, err
+		}
+		kv = &KV{eng: eng, opts: opts, rec: rec}
 	}
-	eng, err := newShardEngine(opts)
-	if err != nil {
-		return nil, err
-	}
-	return &KV{eng: eng, opts: opts}, nil
+	registerKV(kv)
+	return kv, nil
 }
 
 // newShardEngine wires the scheme-agnostic sharded engine to this
 // package's store constructors: every shard is a full newBase backend on
 // its own simulated machine, and reattach after a crash goes through the
 // same attachStore path the single-store facade uses.
-func newShardEngine(opts Options) (*shard.Engine, error) {
+func newShardEngine(opts Options, rec *obsv.Recorder) (*shard.Engine, error) {
 	return shard.New(shard.Config{
 		Shards:         opts.Shards,
 		MaxBatch:       opts.MaxBatch,
@@ -396,13 +420,24 @@ func newShardEngine(opts Options) (*shard.Engine, error) {
 		Reattach: func(_ int, be *shard.Backend) (pager.Store, error) {
 			return attachStore(opts, be.Arena)
 		},
+		Recorder: rec,
+		Counters: func(_ int, be *shard.Backend) obsv.Counters {
+			return storeCounters(be.Sys, be.Arena, be.Store)
+		},
 	})
 }
 
 // Close stops a sharded store's writer goroutines after serving every
-// queued operation; on a single store it is a no-op. Submitting
-// operations after Close is a caller error.
+// queued operation and unregisters the store from the metrics exporter.
+// It is idempotent — safe to call twice, concurrently, and after a
+// crashed or degraded shard. Write operations submitted after Close fail
+// with ErrClosed (sharded mode); single-store reads and writes keep
+// working, as the single store holds no goroutines to stop.
 func (kv *KV) Close() {
+	if kv.closed.Swap(true) {
+		return
+	}
+	unregisterKV(kv)
 	if kv.eng != nil {
 		kv.eng.Close()
 	}
@@ -428,17 +463,19 @@ func (kv *KV) MaxBatch() int {
 	return kv.opts.MaxBatch
 }
 
-// Put inserts or replaces key's value in one transaction.
+// Put inserts or replaces key's value in one transaction — a single
+// upsert either way, so per-op phase accounting matches the sharded
+// path's OpPut (which has always upserted inside one transaction) instead
+// of paying Insert-then-Update's two commits on an existing key.
 func (kv *KV) Put(key, val []byte) error {
 	if kv.eng != nil {
 		return kv.eng.Do(Op{Kind: OpPut, Key: key, Val: val})
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	err := kv.tree.Insert(key, val)
-	if errors.Is(err, slotted.ErrDuplicate) {
-		return kv.tree.Update(key, val)
-	}
+	sp := kv.beginOp()
+	err := kv.tree.Put(key, val)
+	kv.endOp(sp, obsv.OpPut)
 	return err
 }
 
@@ -449,7 +486,10 @@ func (kv *KV) Insert(key, val []byte) error {
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return kv.tree.Insert(key, val)
+	sp := kv.beginOp()
+	err := kv.tree.Insert(key, val)
+	kv.endOp(sp, obsv.OpInsert)
+	return err
 }
 
 // Get returns the value stored under key.
@@ -459,7 +499,10 @@ func (kv *KV) Get(key []byte) ([]byte, bool, error) {
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return kv.tree.Get(key)
+	sp := kv.beginOp()
+	v, ok, err := kv.tree.Get(key)
+	kv.endOp(sp, obsv.OpGet)
+	return v, ok, err
 }
 
 // Delete removes key.
@@ -469,7 +512,10 @@ func (kv *KV) Delete(key []byte) error {
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return kv.tree.Delete(key)
+	sp := kv.beginOp()
+	err := kv.tree.Delete(key)
+	kv.endOp(sp, obsv.OpDelete)
+	return err
 }
 
 // ApplyBatch applies ops as group commits of at most Options.MaxBatch
@@ -487,7 +533,11 @@ func (kv *KV) ApplyBatch(ops []Op) []error {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	errs := make([]error, len(ops))
+	sp := kv.beginOp()
 	shard.ApplyOps(kv.tree, kv.opts.MaxBatch, ops, errs)
+	if kv.rec != nil {
+		kv.rec.EndBatch(sp, 0, len(ops), kv.sys.Clock().Now(), storeCounters(kv.sys, kv.arena, kv.store))
+	}
 	return errs
 }
 
@@ -500,7 +550,10 @@ func (kv *KV) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 	}
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
-	return kv.tree.Scan(lo, hi, fn)
+	sp := kv.beginOp()
+	err := kv.tree.Scan(lo, hi, fn)
+	kv.endOp(sp, obsv.OpScan)
+	return err
 }
 
 // ScanReverse visits keys in [lo, hi] in descending order.
@@ -583,11 +636,23 @@ func (kv *KV) Count() (int, error) {
 	return tx.Count()
 }
 
+// checkShard validates a per-shard accessor's index: [0, Shards()), so on
+// a single store only index 0 is accepted (it aliases the whole store).
+func (kv *KV) checkShard(i int) error {
+	if n := kv.Shards(); i < 0 || i >= n {
+		return fmt.Errorf("%w: %d (store has %d shard(s))", ErrBadShard, i, n)
+	}
+	return nil
+}
+
 // Heal re-runs recovery on one shard of a sharded store — the containment
 // path after ErrShardDown: the degraded shard reattaches over its arena
-// while the healthy shards keep serving. On a single store it is
-// equivalent to ReopenKV.
+// while the healthy shards keep serving. On a single store, Heal(0) is
+// equivalent to ReopenKV. An out-of-range index is ErrBadShard.
 func (kv *KV) Heal(i int) error {
+	if err := kv.checkShard(i); err != nil {
+		return err
+	}
 	if kv.eng != nil {
 		return kv.eng.Heal(i)
 	}
@@ -639,14 +704,19 @@ func (kv *KV) System() *pmem.System {
 }
 
 // ShardSystem returns shard i's simulated machine (shard 0 is the only
-// shard of a single store). Crash-injection harnesses arm it before
-// concurrent traffic starts; the machine is only synchronised by the
-// engine's shard lock.
-func (kv *KV) ShardSystem(i int) *pmem.System {
-	if kv.eng != nil {
-		return kv.eng.ShardSys(i)
+// shard of a single store, aliasing System). Crash-injection harnesses
+// arm it before concurrent traffic starts; the machine is only
+// synchronised by the engine's shard lock. An out-of-range index is
+// ErrBadShard — it used to panic (sharded) or silently alias the whole
+// store (single).
+func (kv *KV) ShardSystem(i int) (*pmem.System, error) {
+	if err := kv.checkShard(i); err != nil {
+		return nil, err
 	}
-	return kv.base.System()
+	if kv.eng != nil {
+		return kv.eng.ShardSys(i), nil
+	}
+	return kv.base.System(), nil
 }
 
 // RawStore exposes the underlying pager store for inspection tooling.
@@ -658,12 +728,17 @@ func (kv *KV) RawStore() pager.Store {
 	return kv.base.RawStore()
 }
 
-// ShardStore returns shard i's pager store for inspection tooling.
-func (kv *KV) ShardStore(i int) pager.Store {
-	if kv.eng != nil {
-		return kv.eng.ShardStore(i)
+// ShardStore returns shard i's pager store for inspection tooling (shard
+// 0 of a single store aliases RawStore). An out-of-range index is
+// ErrBadShard.
+func (kv *KV) ShardStore(i int) (pager.Store, error) {
+	if err := kv.checkShard(i); err != nil {
+		return nil, err
 	}
-	return kv.base.RawStore()
+	if kv.eng != nil {
+		return kv.eng.ShardStore(i), nil
+	}
+	return kv.base.RawStore(), nil
 }
 
 // SimulatedNS returns the simulated time: on a sharded store, the slowest
@@ -700,16 +775,19 @@ type ShardInfo = shard.Info
 // ShardStats returns shard i's simulated time, op/batch counters, PM
 // stats, and phase breakdown. On a single store, shard 0 reports the
 // whole store (with no batch counters — group commit is a sharded-engine
-// notion there).
-func (kv *KV) ShardStats(i int) ShardInfo {
+// notion there). An out-of-range index is ErrBadShard.
+func (kv *KV) ShardStats(i int) (ShardInfo, error) {
+	if err := kv.checkShard(i); err != nil {
+		return ShardInfo{}, err
+	}
 	if kv.eng != nil {
-		return kv.eng.ShardInfo(i)
+		return kv.eng.ShardInfo(i), nil
 	}
 	return ShardInfo{
 		SimNS:  kv.base.SimulatedNS(),
 		PM:     kv.base.PMStats(),
 		Phases: kv.base.System().Clock().Phases(),
-	}
+	}, nil
 }
 
 // EngineStats aggregates the sharded engine's counters (zero value on a
@@ -722,8 +800,12 @@ func (kv *KV) EngineStats() shard.Stats {
 }
 
 // ShardScan visits shard i's records in [lo, hi] in ascending order —
-// per-shard contents for tooling and the golden determinism tests.
+// per-shard contents for tooling and the golden determinism tests. An
+// out-of-range index is ErrBadShard.
 func (kv *KV) ShardScan(i int, lo, hi []byte, fn func(k, v []byte) bool) error {
+	if err := kv.checkShard(i); err != nil {
+		return err
+	}
 	if kv.eng != nil {
 		return kv.eng.ScanShard(i, lo, hi, fn)
 	}

@@ -88,6 +88,14 @@ func (t *Tree) Update(key, val []byte) error {
 	return t.inTx(func(tx *Tx) error { return tx.Update(key, val) })
 }
 
+// Put runs a single-upsert transaction: insert, or replace on duplicate —
+// one transaction (one commit, one simulated-time accounting unit) either
+// way, unlike an Insert-then-Update pair at this level, which would pay
+// the commit protocol twice for one logical op.
+func (t *Tree) Put(key, val []byte) error {
+	return t.inTx(func(tx *Tx) error { return tx.Put(key, val) })
+}
+
 // Delete runs a single-delete transaction.
 func (t *Tree) Delete(key []byte) error {
 	return t.inTx(func(tx *Tx) error { return tx.Delete(key) })
@@ -313,6 +321,18 @@ func (x *Tx) insertAt(path []pathElem, key, val []byte) error {
 	default:
 		return err
 	}
+}
+
+// Put upserts inside the transaction: insert, or replace the value on a
+// duplicate key. The duplicate probe is Insert's own (it reports
+// ErrDuplicate before mutating anything), so Put costs exactly an Insert
+// when the key is new and an Insert-probe plus an Update when it exists.
+func (x *Tx) Put(key, val []byte) error {
+	err := x.Insert(key, val)
+	if errors.Is(err, slotted.ErrDuplicate) {
+		return x.Update(key, val)
+	}
+	return err
 }
 
 // Update replaces the value under key (out of place at the page level).

@@ -77,11 +77,7 @@ func benign(err error) bool {
 func applyTxOp(tx *btree.Tx, op *Op) error {
 	switch op.Kind {
 	case OpPut:
-		err := tx.Insert(op.Key, op.Val)
-		if errors.Is(err, slotted.ErrDuplicate) {
-			return tx.Update(op.Key, op.Val)
-		}
-		return err
+		return tx.Put(op.Key, op.Val)
 	case OpInsert:
 		return tx.Insert(op.Key, op.Val)
 	case OpUpdate:
@@ -97,11 +93,7 @@ func applyTxOp(tx *btree.Tx, op *Op) error {
 func applySingle(tree *btree.Tree, op *Op) error {
 	switch op.Kind {
 	case OpPut:
-		err := tree.Insert(op.Key, op.Val)
-		if errors.Is(err, slotted.ErrDuplicate) {
-			return tree.Update(op.Key, op.Val)
-		}
-		return err
+		return tree.Put(op.Key, op.Val)
 	case OpInsert:
 		return tree.Insert(op.Key, op.Val)
 	case OpUpdate:

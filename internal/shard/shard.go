@@ -5,9 +5,11 @@ import (
 	"errors"
 	"fmt"
 	"sync"
+	"sync/atomic"
 	"time"
 
 	"fasp/internal/btree"
+	"fasp/internal/obsv"
 	"fasp/internal/pager"
 	"fasp/internal/pmem"
 )
@@ -42,6 +44,12 @@ var ErrShardDown = errors.New("shard: writer faulted; shard degraded until heale
 // oversubscribed. The submission is not applied.
 var ErrBusy = errors.New("shard: mailbox full; enqueue timed out")
 
+// ErrClosed is returned for write operations submitted after Close: the
+// writer goroutines have exited and nothing will serve the mailbox. The
+// submission is not applied. (Reads keep working — they never needed a
+// writer.)
+var ErrClosed = errors.New("shard: engine closed")
+
 // Backend is one shard's independent store: its own simulated machine,
 // PM arena, and commit-scheme store. The engine owns all access to it.
 type Backend struct {
@@ -68,6 +76,15 @@ type Config struct {
 	// Reattach rebuilds shard i's store over its surviving arena after a
 	// crash and runs the scheme's recovery.
 	Reattach func(i int, be *Backend) (pager.Store, error)
+	// Recorder, when set, observes the engine: per-op wall latency at the
+	// mailbox, per-batch simulated time and commit-path events at the
+	// writer, batch-size and mailbox-depth distributions.
+	Recorder *obsv.Recorder
+	// Counters snapshots shard i's commit-path event counters (clflush,
+	// fence, HTM, log appends) so the recorder can observe per-batch
+	// deltas. The facade supplies the scheme-aware bridge; nil means event
+	// deltas are not recorded.
+	Counters func(i int, be *Backend) obsv.Counters
 }
 
 func (c *Config) fill() error {
@@ -178,12 +195,36 @@ type state struct {
 	mail chan *request
 	quit chan struct{}
 	done chan struct{}
+
+	// rec/evFn are the observability hooks (nil when metrics are off).
+	// evFn is bound once at construction; it reads be.Store at call time,
+	// so it stays correct across Heal's store replacement.
+	rec  *obsv.Recorder
+	evFn func() obsv.Counters
+}
+
+// counters snapshots the shard's commit-path event counters (zero when no
+// bridge is configured). Callers hold s.mu.
+func (s *state) counters() obsv.Counters {
+	if s.evFn == nil {
+		return obsv.Counters{}
+	}
+	return s.evFn()
+}
+
+// kindOp maps an OpKind to its observability label.
+var kindOp = [4]obsv.Op{
+	OpPut:    obsv.OpPut,
+	OpInsert: obsv.OpInsert,
+	OpUpdate: obsv.OpUpdate,
+	OpDelete: obsv.OpDelete,
 }
 
 // Engine is the sharded store engine.
 type Engine struct {
 	cfg       Config
 	shards    []*state
+	closed    atomic.Bool
 	closeOnce sync.Once
 }
 
@@ -198,14 +239,20 @@ func New(cfg Config) (*Engine, error) {
 		if err != nil {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
-		e.shards[i] = &state{
+		s := &state{
 			id:   i,
 			be:   be,
 			tree: btree.New(be.Store),
 			mail: make(chan *request, cfg.Mailbox),
 			quit: make(chan struct{}),
 			done: make(chan struct{}),
+			rec:  cfg.Recorder,
 		}
+		if cfg.Recorder != nil && cfg.Counters != nil {
+			i, be := i, be
+			s.evFn = func() obsv.Counters { return cfg.Counters(i, be) }
+		}
+		e.shards[i] = s
 	}
 	for _, s := range e.shards {
 		go s.run(cfg.MaxBatch)
@@ -235,9 +282,12 @@ func (e *Engine) ShardFor(key []byte) int {
 }
 
 // Close stops the writer goroutines after serving every queued request.
-// Submitting operations after (or concurrently with) Close is a caller
-// error: there is no writer left to serve them.
+// It is idempotent, and safe to call while shards are crashed or degraded
+// (their writers still drain, reporting errors). Write operations
+// submitted after Close fail with ErrClosed instead of deadlocking on an
+// unserved mailbox; reads keep working.
 func (e *Engine) Close() {
+	e.closed.Store(true)
 	e.closeOnce.Do(func() {
 		for _, s := range e.shards {
 			close(s.quit)
@@ -247,6 +297,9 @@ func (e *Engine) Close() {
 		}
 	})
 }
+
+// Closed reports whether Close has begun.
+func (e *Engine) Closed() bool { return e.closed.Load() }
 
 // ApplyBatch partitions ops by shard and applies each shard's sub-batch —
 // in submission order, in ascending shard order, as group commits of at
@@ -319,9 +372,27 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 		}
 		return
 	}
+	var sp obsv.Span
+	if s.rec != nil {
+		sp = s.rec.Begin(s.be.Sys.Clock().Now(), s.counters())
+	}
 	crashed, fault := s.runContained(func() {
 		s.batches += ApplyOps(s.tree, maxBatch, ops, errs)
 	})
+	if s.rec != nil {
+		// One group commit observed: batch size, wall/sim latency, and the
+		// commit-path event delta; the batch's simulated time is spread
+		// evenly over its ops for the per-kind distributions. Pure reads of
+		// the machine's counters — the simulated clock never advances here,
+		// so the golden determinism files are untouched.
+		simD := s.rec.EndBatch(sp, int32(s.id), len(ops), s.be.Sys.Clock().Now(), s.counters())
+		if n := int64(len(ops)); n > 0 {
+			per := simD / n
+			for i := range ops {
+				s.rec.ObserveSim(kindOp[ops[i].Kind], per)
+			}
+		}
+	}
 	if fault != nil {
 		// The batch died mid-apply; like a crash, nothing in it can be
 		// acknowledged. The shard stops serving until Heal re-runs
@@ -367,7 +438,15 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 	if err := s.unavailable(); err != nil {
 		return nil, false, err
 	}
-	return s.tree.Get(key)
+	var sp obsv.Span
+	if s.rec != nil {
+		sp = s.rec.Begin(s.be.Sys.Clock().Now(), obsv.Counters{})
+	}
+	v, ok, err := s.tree.Get(key)
+	if s.rec != nil {
+		s.rec.End(sp, obsv.OpGet, int32(s.id), s.be.Sys.Clock().Now(), obsv.Counters{})
+	}
+	return v, ok, err
 }
 
 // kvPair is one collected scan record (copies: the underlying page bytes
@@ -624,6 +703,33 @@ func (e *Engine) Stats() Stats {
 		}
 	}
 	return st
+}
+
+// Gauges returns one health/throughput gauge per shard for the metrics
+// exporter, each read under its shard's lock.
+func (e *Engine) Gauges() []obsv.ShardGauge {
+	out := make([]obsv.ShardGauge, len(e.shards))
+	for i, s := range e.shards {
+		s.mu.Lock()
+		health := Healthy
+		switch {
+		case s.crashed:
+			health = Crashed
+		case s.degraded:
+			health = Degraded
+		}
+		out[i] = obsv.ShardGauge{
+			Shard:   i,
+			Health:  health.String(),
+			Ops:     s.ops,
+			Batches: s.batches,
+			SimNS:   s.be.Sys.Clock().Now(),
+			Flushes: s.be.Arena.Stats().FlushCalls,
+			Fences:  s.be.Sys.Fences(),
+		}
+		s.mu.Unlock()
+	}
+	return out
 }
 
 // Phases sums the per-shard simulated-time phase breakdowns.

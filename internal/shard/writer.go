@@ -67,6 +67,8 @@ func (s *state) run(maxBatch int) {
 // serve flattens a drained request set into one op slice, applies it as a
 // group commit, and distributes the per-op errors back to each request.
 func (s *state) serve(maxBatch int, reqs []*request, ops *[]Op, errs *[]error) {
+	// Mailbox depth at drain time: how far the writer is behind its clients.
+	s.rec.ObserveMailDepth(len(s.mail))
 	flat := (*ops)[:0]
 	for _, r := range reqs {
 		flat = append(flat, r.ops...)
@@ -88,23 +90,63 @@ func (s *state) serve(maxBatch int, reqs []*request, ops *[]Op, errs *[]error) {
 // submit enqueues ops on shard si's mailbox and waits for the verdicts,
 // copying them into out (len(ops)). A mailbox that stays full for the
 // whole enqueue timeout fails the submission with ErrBusy instead of
-// blocking the caller forever on a wedged writer.
+// blocking the caller forever on a wedged writer, and a submission racing
+// (or following) Close fails with ErrClosed instead of deadlocking on a
+// mailbox no writer will ever drain again.
 func (e *Engine) submit(si int, ops []Op, out []error) {
 	s := e.shards[si]
+	var t0 time.Time
+	if s.rec != nil {
+		t0 = time.Now()
+	}
+	if e.closed.Load() {
+		failAll(s, out, ErrClosed)
+		return
+	}
 	r := reqPool.Get().(*request)
 	r.ops = append(r.ops[:0], ops...)
 	r.errs = append(r.errs[:0], make([]error, len(ops))...)
 	if !e.enqueue(s, r) {
-		err := fmt.Errorf("shard %d: %w", s.id, ErrBusy)
-		for i := range out {
-			out[i] = err
+		cause := ErrBusy
+		if e.closed.Load() {
+			cause = ErrClosed
 		}
 		reqPool.Put(r)
+		failAll(s, out, cause)
 		return
 	}
-	<-r.done
+	select {
+	case <-r.done:
+	case <-s.done:
+		// The writer exited. Its shutdown path drains the backlog before
+		// closing done, so our reply may already be buffered; otherwise the
+		// request slipped into the mailbox after the final drain and will
+		// never be served. The unserved request stays out of the pool — the
+		// mailbox still references it.
+		select {
+		case <-r.done:
+		default:
+			failAll(s, out, ErrClosed)
+			return
+		}
+	}
 	copy(out, r.errs)
 	reqPool.Put(r)
+	if s.rec != nil {
+		// Client-perceived wall latency: queueing plus the group commit.
+		wall := time.Since(t0).Nanoseconds()
+		for i := range ops {
+			s.rec.ObserveWall(kindOp[ops[i].Kind], int32(s.id), wall)
+		}
+	}
+}
+
+// failAll reports one error for every op of a failed submission.
+func failAll(s *state, out []error, cause error) {
+	err := fmt.Errorf("shard %d: %w", s.id, cause)
+	for i := range out {
+		out[i] = err
+	}
 }
 
 // enqueue places r on s's mailbox, backing off exponentially (1 ms
@@ -119,6 +161,9 @@ func (e *Engine) enqueue(s *state, r *request) bool {
 	deadline := time.Now().Add(e.cfg.EnqueueTimeout)
 	backoff := time.Millisecond
 	for {
+		if e.closed.Load() {
+			return false
+		}
 		wait := backoff
 		if left := time.Until(deadline); left <= 0 {
 			return false

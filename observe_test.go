@@ -1,0 +1,391 @@
+package fasp
+
+import (
+	"bytes"
+	"encoding/json"
+	"errors"
+	"io"
+	"net/http"
+	"strings"
+	"testing"
+	"time"
+
+	"fasp/internal/obsv"
+)
+
+// TestBadShardIndex pins the API-edge fix: out-of-range shard indexes used
+// to panic on a sharded store and silently alias the whole store on a
+// single one. Every per-shard accessor now validates and returns
+// ErrBadShard in both modes.
+func TestBadShardIndex(t *testing.T) {
+	check := func(t *testing.T, kv *KV, bad []int) {
+		t.Helper()
+		for _, i := range bad {
+			if _, err := kv.ShardStats(i); !errors.Is(err, ErrBadShard) {
+				t.Errorf("ShardStats(%d) = %v, want ErrBadShard", i, err)
+			}
+			if _, err := kv.ShardSystem(i); !errors.Is(err, ErrBadShard) {
+				t.Errorf("ShardSystem(%d) = %v, want ErrBadShard", i, err)
+			}
+			if _, err := kv.ShardStore(i); !errors.Is(err, ErrBadShard) {
+				t.Errorf("ShardStore(%d) = %v, want ErrBadShard", i, err)
+			}
+			if err := kv.Heal(i); !errors.Is(err, ErrBadShard) {
+				t.Errorf("Heal(%d) = %v, want ErrBadShard", i, err)
+			}
+			if err := kv.ShardScan(i, nil, nil, func(_, _ []byte) bool { return true }); !errors.Is(err, ErrBadShard) {
+				t.Errorf("ShardScan(%d) = %v, want ErrBadShard", i, err)
+			}
+		}
+		// Every in-range index works.
+		for i := 0; i < kv.Shards(); i++ {
+			if _, err := kv.ShardStats(i); err != nil {
+				t.Errorf("ShardStats(%d): %v", i, err)
+			}
+			if sys, err := kv.ShardSystem(i); err != nil || sys == nil {
+				t.Errorf("ShardSystem(%d) = %v, %v", i, sys, err)
+			}
+			if st, err := kv.ShardStore(i); err != nil || st == nil {
+				t.Errorf("ShardStore(%d) = %v, %v", i, st, err)
+			}
+		}
+	}
+
+	t.Run("sharded", func(t *testing.T) {
+		kv, err := OpenKV(Options{Shards: 4, PageSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kv.Close()
+		check(t, kv, []int{-1, 4, 100})
+	})
+	t.Run("single", func(t *testing.T) {
+		kv, err := OpenKV(Options{PageSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kv.Close()
+		check(t, kv, []int{-1, 1, 7})
+		// Index 0 of a single store aliases the whole store.
+		if sys, err := kv.ShardSystem(0); err != nil || sys != kv.System() {
+			t.Errorf("ShardSystem(0) should alias System(): %v, %v", sys, err)
+		}
+	})
+}
+
+// TestKVCloseIdempotent pins the Close fix: Close is safe to call twice
+// (and concurrently with traffic), and sharded submissions after Close
+// fail fast with ErrClosed instead of deadlocking on a dead writer.
+func TestKVCloseIdempotent(t *testing.T) {
+	t.Run("sharded", func(t *testing.T) {
+		kv, err := OpenKV(Options{Shards: 3, PageSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Put(k(1), v(1)); err != nil {
+			t.Fatal(err)
+		}
+		kv.Close()
+		kv.Close() // second Close must be a no-op
+
+		done := make(chan error, 1)
+		go func() { done <- kv.Put(k(2), v(2)) }()
+		select {
+		case err := <-done:
+			if !errors.Is(err, ErrClosed) {
+				t.Fatalf("Put after Close = %v, want ErrClosed", err)
+			}
+		case <-time.After(5 * time.Second):
+			t.Fatal("Put after Close deadlocked")
+		}
+	})
+	t.Run("single", func(t *testing.T) {
+		kv, err := OpenKV(Options{PageSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := kv.Put(k(1), v(1)); err != nil {
+			t.Fatal(err)
+		}
+		kv.Close()
+		kv.Close()
+		// A single store holds no goroutines; post-Close ops keep working.
+		if err := kv.Put(k(2), v(2)); err != nil {
+			t.Fatalf("single-store Put after Close: %v", err)
+		}
+	})
+	t.Run("after-crashed-shard", func(t *testing.T) {
+		kv, err := OpenKV(Options{Shards: 2, PageSize: 1024})
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys, err := kv.ShardSystem(0)
+		if err != nil {
+			t.Fatal(err)
+		}
+		sys.CrashAfter(50) // fail shard 0 inside an early batch
+		sawCrash := false
+		for i := 0; i < 500 && !sawCrash; i++ {
+			if err := kv.Put(k(i), v(i)); errors.Is(err, ErrShardCrashed) {
+				sawCrash = true
+			}
+		}
+		if !sawCrash {
+			t.Fatal("crash injector never fired")
+		}
+		// Close with one shard crashed must neither hang nor panic — twice.
+		closed := make(chan struct{})
+		go func() { kv.Close(); kv.Close(); close(closed) }()
+		select {
+		case <-closed:
+		case <-time.After(5 * time.Second):
+			t.Fatal("Close after shard crash hung")
+		}
+	})
+}
+
+// TestPutSingleTransaction pins the upsert fix with the determinism
+// machinery: KV.Put on an existing key must cost exactly the simulated
+// time of one upsert transaction (tree.Put), not an aborted Insert plus a
+// separate Update transaction as before.
+func TestPutSingleTransaction(t *testing.T) {
+	open := func() *KV {
+		kv, err := OpenKV(Options{PageSize: 1024, DisableMetrics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		t.Cleanup(kv.Close)
+		return kv
+	}
+
+	// Store A: public API, duplicate Put.
+	a := open()
+	if err := a.Put(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := a.Put(k(1), v(2)); err != nil {
+		t.Fatal(err)
+	}
+	got, ok, err := a.Get(k(1))
+	if err != nil || !ok || !bytes.Equal(got, v(2)) {
+		t.Fatalf("after duplicate Put: %q %v %v", got, ok, err)
+	}
+
+	// Store B: reference machine driving the tree's single-transaction
+	// upsert directly. Identical op sequence on an identical machine, so
+	// the simulated clocks must agree exactly.
+	b := open()
+	if err := b.tree.Put(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := b.tree.Put(k(1), v(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := b.tree.Get(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	if a.SimulatedNS() != b.SimulatedNS() {
+		t.Fatalf("KV.Put is not a single upsert transaction: sim %d ns vs reference %d ns",
+			a.SimulatedNS(), b.SimulatedNS())
+	}
+
+	// Store C: the old two-transaction sequence (failed Insert, then
+	// Update) must cost strictly more — proving this test detects the
+	// regression it pins.
+	c := open()
+	if err := c.tree.Insert(k(1), v(1)); err != nil {
+		t.Fatal(err)
+	}
+	if err := c.tree.Insert(k(1), v(2)); err == nil {
+		t.Fatal("duplicate insert succeeded")
+	}
+	if err := c.tree.Update(k(1), v(2)); err != nil {
+		t.Fatal(err)
+	}
+	if _, _, err := c.tree.Get(k(1)); err != nil {
+		t.Fatal(err)
+	}
+	if c.SimulatedNS() <= a.SimulatedNS() {
+		t.Fatalf("two-txn sequence (%d ns) not costlier than upsert (%d ns) — test cannot detect regressions",
+			c.SimulatedNS(), a.SimulatedNS())
+	}
+}
+
+// TestKVMetrics exercises the facade surface in both modes plus the
+// disabled path.
+func TestKVMetrics(t *testing.T) {
+	t.Run("single", func(t *testing.T) {
+		kv, err := OpenKV(Options{PageSize: 1024, MetricsSampleEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kv.Close()
+		const n = 50
+		for i := 0; i < n; i++ {
+			if err := kv.Put(k(i), v(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		if _, _, err := kv.Get(k(3)); err != nil {
+			t.Fatal(err)
+		}
+		m := kv.Metrics()
+		if got := m.OpStats(obsv.OpPut); got.Count != n || got.SimP50NS <= 0 {
+			t.Fatalf("put stats = %+v", got)
+		}
+		if m.OpStats(obsv.OpGet).Count != 1 {
+			t.Fatalf("get count = %d", m.OpStats(obsv.OpGet).Count)
+		}
+		if m.Events.Flush <= 0 || m.Events.Fence <= 0 {
+			t.Fatalf("commit-path events not bridged: %+v", m.Events)
+		}
+		if m.FlushPer.Count != n {
+			t.Fatalf("per-txn flush histogram count = %d, want %d", m.FlushPer.Count, n)
+		}
+		if len(kv.TraceSample()) == 0 {
+			t.Fatal("no trace samples at SampleEvery=1")
+		}
+	})
+	t.Run("sharded", func(t *testing.T) {
+		kv, err := OpenKV(Options{Shards: 4, PageSize: 1024, MetricsSampleEvery: 1})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kv.Close()
+		const n = 200
+		for i := 0; i < n; i++ {
+			if err := kv.Put(k(i), v(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := kv.Metrics()
+		if got := m.OpStats(obsv.OpPut); got.Count != n {
+			t.Fatalf("put wall count = %d, want %d", got.Count, n)
+		}
+		if m.Batches <= 0 || m.BatchSize.Count != m.Batches {
+			t.Fatalf("batch accounting: %+v", m)
+		}
+		if m.Events.Flush <= 0 {
+			t.Fatalf("events not bridged: %+v", m.Events)
+		}
+		if len(kv.TraceSample()) == 0 {
+			t.Fatal("no trace samples")
+		}
+	})
+	t.Run("disabled", func(t *testing.T) {
+		kv, err := OpenKV(Options{Shards: 2, PageSize: 1024, DisableMetrics: true})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kv.Close()
+		for i := 0; i < 20; i++ {
+			if err := kv.Put(k(i), v(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		m := kv.Metrics()
+		if len(m.Ops) != 0 || m.Batches != 0 || m.Seen != 0 {
+			t.Fatalf("disabled metrics recorded: %+v", m)
+		}
+		if kv.TraceSample() != nil || kv.SlowOps() != nil {
+			t.Fatal("disabled store returned samples")
+		}
+	})
+}
+
+// TestServeMetricsScrape spins up the exporter on an ephemeral port and
+// asserts the acceptance criteria: valid Prometheus text carrying per-shard
+// op counts and the batch-size histogram for a 4-shard store.
+func TestServeMetricsScrape(t *testing.T) {
+	kv, err := OpenKV(Options{Shards: 4, PageSize: 1024})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+	for i := 0; i < 100; i++ {
+		if err := kv.Put(k(i), v(i)); err != nil {
+			t.Fatal(err)
+		}
+	}
+
+	srv, err := ServeMetrics("127.0.0.1:0")
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer srv.Close()
+
+	resp, err := http.Get("http://" + srv.Addr() + "/metrics")
+	if err != nil {
+		t.Fatal(err)
+	}
+	body, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil || resp.StatusCode != http.StatusOK {
+		t.Fatalf("scrape: status=%d err=%v", resp.StatusCode, err)
+	}
+	if err := obsv.ValidatePrometheus(body); err != nil {
+		t.Fatalf("exposition invalid: %v\n%s", err, body)
+	}
+	text := string(body)
+	for _, want := range []string{
+		"fasp_shard_ops_total", "fasp_batch_size_bucket",
+		"fasp_ops_total", "fasp_shard_healthy",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("series %q missing from /metrics", want)
+		}
+	}
+	// All four shards are present and healthy.
+	for _, shard := range []string{`shard="0"`, `shard="1"`, `shard="2"`, `shard="3"`} {
+		if !strings.Contains(text, shard) {
+			t.Errorf("per-shard series for %s missing", shard)
+		}
+	}
+
+	// The expvar mirror parses as JSON and carries this store.
+	resp, err = http.Get("http://" + srv.Addr() + "/debug/vars")
+	if err != nil {
+		t.Fatal(err)
+	}
+	vars, err := io.ReadAll(resp.Body)
+	resp.Body.Close()
+	if err != nil {
+		t.Fatal(err)
+	}
+	var decoded map[string]json.RawMessage
+	if err := json.Unmarshal(vars, &decoded); err != nil {
+		t.Fatalf("/debug/vars is not JSON: %v", err)
+	}
+	if _, ok := decoded["fasp"]; !ok {
+		t.Fatal("/debug/vars has no fasp variable")
+	}
+}
+
+// TestMetricsAllocParity is the differential allocation guard: a
+// metrics-enabled store must allocate exactly as much per read as a
+// disabled one — the instrumentation layer itself adds zero heap
+// allocations (proven directly in internal/obsv; this pins the wiring).
+func TestMetricsAllocParity(t *testing.T) {
+	measure := func(disable bool) float64 {
+		kv, err := OpenKV(Options{PageSize: 1024, DisableMetrics: disable})
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer kv.Close()
+		for i := 0; i < 100; i++ {
+			if err := kv.Put(k(i), v(i)); err != nil {
+				t.Fatal(err)
+			}
+		}
+		key := k(42)
+		return testing.AllocsPerRun(500, func() {
+			if _, _, err := kv.Get(key); err != nil {
+				t.Fatal(err)
+			}
+		})
+	}
+	on, off := measure(false), measure(true)
+	if on != off {
+		t.Fatalf("metrics-enabled Get allocates %v/op vs %v/op disabled — instrumentation leaks allocations", on, off)
+	}
+}

@@ -36,7 +36,11 @@ func TestZeroLatencySentinel(t *testing.T) {
 	}
 	defer skv.Close()
 	for i := 0; i < skv.Shards(); i++ {
-		lat := skv.ShardSystem(i).Latencies()
+		sys, err := skv.ShardSystem(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		lat := sys.Latencies()
 		if lat.PMRead != 0 || lat.PMWrite != 0 {
 			t.Fatalf("shard %d: sentinel lost: %+v", i, lat)
 		}
@@ -113,7 +117,10 @@ func TestShardedKVBasics(t *testing.T) {
 	}
 	var ops int64
 	for i := 0; i < kv.Shards(); i++ {
-		in := kv.ShardStats(i)
+		in, err := kv.ShardStats(i)
+		if err != nil {
+			t.Fatal(err)
+		}
 		if in.SimNS == 0 {
 			t.Fatalf("shard %d idle — routing broken", i)
 		}

@@ -231,12 +231,15 @@ func OpenSnapshotKV(path string, opts Options) (*KV, error) {
 			return nil, err
 		}
 		opts.fill()
-		return &KV{base: b, tree: btree.New(b.store), opts: opts}, nil
+		kv := &KV{base: b, tree: btree.New(b.store), opts: opts, rec: newRecorder(opts)}
+		registerKV(kv)
+		return kv, nil
 	}
 	opts.Shards = hdr.Shards
 	opts.MaxBatch = hdr.MaxBatch
 	opts.fill()
-	eng, err := newShardEngine(opts)
+	rec := newRecorder(opts)
+	eng, err := newShardEngine(opts, rec)
 	if err != nil {
 		return nil, err
 	}
@@ -256,7 +259,9 @@ func OpenSnapshotKV(path string, opts Options) (*KV, error) {
 		eng.Close()
 		return nil, err
 	}
-	return &KV{eng: eng, opts: opts}, nil
+	kv := &KV{eng: eng, opts: opts, rec: rec}
+	registerKV(kv)
+	return kv, nil
 }
 
 // OpenSnapshotHash loads a hash index saved with Save.
