@@ -1,7 +1,7 @@
 GO ?= go
 N  ?= 20000
 
-.PHONY: all build vet test race crashx obsv bench bench-json clean
+.PHONY: all build vet test race crashx obsv bench bench-json readbench clean
 
 all: vet build test
 
@@ -45,5 +45,13 @@ CLIENTS ?= 8
 bench-json:
 	$(GO) run ./cmd/faspbench -benchjson BENCH_PR2.json $(if $(BASELINE),-baseline $(BASELINE)) -n $(N) -shards $(SHARDS) -clients $(CLIENTS)
 
+# Read-scaling series: mixed read/write workload swept over reader counts
+# and read fractions, optimistic vs locked arms, plus the single-reader
+# latency-parity check (see DESIGN.md §10).
+READERS  ?= 1,2,4,8
+READFRAC ?= 0.5,0.95
+readbench:
+	$(GO) run ./cmd/faspbench -readbench BENCH_PR5.json -n $(N) -readers $(READERS) -readfrac $(READFRAC)
+
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR5.json

@@ -35,8 +35,29 @@ func main() {
 		maxBatch  = flag.Int("maxbatch", 0, "with -shards: group-commit drain bound (0 = default)")
 		mAddr     = flag.String("metrics-addr", "", "with -shards: serve /metrics on this address during the sharded run (e.g. 127.0.0.1:0)")
 		scrape    = flag.Bool("scrape", false, "with -metrics-addr: self-scrape /metrics once and validate the Prometheus text (CI smoke)")
+		readbench = flag.String("readbench", "", "write the read-scaling benchmark JSON to this file ('-' = stdout)")
+		readfrac  = flag.String("readfrac", "0.5,0.95", "with -readbench: comma list of read fractions of the mixed workload")
+		readers   = flag.String("readers", "1,2,4,8", "with -readbench: comma list of reader goroutine counts to sweep")
 	)
 	flag.Parse()
+
+	if *readbench != "" {
+		rl, err := parseIntList(*readers)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: -readers: %v\n", err)
+			os.Exit(2)
+		}
+		fl, err := parseFloatList(*readfrac)
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: -readfrac: %v\n", err)
+			os.Exit(2)
+		}
+		if err := runReadBench(*readbench, *n, *pageSize, *seed, *shards, *maxBatch, rl, fl); err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: readbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *benchJSON != "" {
 		if err := runBenchJSON(*benchJSON, *baseline, *n, *pageSize, *seed, *shards, *clients, *maxBatch, *mAddr, *scrape); err != nil {

@@ -1,0 +1,289 @@
+package main
+
+// Read-heavy benchmark mode (-readbench): measures the optimistic
+// concurrent read path through the public facade. Each point preloads a
+// sharded KV, then runs a mixed phase — one writer goroutine issuing Puts,
+// R reader goroutines issuing Gets over the preloaded keys — and reports
+// both wall-clock and simulated read throughput.
+//
+// Two arms per read fraction, each swept over the reader counts. Simulated
+// elapsed time for a point is max(read work / R, slowest shard's clock
+// delta). In the locked arm (DisableOptimisticReads — the pre-optimisation
+// baseline) every read serialises behind its shard's lock and advances that
+// shard's clock, so the second term grows with read volume and caps the
+// scaling. In the optimistic arm reads are invisible to shard clocks, so
+// the floor is only the write traffic and read throughput scales with R.
+// The single-reader optimistic-vs-locked comparison is the latency-parity
+// check; the optimistic reader sweep is the scaling series.
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"runtime"
+	"strconv"
+	"strings"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fasp"
+	"fasp/internal/obsv"
+	"fasp/internal/shard"
+)
+
+// ReadBenchPoint is one (readFrac, readers, arm) measurement.
+type ReadBenchPoint struct {
+	Shards   int     `json:"shards"`
+	ReadFrac float64 `json:"read_frac"`
+	Readers  int     `json:"readers"`
+	// Locked marks the DisableOptimisticReads baseline arm.
+	Locked bool `json:"locked,omitempty"`
+	Reads  int  `json:"reads"`
+	Writes int  `json:"writes"`
+	// Wall-clock view (host-dependent).
+	WallNsPerRead     float64 `json:"wall_ns_per_read"`
+	WallReadOpsPerSec float64 `json:"wall_read_ops_per_sec"`
+	// Simulated view (machine-independent).
+	SimMeanReadNS    float64 `json:"sim_mean_read_ns"`
+	SimReadWorkNS    int64   `json:"sim_read_work_ns"`
+	SimWriteDeltaNS  int64   `json:"sim_write_delta_ns"`
+	SimElapsedNS     int64   `json:"sim_elapsed_ns"`
+	SimReadOpsPerSec float64 `json:"sim_read_ops_per_sec"`
+	// SimSpeedup is vs this frac+arm's first (fewest-readers) point.
+	SimSpeedup float64 `json:"sim_speedup,omitempty"`
+	// Read-path shape from the recorder.
+	GetOptimistic int64 `json:"get_optimistic"`
+	GetLocked     int64 `json:"get_locked"`
+	GetRetries    int64 `json:"get_retries"`
+}
+
+// ReadParity compares single-reader simulated read latency across arms.
+type ReadParity struct {
+	ReadFrac        float64 `json:"read_frac"`
+	OptimisticSimNS float64 `json:"optimistic_sim_mean_ns"`
+	LockedSimNS     float64 `json:"locked_sim_mean_ns"`
+	// RatioPct = optimistic / locked × 100 (≈100 means cost parity).
+	RatioPct float64 `json:"ratio_pct"`
+}
+
+// ReadBenchReport is the JSON document emitted by -readbench.
+type ReadBenchReport struct {
+	Generated string           `json:"generated"`
+	GoVersion string           `json:"go_version"`
+	CPUs      int              `json:"cpus"`
+	N         int              `json:"n"`
+	PageSize  int              `json:"page_size"`
+	Seed      int64            `json:"seed"`
+	Shards    int              `json:"shards"`
+	MaxBatch  int              `json:"max_batch"`
+	Points    []ReadBenchPoint `json:"points"`
+	Parity    []ReadParity     `json:"parity"`
+}
+
+func rbKey(i int) []byte { return []byte(fmt.Sprintf("rb%08d", i)) }
+
+// runReadBenchPoint preloads n records into a fresh store and runs the
+// mixed read/write phase for one parameter combination.
+func runReadBenchPoint(n, pageSize int, shards, maxBatch, readers int, readFrac float64, locked bool) (ReadBenchPoint, error) {
+	pt := ReadBenchPoint{Shards: shards, ReadFrac: readFrac, Readers: readers, Locked: locked}
+	kv, err := fasp.OpenKV(fasp.Options{
+		Scheme: "fast+", PageSize: pageSize, Shards: shards, MaxBatch: maxBatch,
+		DisableOptimisticReads: locked,
+	})
+	if err != nil {
+		return pt, err
+	}
+	defer kv.Close()
+
+	val := make([]byte, 64)
+	for i := range val {
+		val[i] = byte('a' + i%26)
+	}
+	preload := make([]shard.Op, n)
+	for i := 0; i < n; i++ {
+		preload[i] = shard.Op{Kind: shard.OpPut, Key: rbKey(i), Val: val}
+	}
+	for _, err := range kv.ApplyBatch(preload) {
+		if err != nil {
+			return pt, fmt.Errorf("preload: %w", err)
+		}
+	}
+
+	// readFrac == 1 is the internal pure-read parity mode (no writer); the
+	// flag parser keeps user-supplied fractions strictly below 1.
+	writes := int(float64(n) * (1 - readFrac))
+	perReader := (n - writes) / readers
+	reads := perReader * readers
+	pt.Reads, pt.Writes = reads, writes
+
+	simBefore := kv.EngineStats().SimMaxNS
+	var firstErr atomic.Value
+	var wg sync.WaitGroup
+	runtime.GC()
+	t0 := time.Now()
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for i := 0; i < writes; i++ {
+			if err := kv.Put(rbKey(n+i), val); err != nil {
+				firstErr.CompareAndSwap(nil, err)
+				return
+			}
+		}
+	}()
+	for r := 0; r < readers; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := uint64(r)*2654435761 + 99991
+			for i := 0; i < perReader; i++ {
+				rng = rng*6364136223846793005 + 1442695040888963407
+				k := rbKey(int(rng % uint64(n)))
+				if _, ok, err := kv.Get(k); err != nil || !ok {
+					firstErr.CompareAndSwap(nil, fmt.Errorf("get %q: ok=%v err=%v", k, ok, err))
+					return
+				}
+			}
+		}(r)
+	}
+	wg.Wait()
+	wall := time.Since(t0)
+	if err, _ := firstErr.Load().(error); err != nil {
+		return pt, err
+	}
+
+	simDelta := kv.EngineStats().SimMaxNS - simBefore
+	m := kv.Metrics()
+	get := m.OpStats(obsv.OpGet)
+	pt.WallNsPerRead = float64(wall.Nanoseconds()) / float64(reads)
+	pt.WallReadOpsPerSec = float64(reads) / wall.Seconds()
+	pt.SimMeanReadNS = get.SimMeanNS
+	pt.SimReadWorkNS = int64(get.SimMeanNS * float64(get.Count))
+	pt.SimWriteDeltaNS = simDelta
+	pt.GetOptimistic = m.GetOptimistic
+	pt.GetLocked = m.GetLocked
+	pt.GetRetries = m.GetRetries
+	// Elapsed = max(read work spread over R readers, slowest shard's clock
+	// delta). The arms differ only in what the shard clocks contain: locked
+	// reads advance their shard's clock (the lock-serialisation floor rises
+	// with read volume), optimistic reads are invisible to it (the floor is
+	// just the write traffic).
+	elapsed := pt.SimReadWorkNS / int64(readers)
+	if simDelta > elapsed {
+		elapsed = simDelta
+	}
+	pt.SimElapsedNS = elapsed
+	if pt.SimElapsedNS > 0 {
+		pt.SimReadOpsPerSec = float64(reads) / (float64(pt.SimElapsedNS) / 1e9)
+	}
+	return pt, nil
+}
+
+// runReadBench sweeps readers × readFracs (plus a locked single-reader
+// baseline per frac) and writes the JSON report.
+func runReadBench(outPath string, n, pageSize int, seed int64, shards, maxBatch int, readersList []int, fracs []float64) error {
+	if shards <= 0 {
+		shards = 8
+	}
+	rep := ReadBenchReport{
+		Generated: time.Now().UTC().Format(time.RFC3339),
+		GoVersion: runtime.Version(),
+		CPUs:      runtime.NumCPU(),
+		N:         n,
+		PageSize:  pageSize,
+		Seed:      seed,
+		Shards:    shards,
+		MaxBatch:  maxBatch,
+	}
+	report := func(p ReadBenchPoint) {
+		arm := "optimistic"
+		if p.Locked {
+			arm = "locked"
+		}
+		fmt.Fprintf(os.Stderr,
+			"readfrac=%.2f readers=%d %-10s  wall %8.0f ns/read  sim %9.0f reads/s  speedup %5.2fx  retries=%d\n",
+			p.ReadFrac, p.Readers, arm, p.WallNsPerRead, p.SimReadOpsPerSec, p.SimSpeedup, p.GetRetries)
+	}
+	for _, frac := range fracs {
+		var optBase, lockBase ReadBenchPoint
+		for _, locked := range []bool{false, true} {
+			for i, r := range readersList {
+				pt, err := runReadBenchPoint(n, pageSize, shards, maxBatch, r, frac, locked)
+				if err != nil {
+					return err
+				}
+				if i == 0 {
+					if locked {
+						lockBase = pt
+					} else {
+						optBase = pt
+					}
+					pt.SimSpeedup = 1
+				} else if pt.SimElapsedNS > 0 {
+					base := optBase
+					if locked {
+						base = lockBase
+					}
+					pt.SimSpeedup = float64(base.SimElapsedNS) / float64(pt.SimElapsedNS)
+				}
+				report(pt)
+				rep.Points = append(rep.Points, pt)
+			}
+		}
+		fmt.Fprintf(os.Stderr, "readfrac=%.2f single-reader mixed sim latency: optimistic %.0f ns vs locked %.0f ns\n",
+			frac, optBase.SimMeanReadNS, lockBase.SimMeanReadNS)
+	}
+	// Canonical latency-parity check: a lone reader over a quiescent store,
+	// so neither lock contention nor writer-driven cache churn skews the
+	// per-read cost comparison.
+	po, err := runReadBenchPoint(n, pageSize, shards, maxBatch, 1, 1.0, false)
+	if err != nil {
+		return err
+	}
+	pl, err := runReadBenchPoint(n, pageSize, shards, maxBatch, 1, 1.0, true)
+	if err != nil {
+		return err
+	}
+	par := ReadParity{ReadFrac: 1, OptimisticSimNS: po.SimMeanReadNS, LockedSimNS: pl.SimMeanReadNS}
+	if pl.SimMeanReadNS > 0 {
+		par.RatioPct = po.SimMeanReadNS / pl.SimMeanReadNS * 100
+	}
+	fmt.Fprintf(os.Stderr, "single-reader pure-read sim latency: optimistic %.0f ns vs locked %.0f ns (%.1f%%)\n",
+		par.OptimisticSimNS, par.LockedSimNS, par.RatioPct)
+	rep.Parity = append(rep.Parity, par)
+	out, err := json.MarshalIndent(&rep, "", "  ")
+	if err != nil {
+		return err
+	}
+	out = append(out, '\n')
+	if outPath == "-" {
+		_, err = os.Stdout.Write(out)
+		return err
+	}
+	return os.WriteFile(outPath, out, 0o644)
+}
+
+func parseIntList(s string) ([]int, error) {
+	var out []int
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.Atoi(strings.TrimSpace(f))
+		if err != nil || v <= 0 {
+			return nil, fmt.Errorf("bad list entry %q", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}
+
+func parseFloatList(s string) ([]float64, error) {
+	var out []float64
+	for _, f := range strings.Split(s, ",") {
+		v, err := strconv.ParseFloat(strings.TrimSpace(f), 64)
+		if err != nil || v <= 0 || v >= 1 {
+			return nil, fmt.Errorf("bad fraction %q (need 0 < f < 1)", f)
+		}
+		out = append(out, v)
+	}
+	return out, nil
+}

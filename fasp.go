@@ -84,6 +84,11 @@ type Options struct {
 	// SlowOpNS is the wall-clock latency threshold above which an
 	// operation lands in the slow-op log (default 1ms).
 	SlowOpNS int64
+	// DisableOptimisticReads forces every sharded read through the locked
+	// per-shard path instead of the epoch-pinned optimistic path — the
+	// baseline arm for read-scaling benchmarks, and an escape hatch.
+	// Ignored when Shards <= 1.
+	DisableOptimisticReads bool
 }
 
 // fill applies defaults and normalises Scheme to its canonical lower-case
@@ -407,9 +412,10 @@ func OpenKV(opts Options) (*KV, error) {
 // same attachStore path the single-store facade uses.
 func newShardEngine(opts Options, rec *obsv.Recorder) (*shard.Engine, error) {
 	return shard.New(shard.Config{
-		Shards:         opts.Shards,
-		MaxBatch:       opts.MaxBatch,
-		EnqueueTimeout: opts.EnqueueTimeout,
+		Shards:            opts.Shards,
+		MaxBatch:          opts.MaxBatch,
+		EnqueueTimeout:    opts.EnqueueTimeout,
+		NoOptimisticReads: opts.DisableOptimisticReads,
 		Open: func(int) (*shard.Backend, error) {
 			b, err := newBase(opts)
 			if err != nil {

@@ -81,10 +81,17 @@ func WritePrometheus(w io.Writer, store string, snap Snapshot, shards []ShardGau
 	fmt.Fprintf(w, "# HELP fasp_slow_ops_total Operations over the slow-op threshold.\n# TYPE fasp_slow_ops_total counter\n")
 	fmt.Fprintf(w, "fasp_slow_ops_total{store=%q} %d\n", store, snap.SlowOps)
 
+	fmt.Fprintf(w, "# HELP fasp_get_reads_total Get operations by read path.\n# TYPE fasp_get_reads_total counter\n")
+	fmt.Fprintf(w, "fasp_get_reads_total{store=%q,path=\"optimistic\"} %d\n", store, snap.GetOptimistic)
+	fmt.Fprintf(w, "fasp_get_reads_total{store=%q,path=\"locked\"} %d\n", store, snap.GetLocked)
+	fmt.Fprintf(w, "# HELP fasp_get_retries_total Epoch-acquisition retries on the optimistic Get path.\n# TYPE fasp_get_retries_total counter\n")
+	fmt.Fprintf(w, "fasp_get_retries_total{store=%q} %d\n", store, snap.GetRetries)
+
 	writeHist(w, "fasp_batch_size", "Operations per group commit.", store, snap.BatchSize)
 	writeHist(w, "fasp_mailbox_depth", "Queued requests at mailbox drain.", store, snap.MailDepth)
 	writeHist(w, "fasp_clflush_per_txn", "clflush instructions per transaction.", store, snap.FlushPer)
 	writeHist(w, "fasp_fence_per_txn", "Memory fences per transaction.", store, snap.FencePer)
+	writeHist(w, "fasp_scan_fanout", "Shard cursors per engine scan.", store, snap.ScanFanout)
 
 	if len(shards) == 0 {
 		return

@@ -153,6 +153,13 @@ type Recorder struct {
 	batchSize Histogram
 	mailDepth Histogram
 
+	// Read-path shape: optimistic vs locked Get outcomes, epoch-acquisition
+	// retries, and per-engine-scan fan-out (shard cursors launched).
+	getOptimistic atomic.Int64
+	getLocked     atomic.Int64
+	getRetries    atomic.Int64
+	scanFanout    Histogram
+
 	events  [6]atomic.Int64 // totals, indexed like Counters fields
 	batches atomic.Int64
 	slows   atomic.Int64
@@ -266,6 +273,32 @@ func (r *Recorder) ObserveMailDepth(depth int) {
 	r.mailDepth.Observe(int64(depth))
 }
 
+// ObserveReadPath records one Get's path outcome: whether it completed
+// optimistically (epoch-pinned, off the shard lock) or fell back to the
+// locked path, and how many epoch-acquisition retries it burned on the way.
+func (r *Recorder) ObserveReadPath(optimistic bool, retries int) {
+	if r == nil {
+		return
+	}
+	if optimistic {
+		r.getOptimistic.Add(1)
+	} else {
+		r.getLocked.Add(1)
+	}
+	if retries > 0 {
+		r.getRetries.Add(int64(retries))
+	}
+}
+
+// ObserveScanFanout records how many shard cursors one engine scan fanned
+// out to.
+func (r *Recorder) ObserveScanFanout(shards int) {
+	if r == nil {
+		return
+	}
+	r.scanFanout.Observe(int64(shards))
+}
+
 func (r *Recorder) addEvents(ev Counters) {
 	r.events[0].Add(ev.Flush)
 	r.events[1].Add(ev.Fence)
@@ -349,6 +382,13 @@ type Snapshot struct {
 	MailDepth HistSnapshot `json:"mail_depth"`
 	FlushPer  HistSnapshot `json:"clflush_per_txn"`
 	FencePer  HistSnapshot `json:"fence_per_txn"`
+
+	// Read-path split: Gets served optimistically vs through the shard
+	// lock, total epoch-acquisition retries, and engine-scan fan-out.
+	GetOptimistic int64        `json:"get_optimistic"`
+	GetLocked     int64        `json:"get_locked"`
+	GetRetries    int64        `json:"get_retries"`
+	ScanFanout    HistSnapshot `json:"scan_fanout"`
 }
 
 // OpStats extracts one op's summary from the snapshot (zero if absent).
@@ -382,6 +422,11 @@ func (r *Recorder) Snapshot() Snapshot {
 		MailDepth: r.mailDepth.Snapshot(),
 		FlushPer:  r.flushPer.Snapshot(),
 		FencePer:  r.fencePer.Snapshot(),
+
+		GetOptimistic: r.getOptimistic.Load(),
+		GetLocked:     r.getLocked.Load(),
+		GetRetries:    r.getRetries.Load(),
+		ScanFanout:    r.scanFanout.Snapshot(),
 	}
 	for op := Op(0); op < numOps; op++ {
 		w, m := r.wall[op].Snapshot(), r.sim[op].Snapshot()

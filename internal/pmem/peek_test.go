@@ -1,0 +1,88 @@
+package pmem
+
+import (
+	"bytes"
+	"testing"
+)
+
+func TestPeekMatchesLoadContent(t *testing.T) {
+	_, a := newPM(t, 4096)
+	src := make([]byte, 300)
+	for i := range src {
+		src[i] = byte(i)
+	}
+	a.Store(100, src)
+	a.Persist(100, 300)
+	dst := make([]byte, 300)
+	a.Peek(100, dst)
+	if !bytes.Equal(dst, src) {
+		t.Fatalf("Peek = %v, want %v", dst[:8], src[:8])
+	}
+}
+
+func TestPeekSeesCachedDirtyLines(t *testing.T) {
+	// A dirty resident line's newest content lives in the cache; Peek must
+	// read the same bytes Load would, not the stale medium.
+	_, a := newPM(t, 4096)
+	a.Store(0, []byte{7, 8, 9}) // unflushed
+	dst := make([]byte, 3)
+	a.Peek(0, dst)
+	if !bytes.Equal(dst, []byte{7, 8, 9}) {
+		t.Fatalf("Peek of dirty line = %v", dst)
+	}
+}
+
+func TestPeekCostModel(t *testing.T) {
+	sys, a := newPM(t, 4096)
+	lat := sys.Latencies()
+	a.Load(0, make([]byte, 1)) // line 0 now resident
+	dst := make([]byte, 1)
+	if c := a.Peek(0, dst); c != lat.CacheHit {
+		t.Fatalf("resident peek cost %d, want %d", c, lat.CacheHit)
+	}
+	if c := a.Peek(1024, dst); c != lat.PMRead {
+		t.Fatalf("absent peek cost %d, want %d", c, lat.PMRead)
+	}
+	// Peek never fills the cache: a repeat of the absent line pays again.
+	if c := a.Peek(1024, dst); c != lat.PMRead {
+		t.Fatalf("repeat absent peek cost %d, want %d (no fill)", c, lat.PMRead)
+	}
+}
+
+func TestPeekLeavesMachineUntouched(t *testing.T) {
+	sys, a := newPM(t, 4096)
+	a.Store(0, []byte{1, 2, 3})
+	a.Persist(0, 3)
+	clock := sys.Clock().Now()
+	stats := a.Stats()
+	res := a.ResidentLines()
+	points := sys.CrashPoints()
+	dst := make([]byte, 128)
+	a.Peek(0, dst)
+	a.Peek(2048, dst) // absent lines too
+	if now := sys.Clock().Now(); now != clock {
+		t.Errorf("Peek advanced the clock: %d -> %d", clock, now)
+	}
+	if got := a.Stats(); got != stats {
+		t.Errorf("Peek changed stats: %+v -> %+v", stats, got)
+	}
+	if got := a.ResidentLines(); got != res {
+		t.Errorf("Peek changed residency: %d -> %d", res, got)
+	}
+	if got := sys.CrashPoints(); got != points {
+		t.Errorf("Peek added crash points: %d -> %d", points, got)
+	}
+}
+
+func TestPeekZeroLengthAndBounds(t *testing.T) {
+	_, a := newPM(t, 128)
+	if c := a.Peek(0, nil); c != 0 {
+		t.Fatalf("zero-length peek cost %d", c)
+	}
+	defer func() {
+		if recover() == nil {
+			t.Fatal("out-of-range peek did not panic")
+		}
+	}()
+	a.Peek(120, make([]byte, 16))
+}

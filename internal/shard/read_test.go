@@ -1,0 +1,321 @@
+package shard_test
+
+import (
+	"bytes"
+	"errors"
+	"fmt"
+	"sync"
+	"sync/atomic"
+	"testing"
+
+	"fasp/internal/obsv"
+	"fasp/internal/pmem"
+	"fasp/internal/shard"
+)
+
+// TestConcurrentReadStress runs N reader goroutines against a writer doing
+// inserts (with page splits) and group commits, under -race in CI. Every
+// value a reader observes must be exactly the model value for its key, and
+// any key the writer has acknowledged must be visible. This is the seqlock
+// soundness test: a torn or mid-commit read would surface as a malformed
+// value, a phantom miss, or a race-detector report.
+func TestConcurrentReadStress(t *testing.T) {
+	const (
+		nKeys    = 1500
+		nReaders = 6
+	)
+	e := newTestEngine(t, 4, 8)
+	var acked atomic.Int64
+	acked.Store(-1)
+	var stop atomic.Bool
+	var wg sync.WaitGroup
+
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		defer stop.Store(true)
+		for i := 0; i < nKeys; i++ {
+			if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(i), Val: val(i)}); err != nil {
+				t.Errorf("put %d: %v", i, err)
+				return
+			}
+			acked.Store(int64(i))
+		}
+	}()
+
+	for r := 0; r < nReaders; r++ {
+		wg.Add(1)
+		go func(r int) {
+			defer wg.Done()
+			rng := uint64(r)*2654435761 + 12345
+			for !stop.Load() {
+				max := acked.Load()
+				if max < 0 {
+					continue
+				}
+				rng = rng*6364136223846793005 + 1442695040888963407
+				j := int(rng % uint64(max+1))
+				v, ok, err := e.Get(key(j))
+				if err != nil {
+					t.Errorf("reader %d: get %d: %v", r, j, err)
+					return
+				}
+				if !ok {
+					t.Errorf("reader %d: acked key %d missing", r, j)
+					return
+				}
+				if !bytes.Equal(v, val(j)) {
+					t.Errorf("reader %d: key %d = %q, want %q", r, j, v, val(j))
+					return
+				}
+			}
+		}(r)
+	}
+
+	// One scanner: full scans must stay strictly ordered with well-formed
+	// pairs and include everything acked before the scan began.
+	wg.Add(1)
+	go func() {
+		defer wg.Done()
+		for !stop.Load() {
+			before := acked.Load()
+			seen := make(map[int]bool)
+			var prev []byte
+			err := e.Scan(nil, nil, func(k, v []byte) bool {
+				if prev != nil && bytes.Compare(prev, k) >= 0 {
+					t.Errorf("scan order violated: %q then %q", prev, k)
+					return false
+				}
+				prev = append(prev[:0], k...)
+				var i int
+				if _, err := fmt.Sscanf(string(k), "key%06d", &i); err != nil {
+					t.Errorf("malformed key %q", k)
+					return false
+				}
+				if !bytes.Equal(v, val(i)) {
+					t.Errorf("scan key %d = %q, want %q", i, v, val(i))
+					return false
+				}
+				seen[i] = true
+				return true
+			})
+			if err != nil {
+				t.Errorf("scan: %v", err)
+				return
+			}
+			for i := int64(0); i <= before; i++ {
+				if !seen[int(i)] {
+					t.Errorf("scan missed acked key %d", i)
+					return
+				}
+			}
+			// Count is not a snapshot, but records only grow here.
+			n, err := e.Count()
+			if err != nil {
+				t.Errorf("count: %v", err)
+				return
+			}
+			if n < int(before+1) {
+				t.Errorf("count %d < acked %d", n, before+1)
+				return
+			}
+		}
+	}()
+
+	wg.Wait()
+	// Final state must be complete and intact.
+	if err := e.Validate(); err != nil {
+		t.Fatal(err)
+	}
+	n, err := e.Count()
+	if err != nil || n != nKeys {
+		t.Fatalf("final count %d (%v), want %d", n, err, nKeys)
+	}
+}
+
+// TestReadsAddNoCrashPoints runs the same deterministic write workload on
+// twin engines, interleaving heavy reads on one of them, and requires every
+// shard's machine state — crash points, PM event counters, simulated clock —
+// to be bit-identical. Optimistic reads must be invisible to the simulated
+// machine, or the crash-schedule explorer and the golden determinism files
+// would shift under read load.
+func TestReadsAddNoCrashPoints(t *testing.T) {
+	const shards = 4
+	build := func(withReads bool) *shard.Engine {
+		e := newTestEngine(t, shards, 8)
+		for i := 0; i < 400; i += 20 {
+			batch := make([]shard.Op, 0, 20)
+			for j := i; j < i+20; j++ {
+				batch = append(batch, shard.Op{Kind: shard.OpPut, Key: key(j), Val: val(j)})
+			}
+			for _, err := range e.ApplyBatch(batch) {
+				if err != nil {
+					t.Fatalf("apply: %v", err)
+				}
+			}
+			if withReads {
+				for j := 0; j < i+20; j += 7 {
+					if _, ok, err := e.Get(key(j)); !ok || err != nil {
+						t.Fatalf("get %d: %v %v", j, ok, err)
+					}
+				}
+				if err := e.Scan(nil, nil, func(_, _ []byte) bool { return true }); err != nil {
+					t.Fatal(err)
+				}
+				if err := e.ScanShard(i%shards, nil, nil, func(_, _ []byte) bool { return true }); err != nil {
+					t.Fatal(err)
+				}
+				if _, err := e.Count(); err != nil {
+					t.Fatal(err)
+				}
+			}
+		}
+		return e
+	}
+	quiet := build(false)
+	noisy := build(true)
+	for i := 0; i < shards; i++ {
+		qi, ni := quiet.ShardInfo(i), noisy.ShardInfo(i)
+		if qi.SimNS != ni.SimNS {
+			t.Errorf("shard %d: reads moved the clock: %d vs %d", i, qi.SimNS, ni.SimNS)
+		}
+		if qi.PM != ni.PM {
+			t.Errorf("shard %d: reads changed PM stats:\n  quiet %+v\n  noisy %+v", i, qi.PM, ni.PM)
+		}
+		if qp, np := quiet.ShardSys(i).CrashPoints(), noisy.ShardSys(i).CrashPoints(); qp != np {
+			t.Errorf("shard %d: reads added crash points: %d vs %d", i, qp, np)
+		}
+	}
+}
+
+// TestReadPathSelection pins which path serves reads: optimistic on a
+// healthy snapshot-capable store, locked when optimism is disabled.
+func TestReadPathSelection(t *testing.T) {
+	run := func(noOpt bool) obsv.Snapshot {
+		cfg := testConfig(2, 8, 0)
+		cfg.NoOptimisticReads = noOpt
+		cfg.Recorder = obsv.New(obsv.Config{SampleEvery: 1})
+		e, err := shard.New(cfg)
+		if err != nil {
+			t.Fatal(err)
+		}
+		defer e.Close()
+		for i := 0; i < 50; i++ {
+			if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(i), Val: val(i)}); err != nil {
+				t.Fatal(err)
+			}
+		}
+		for i := 0; i < 50; i++ {
+			if _, ok, err := e.Get(key(i)); !ok || err != nil {
+				t.Fatalf("get %d: %v %v", i, ok, err)
+			}
+		}
+		return cfg.Recorder.Snapshot()
+	}
+	opt := run(false)
+	if opt.GetOptimistic != 50 || opt.GetLocked != 0 {
+		t.Fatalf("default: optimistic=%d locked=%d, want 50/0", opt.GetOptimistic, opt.GetLocked)
+	}
+	locked := run(true)
+	if locked.GetOptimistic != 0 || locked.GetLocked != 50 {
+		t.Fatalf("noOpt: optimistic=%d locked=%d, want 0/50", locked.GetOptimistic, locked.GetLocked)
+	}
+}
+
+// TestReadFallbackSemantics pins the error contract on unhealthy shards:
+// the optimistic path must surface exactly the canonical errors.
+func TestReadFallbackSemantics(t *testing.T) {
+	e := newTestEngine(t, 2, 8)
+	for i := 0; i < 100; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpInsert, Key: key(i), Val: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Crash(pmem.CrashOptions{Seed: 9, EvictProb: 0.5})
+	if _, _, err := e.Get(key(0)); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("get on crashed shard: %v", err)
+	}
+	if err := e.Scan(nil, nil, func(_, _ []byte) bool { return true }); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("scan on crashed engine: %v", err)
+	}
+	if err := e.ScanShard(0, nil, nil, func(_, _ []byte) bool { return true }); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("scanshard on crashed shard: %v", err)
+	}
+	if _, err := e.Count(); !errors.Is(err, shard.ErrCrashed) {
+		t.Fatalf("count on crashed engine: %v", err)
+	}
+	if err := e.Reopen(); err != nil {
+		t.Fatal(err)
+	}
+	for i := 0; i < 100; i++ {
+		if v, ok, err := e.Get(key(i)); err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("post-reopen get %d: %q %v %v", i, v, ok, err)
+		}
+	}
+}
+
+// TestReadsAfterClose: Close stops the writers; reads — optimistic and
+// merged scans — must keep serving the final committed state.
+func TestReadsAfterClose(t *testing.T) {
+	e := newTestEngine(t, 3, 8)
+	const n = 120
+	for i := 0; i < n; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(i), Val: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	e.Close()
+	for i := 0; i < n; i++ {
+		if v, ok, err := e.Get(key(i)); err != nil || !ok || !bytes.Equal(v, val(i)) {
+			t.Fatalf("post-close get %d: %q %v %v", i, v, ok, err)
+		}
+	}
+	count := 0
+	if err := e.Scan(nil, nil, func(_, _ []byte) bool { count++; return true }); err != nil {
+		t.Fatal(err)
+	}
+	if count != n {
+		t.Fatalf("post-close scan saw %d, want %d", count, n)
+	}
+	if got, err := e.Count(); err != nil || got != n {
+		t.Fatalf("post-close count %d (%v)", got, err)
+	}
+}
+
+// TestScanEarlyStopStopsProducers: fn returning false must abort the merge
+// without draining every shard (the producers park on the stop channel) and
+// without goroutine leaks (run under -race to catch teardown races).
+func TestScanEarlyStopStopsProducers(t *testing.T) {
+	e := newTestEngine(t, 4, 8)
+	for i := 0; i < 2000; i++ {
+		if err := e.Do(shard.Op{Kind: shard.OpPut, Key: key(i), Val: val(i)}); err != nil {
+			t.Fatal(err)
+		}
+	}
+	for trial := 0; trial < 20; trial++ {
+		seen := 0
+		if err := e.Scan(nil, nil, func(_, _ []byte) bool {
+			seen++
+			return seen < 5
+		}); err != nil {
+			t.Fatal(err)
+		}
+		if seen != 5 {
+			t.Fatalf("early stop visited %d", seen)
+		}
+	}
+	// Reverse with bounds, early stop.
+	var got []string
+	if err := e.ScanReverse(key(100), key(1900), func(k, _ []byte) bool {
+		got = append(got, string(k))
+		return len(got) < 3
+	}); err != nil {
+		t.Fatal(err)
+	}
+	want := []string{string(key(1900)), string(key(1899)), string(key(1898))}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("reverse scan = %v, want %v", got, want)
+		}
+	}
+}

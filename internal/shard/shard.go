@@ -1,7 +1,6 @@
 package shard
 
 import (
-	"bytes"
 	"errors"
 	"fmt"
 	"sync"
@@ -85,6 +84,10 @@ type Config struct {
 	// deltas. The facade supplies the scheme-aware bridge; nil means event
 	// deltas are not recorded.
 	Counters func(i int, be *Backend) obsv.Counters
+	// NoOptimisticReads forces every read through the locked path, even on
+	// stores that support snapshot peeks — the baseline arm for read-path
+	// benchmarks, and an escape hatch.
+	NoOptimisticReads bool
 }
 
 func (c *Config) fill() error {
@@ -178,7 +181,11 @@ type Stats struct {
 
 // state is one shard: a backend plus its writer goroutine. mu guards
 // everything below it — the simulated machine is not internally
-// synchronised, so reads take the lock too.
+// synchronised, so locked reads take the lock too. Optimistic reads run
+// OFF the lock under the seq/readers epoch protocol (see read.go): every
+// mutation of the machine happens inside beginMutate/endMutate, and the
+// fields optimistic readers consult (seq, readers, health, reader, recs)
+// are atomics updated under the gate.
 type state struct {
 	id int
 
@@ -191,6 +198,19 @@ type state struct {
 	ops        int64
 	batches    int64
 	maxDrained int
+
+	// Read-epoch gate (read.go). seq: even = quiescent, odd = mutating.
+	// readers counts registered optimistic readers; beginMutate spins on
+	// it. health mirrors crashed/degraded; reader publishes the snapshot
+	// handles (replaced when Heal swaps the store); recs is an upper-bound
+	// record-count estimate that pre-sizes scan scratch buffers. noOpt
+	// short-circuits the optimistic path entirely.
+	seq     atomic.Uint64
+	readers atomic.Int64
+	health  atomic.Int32
+	reader  atomic.Pointer[readState]
+	recs    atomic.Int64
+	noOpt   bool
 
 	mail chan *request
 	quit chan struct{}
@@ -240,14 +260,16 @@ func New(cfg Config) (*Engine, error) {
 			return nil, fmt.Errorf("shard %d: %w", i, err)
 		}
 		s := &state{
-			id:   i,
-			be:   be,
-			tree: btree.New(be.Store),
-			mail: make(chan *request, cfg.Mailbox),
-			quit: make(chan struct{}),
-			done: make(chan struct{}),
-			rec:  cfg.Recorder,
+			id:    i,
+			be:    be,
+			tree:  btree.New(be.Store),
+			noOpt: cfg.NoOptimisticReads,
+			mail:  make(chan *request, cfg.Mailbox),
+			quit:  make(chan struct{}),
+			done:  make(chan struct{}),
+			rec:   cfg.Recorder,
 		}
+		s.publishReadState()
 		if cfg.Recorder != nil && cfg.Counters != nil {
 			i, be := i, be
 			s.evFn = func() obsv.Counters { return cfg.Counters(i, be) }
@@ -372,6 +394,8 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 		}
 		return
 	}
+	s.beginMutate()
+	defer s.endMutate()
 	var sp obsv.Span
 	if s.rec != nil {
 		sp = s.rec.Begin(s.be.Sys.Clock().Now(), s.counters())
@@ -400,6 +424,7 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 		// untouched.
 		s.degraded = true
 		s.downCause = fault
+		s.setHealth()
 		err := s.unavailable()
 		for i := range errs {
 			errs[i] = err
@@ -414,8 +439,28 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 		// proper) and Reopen to recover — the same arm/crash/reattach
 		// protocol cmd/crashtest drives on a single store.
 		s.crashed = true
+		s.setHealth()
 		for i := range errs {
 			errs[i] = ErrCrashed
+		}
+	} else {
+		// recs is a record-count estimate (an upper bound: Put may
+		// overwrite rather than insert) used only to pre-size read scratch
+		// buffers, so the cheap accounting is fine.
+		var d int64
+		for i := range ops {
+			if errs[i] != nil {
+				continue
+			}
+			switch ops[i].Kind {
+			case OpPut, OpInsert:
+				d++
+			case OpDelete:
+				d--
+			}
+		}
+		if d != 0 {
+			s.recs.Add(d)
 		}
 	}
 	s.ops += int64(len(ops))
@@ -430,60 +475,11 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 	}
 }
 
-// Get reads a key from its shard.
-func (e *Engine) Get(key []byte) ([]byte, bool, error) {
-	s := e.shards[e.ShardFor(key)]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.unavailable(); err != nil {
-		return nil, false, err
-	}
-	var sp obsv.Span
-	if s.rec != nil {
-		sp = s.rec.Begin(s.be.Sys.Clock().Now(), obsv.Counters{})
-	}
-	v, ok, err := s.tree.Get(key)
-	if s.rec != nil {
-		s.rec.End(sp, obsv.OpGet, int32(s.id), s.be.Sys.Clock().Now(), obsv.Counters{})
-	}
-	return v, ok, err
-}
-
-// kvPair is one collected scan record (copies: the underlying page bytes
-// are only stable while the shard lock is held).
-type kvPair struct{ k, v []byte }
-
-// collect gathers one shard's records in [lo, hi], in the given direction.
-func (s *state) collect(lo, hi []byte, reverse bool) ([]kvPair, error) {
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.unavailable(); err != nil {
-		return nil, err
-	}
-	var out []kvPair
-	gather := func(k, v []byte) bool {
-		out = append(out, kvPair{
-			k: append([]byte(nil), k...),
-			v: append([]byte(nil), v...),
-		})
-		return true
-	}
-	tx, err := s.tree.Begin()
-	if err != nil {
-		return nil, err
-	}
-	defer tx.Rollback()
-	if reverse {
-		return out, tx.ScanReverse(lo, hi, gather)
-	}
-	return out, tx.Scan(lo, hi, gather)
-}
-
 // Scan visits keys in [lo, hi] in ascending order across all shards
 // (nil bounds are open). Each shard holds a disjoint subset of the key
 // space, so the global order is a k-way merge of the per-shard streams;
-// the engine collects each shard under its lock and merges. Early
-// termination by fn stops the merge but not the (already done) collection.
+// per-shard collection is streamed by one producer goroutine each (see
+// read.go). Key/value slices are valid only during the callback.
 func (e *Engine) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 	return e.scan(lo, hi, false, fn)
 }
@@ -491,80 +487,6 @@ func (e *Engine) Scan(lo, hi []byte, fn func(k, v []byte) bool) error {
 // ScanReverse visits keys in [lo, hi] in descending order across shards.
 func (e *Engine) ScanReverse(lo, hi []byte, fn func(k, v []byte) bool) error {
 	return e.scan(lo, hi, true, fn)
-}
-
-func (e *Engine) scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) error {
-	lists := make([][]kvPair, len(e.shards))
-	for i, s := range e.shards {
-		var err error
-		if lists[i], err = s.collect(lo, hi, reverse); err != nil {
-			return err
-		}
-	}
-	// K-way merge by linear probe: shard counts are small (≤ a few dozen),
-	// so a heap would not pay for itself.
-	idx := make([]int, len(lists))
-	for {
-		best := -1
-		for i := range lists {
-			if idx[i] >= len(lists[i]) {
-				continue
-			}
-			if best < 0 {
-				best = i
-				continue
-			}
-			c := bytes.Compare(lists[i][idx[i]].k, lists[best][idx[best]].k)
-			if (!reverse && c < 0) || (reverse && c > 0) {
-				best = i
-			}
-		}
-		if best < 0 {
-			return nil
-		}
-		p := lists[best][idx[best]]
-		idx[best]++
-		if !fn(p.k, p.v) {
-			return nil
-		}
-	}
-}
-
-// ScanShard visits shard i's records in [lo, hi] in ascending order —
-// inspection tooling and the golden tests read per-shard contents.
-func (e *Engine) ScanShard(i int, lo, hi []byte, fn func(k, v []byte) bool) error {
-	s := e.shards[i]
-	s.mu.Lock()
-	defer s.mu.Unlock()
-	if err := s.unavailable(); err != nil {
-		return err
-	}
-	return s.tree.Scan(lo, hi, fn)
-}
-
-// Count sums the record counts of all shards.
-func (e *Engine) Count() (int, error) {
-	total := 0
-	for _, s := range e.shards {
-		n, err := func() (int, error) {
-			s.mu.Lock()
-			defer s.mu.Unlock()
-			if err := s.unavailable(); err != nil {
-				return 0, err
-			}
-			tx, err := s.tree.Begin()
-			if err != nil {
-				return 0, err
-			}
-			defer tx.Rollback()
-			return tx.Count()
-		}()
-		if err != nil {
-			return 0, err
-		}
-		total += n
-	}
-	return total, nil
 }
 
 // Validate checks full structural integrity of every shard's tree.
@@ -576,6 +498,8 @@ func (e *Engine) Validate() error {
 			if err := s.unavailable(); err != nil {
 				return err
 			}
+			s.beginMutate()
+			defer s.endMutate()
 			tx, err := s.tree.Begin()
 			if err != nil {
 				return err
@@ -603,8 +527,11 @@ func (e *Engine) Crash(opts pmem.CrashOptions) {
 	for i, s := range e.shards {
 		o := opts
 		o.Seed = opts.Seed + int64(i)
+		s.beginMutate()
 		s.be.Sys.Crash(o)
 		s.crashed = true
+		s.setHealth()
+		s.endMutate()
 	}
 	for _, s := range e.shards {
 		s.mu.Unlock()
@@ -622,6 +549,8 @@ func (e *Engine) Heal(i int) error {
 	s := e.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginMutate()
+	defer s.endMutate()
 	ns, err := e.cfg.Reattach(i, s.be)
 	if err != nil {
 		return fmt.Errorf("shard %d: heal: %w", i, err)
@@ -631,6 +560,8 @@ func (e *Engine) Heal(i int) error {
 	s.crashed = false
 	s.degraded = false
 	s.downCause = nil
+	s.publishReadState()
+	s.setHealth()
 	return nil
 }
 
@@ -763,9 +694,12 @@ func (e *Engine) RestoreShard(i int, img []byte) error {
 	s := e.shards[i]
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	s.beginMutate()
+	defer s.endMutate()
 	if err := s.be.Arena.RestoreMedium(img); err != nil {
 		return err
 	}
 	s.crashed = true
+	s.setHealth()
 	return nil
 }
