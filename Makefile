@@ -1,7 +1,7 @@
 GO ?= go
 N  ?= 20000
 
-.PHONY: all build vet test race crashx obsv bench bench-json readbench clean
+.PHONY: all build vet test race crashx obsv bench bench-json readbench phasebench clean
 
 all: vet build test
 
@@ -53,5 +53,12 @@ READFRAC ?= 0.5,0.95
 readbench:
 	$(GO) run ./cmd/faspbench -readbench BENCH_PR5.json -n $(N) -readers $(READERS) -readfrac $(READFRAC)
 
+# Adaptive-vs-pinned phase benchmark: one three-phase workload (insert-,
+# update-, scan-heavy) through the adaptive controller (warm and cold
+# start) and the three pinned schemes it chooses between (see DESIGN.md
+# §11). Simulated time only — the report is byte-reproducible.
+phasebench:
+	$(GO) run ./cmd/faspbench -phasebench BENCH_PR6.json -n $(N)
+
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR5.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR5.json BENCH_PR6.json

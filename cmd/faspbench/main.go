@@ -21,25 +21,34 @@ import (
 
 func main() {
 	var (
-		fig       = flag.Int("fig", 0, "figure to reproduce (6..12)")
-		all       = flag.Bool("all", false, "run every figure")
-		ablations = flag.Bool("ablations", false, "run the ablation studies")
-		recovery  = flag.Bool("recovery", false, "run the recovery-time experiment")
-		n         = flag.Int("n", 10000, "transactions per data point (paper: 100000)")
-		pageSize  = flag.Int("pagesize", 4096, "database page size in bytes")
-		seed      = flag.Int64("seed", 42, "workload seed")
-		benchJSON = flag.String("benchjson", "", "write wall-clock insert/search benchmark JSON to this file ('-' = stdout)")
-		baseline  = flag.String("baseline", "", "previous -benchjson report to embed for comparison")
-		shards    = flag.Int("shards", 0, "with -benchjson: also benchmark a sharded KV with this many shards (vs a shards=1 baseline)")
-		clients   = flag.Int("clients", 1, "with -shards: concurrent client goroutines")
-		maxBatch  = flag.Int("maxbatch", 0, "with -shards: group-commit drain bound (0 = default)")
-		mAddr     = flag.String("metrics-addr", "", "with -shards: serve /metrics on this address during the sharded run (e.g. 127.0.0.1:0)")
-		scrape    = flag.Bool("scrape", false, "with -metrics-addr: self-scrape /metrics once and validate the Prometheus text (CI smoke)")
-		readbench = flag.String("readbench", "", "write the read-scaling benchmark JSON to this file ('-' = stdout)")
-		readfrac  = flag.String("readfrac", "0.5,0.95", "with -readbench: comma list of read fractions of the mixed workload")
-		readers   = flag.String("readers", "1,2,4,8", "with -readbench: comma list of reader goroutine counts to sweep")
+		fig        = flag.Int("fig", 0, "figure to reproduce (6..12)")
+		all        = flag.Bool("all", false, "run every figure")
+		ablations  = flag.Bool("ablations", false, "run the ablation studies")
+		recovery   = flag.Bool("recovery", false, "run the recovery-time experiment")
+		n          = flag.Int("n", 10000, "transactions per data point (paper: 100000)")
+		pageSize   = flag.Int("pagesize", 4096, "database page size in bytes")
+		seed       = flag.Int64("seed", 42, "workload seed")
+		benchJSON  = flag.String("benchjson", "", "write wall-clock insert/search benchmark JSON to this file ('-' = stdout)")
+		baseline   = flag.String("baseline", "", "previous -benchjson report to embed for comparison")
+		shards     = flag.Int("shards", 0, "with -benchjson: also benchmark a sharded KV with this many shards (vs a shards=1 baseline)")
+		clients    = flag.Int("clients", 1, "with -shards: concurrent client goroutines")
+		maxBatch   = flag.Int("maxbatch", 0, "with -shards: group-commit drain bound (0 = default)")
+		mAddr      = flag.String("metrics-addr", "", "with -shards: serve /metrics on this address during the sharded run (e.g. 127.0.0.1:0)")
+		scrape     = flag.Bool("scrape", false, "with -metrics-addr: self-scrape /metrics once and validate the Prometheus text (CI smoke)")
+		readbench  = flag.String("readbench", "", "write the read-scaling benchmark JSON to this file ('-' = stdout)")
+		phasebench = flag.String("phasebench", "", "write the adaptive-vs-pinned phase benchmark JSON to this file ('-' = stdout)")
+		readfrac   = flag.String("readfrac", "0.5,0.95", "with -readbench: comma list of read fractions of the mixed workload")
+		readers    = flag.String("readers", "1,2,4,8", "with -readbench: comma list of reader goroutine counts to sweep")
 	)
 	flag.Parse()
+
+	if *phasebench != "" {
+		if err := runPhaseBench(*phasebench, *n, *pageSize, *seed); err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: phasebench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *readbench != "" {
 		rl, err := parseIntList(*readers)

@@ -78,6 +78,7 @@ func census(db *fasp.DB, pageSize int, meta metaView, detail bool) {
 
 	typeCount := map[byte]int{}
 	var fillSum, freeSum, cells int
+	var leafArea, leafDead int64
 	t := metrics.NewTable("", "page", "type", "cells", "content@", "free-list(B)", "live(B)")
 	for no := uint32(1); no < meta.npages; no++ {
 		p, err := ptx.Page(no)
@@ -89,6 +90,16 @@ func census(db *fasp.DB, pageSize int, meta metaView, detail bool) {
 		fillSum += live
 		freeSum += int(p.Header().Free)
 		cells += p.NCells()
+		if p.Type() == slotted.TypeLeaf {
+			// Same arithmetic as the adaptive controller's FragScan: the cell
+			// area is everything below the content pointer, dead is whatever
+			// live cells do not cover.
+			area := int64(pageSize) - int64(p.Header().Content)
+			if dead := area - int64(live); dead > 0 {
+				leafDead += dead
+			}
+			leafArea += area
+		}
 		if detail {
 			t.AddRow(no, typeName(p.Type()), p.NCells(), p.Header().Content,
 				p.Header().Free, live)
@@ -101,6 +112,11 @@ func census(db *fasp.DB, pageSize int, meta metaView, detail bool) {
 	if n > 0 {
 		fmt.Printf("fill:     %d cells, avg %.1f%% live bytes/page, %.1f free-list B/page\n",
 			cells, 100*float64(fillSum)/float64(n*pageSize), float64(freeSum)/float64(n))
+	}
+	if leafArea > 0 {
+		fmt.Printf("frag:     %.1f%% of leaf cell area dead (%d B / %d B) — the ratio "+
+			"fasp_shard_fragmentation_ratio exports and DefragThreshold tests\n",
+			100*float64(leafDead)/float64(leafArea), leafDead, leafArea)
 	}
 	if detail {
 		t.Render(os.Stdout)

@@ -44,6 +44,17 @@ const (
 	SchemeJournal  = "journal"
 )
 
+// ErrBadScheme reports an Options.Scheme naming no commit scheme. Open,
+// OpenKV, and OpenHash return it (wrapped — test with errors.Is) instead of
+// constructing a store; names are case-insensitive.
+var ErrBadScheme = errors.New("fasp: unknown scheme")
+
+// badScheme wraps ErrBadScheme with the offending name and the valid set.
+func badScheme(scheme string) error {
+	return fmt.Errorf("%w %q (schemes: %s, %s, %s, %s, %s)", ErrBadScheme,
+		scheme, SchemeFASTPlus, SchemeFAST, SchemeNVWAL, SchemeWAL, SchemeJournal)
+}
+
 // Options configures a database or KV store.
 type Options struct {
 	// Scheme selects the commit scheme (default "fast+").
@@ -65,9 +76,13 @@ type Options struct {
 	// goroutine and group commit (see OpenKV). 0 or 1 keeps the classic
 	// single store; Open and OpenHash ignore the field.
 	Shards int
-	// MaxBatch bounds the operations one sharded group commit may drain
-	// from a shard's mailbox (default 64). Ignored when Shards <= 1,
-	// except by KV.ApplyBatch, which chunks at MaxBatch in both modes.
+	// MaxBatch is the group-commit drain bound: how many operations one
+	// sharded group commit may take from a shard's mailbox (default 64),
+	// and the chunk size KV.ApplyBatch commits at in both modes. With
+	// AdaptiveBatch it is only the starting point — each shard's live bound
+	// then moves within [max(1, MaxBatch/4), MaxBatch*4] (AIMD), and both
+	// the writers and ApplyBatch chunk at the shard's live bound. Otherwise
+	// ignored when Shards <= 1, except by ApplyBatch.
 	MaxBatch int
 	// EnqueueTimeout bounds how long a sharded submission waits for
 	// mailbox space before failing with ErrShardBusy (default 2s).
@@ -89,6 +104,23 @@ type Options struct {
 	// baseline arm for read-scaling benchmarks, and an escape hatch.
 	// Ignored when Shards <= 1.
 	DisableOptimisticReads bool
+	// AdaptiveScheme lets each shard's controller migrate its commit scheme
+	// online among fast+ / fast / wal from observed workload shape
+	// (single-leaf ratio, HTM abort rate, batch size), starting from
+	// Scheme. Migrations are crash-safe: a persisted per-shard scheme tag
+	// is the commit point and recovery resolves it (see DESIGN.md §11).
+	// Ignored when Shards <= 1.
+	AdaptiveScheme bool
+	// AdaptiveBatch adapts each shard's group-commit drain bound by AIMD
+	// within [max(1, MaxBatch/4), MaxBatch*4], from mailbox depth and
+	// enqueue backoff pressure. Ignored when Shards <= 1.
+	AdaptiveBatch bool
+	// DefragThreshold > 0 enables proactive copy-on-write defragmentation:
+	// at every adaptive decision window the shard measures its committed
+	// leaves' dead-byte ratio, and when a leaf's ratio reaches the
+	// threshold it is rewritten during idle group-commit slots. Sensible
+	// values are 0.2–0.5. Ignored when Shards <= 1.
+	DefragThreshold float64
 }
 
 // fill applies defaults and normalises Scheme to its canonical lower-case
@@ -159,28 +191,13 @@ func newBase(opts Options) (*base, error) {
 	b := &base{opts: opts, sys: sys}
 	switch opts.Scheme {
 	case SchemeFASTPlus, SchemeFAST:
-		variant := fast.InPlaceCommit
-		if opts.Scheme == SchemeFAST {
-			variant = fast.SlotHeaderLogging
-		}
-		st := fast.Create(sys, fast.Config{
-			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Variant: variant,
-		})
+		st := fast.Create(sys, fastConfigFor(opts))
 		b.store, b.arena = st, st.Arena()
 	case SchemeNVWAL, SchemeWAL, SchemeJournal:
-		kind := wal.NVWAL
-		switch opts.Scheme {
-		case SchemeWAL:
-			kind = wal.FullWAL
-		case SchemeJournal:
-			kind = wal.Journal
-		}
-		st := wal.Create(sys, wal.Config{
-			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Kind: kind,
-		})
+		st := wal.Create(sys, walConfigFor(opts))
 		b.store, b.arena = st, st.Arena()
 	default:
-		return nil, fmt.Errorf("fasp: unknown scheme %q", opts.Scheme)
+		return nil, badScheme(opts.Scheme)
 	}
 	return b, nil
 }
@@ -192,34 +209,19 @@ func newBase(opts Options) (*base, error) {
 func attachStore(opts Options, arena *pmem.Arena) (pager.Store, error) {
 	switch opts.Scheme {
 	case SchemeFASTPlus, SchemeFAST:
-		variant := fast.InPlaceCommit
-		if opts.Scheme == SchemeFAST {
-			variant = fast.SlotHeaderLogging
-		}
-		ns, err := fast.Attach(arena, fast.Config{
-			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Variant: variant,
-		})
+		ns, err := fast.Attach(arena, fastConfigFor(opts))
 		if err != nil {
 			return nil, err
 		}
 		return ns, ns.Recover()
 	case SchemeNVWAL, SchemeWAL, SchemeJournal:
-		kind := wal.NVWAL
-		switch opts.Scheme {
-		case SchemeWAL:
-			kind = wal.FullWAL
-		case SchemeJournal:
-			kind = wal.Journal
-		}
-		ns, err := wal.Attach(arena, wal.Config{
-			PageSize: opts.PageSize, MaxPages: opts.MaxPages, Kind: kind,
-		})
+		ns, err := wal.Attach(arena, walConfigFor(opts))
 		if err != nil {
 			return nil, err
 		}
 		return ns, ns.Recover()
 	}
-	return nil, fmt.Errorf("fasp: unknown scheme %q", opts.Scheme)
+	return nil, badScheme(opts.Scheme)
 }
 
 // reattach rebuilds the store over the surviving arena after a crash.
@@ -409,8 +411,16 @@ func OpenKV(opts Options) (*KV, error) {
 // newShardEngine wires the scheme-agnostic sharded engine to this
 // package's store constructors: every shard is a full newBase backend on
 // its own simulated machine, and reattach after a crash goes through the
-// same attachStore path the single-store facade uses.
+// same attachStore path the single-store facade uses — made tag-aware by
+// reattachShard, since under AdaptiveScheme a shard's live scheme is
+// whatever its persisted scheme tag names, not Options.Scheme.
 func newShardEngine(opts Options, rec *obsv.Recorder) (*shard.Engine, error) {
+	var migrate func(int, *shard.Backend, string) (pager.Store, error)
+	if opts.AdaptiveScheme {
+		migrate = func(_ int, be *shard.Backend, target string) (pager.Store, error) {
+			return migrateStore(opts, be, target)
+		}
+	}
 	return shard.New(shard.Config{
 		Shards:            opts.Shards,
 		MaxBatch:          opts.MaxBatch,
@@ -421,15 +431,22 @@ func newShardEngine(opts Options, rec *obsv.Recorder) (*shard.Engine, error) {
 			if err != nil {
 				return nil, err
 			}
-			return &shard.Backend{Sys: b.sys, Arena: b.arena, Store: b.store}, nil
+			be := &shard.Backend{Sys: b.sys, Arena: b.arena, Store: b.store}
+			if opts.AdaptiveScheme {
+				be.Ctl = newCtlArena(b.sys, opts.Scheme)
+			}
+			return be, nil
 		},
-		Reattach: func(_ int, be *shard.Backend) (pager.Store, error) {
-			return attachStore(opts, be.Arena)
-		},
+		Reattach: reattachShard(opts),
 		Recorder: rec,
 		Counters: func(_ int, be *shard.Backend) obsv.Counters {
-			return storeCounters(be.Sys, be.Arena, be.Store)
+			// EvBase folds in the event totals of stores retired by scheme
+			// migrations, keeping the deltas the recorder sees monotonic.
+			return storeCounters(be.Sys, be.Arena, be.Store).Add(be.EvBase)
 		},
+		Tune:            tuneTemplate(opts),
+		Migrate:         migrate,
+		DefragThreshold: opts.DefragThreshold,
 	})
 }
 

@@ -1,0 +1,204 @@
+package fasp_test
+
+import (
+	"encoding/json"
+	"fmt"
+	"hash/fnv"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"fasp"
+)
+
+// goldenAdaptiveRecord pins one shard of the adaptive golden workload: the
+// controller's complete decision trace (every window's signals, AIMD step,
+// fragmentation measurement, and migration), the scheme the shard ends
+// under, and a content checksum. The trace is a pure function of the op
+// sequence on the ApplyBatch path, so any drift in the controller's
+// arithmetic, the window bookkeeping, or the migration protocol shows up as
+// a golden diff.
+type goldenAdaptiveRecord struct {
+	Scheme   string              `json:"scheme"`
+	MaxBatch int                 `json:"max_batch"`
+	Count    int                 `json:"count"`
+	TreeSum  uint64              `json:"tree_sum"`
+	Trace    []fasp.TuneDecision `json:"trace"`
+}
+
+// runGoldenAdaptiveWorkload drives every adaptive loop through a fixed
+// three-phase workload on the deterministic ApplyBatch path:
+//
+//  1. batch-heavy inserts — mean batch pegged at the drain bound pushes
+//     both shards fast+ → wal (cross-family migration);
+//  2. deletes — carve dead space so fragmentation crosses the defrag
+//     threshold;
+//  3. single-op updates — single-leaf commits pull the shards back
+//     wal → fast+ while idle windows defragment.
+func runGoldenAdaptiveWorkload(t *testing.T) []goldenAdaptiveRecord {
+	t.Helper()
+	const shards = 2
+	kv, err := fasp.OpenKV(fasp.Options{
+		Scheme: "fast+", Shards: shards, MaxBatch: 8,
+		PageSize: 1024, MaxPages: 4096, CacheBytes: 16 << 10,
+		AdaptiveScheme: true, AdaptiveBatch: true, DefragThreshold: 0.2,
+	})
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer kv.Close()
+
+	apply := func(ops []fasp.Op) {
+		t.Helper()
+		for i, err := range kv.ApplyBatch(ops) {
+			if err != nil {
+				t.Fatalf("adaptive golden op %d (%s): %v", i, ops[i].Kind, err)
+			}
+		}
+	}
+	key := func(i int) []byte { return []byte(fmt.Sprintf("g%06d", i)) }
+	val := func(i int) []byte { return []byte(fmt.Sprintf("value-%06d-%040d", i, i)) }
+
+	// Phase 1: 70 batch-heavy calls (64 ops each).
+	var keys [][]byte
+	id := 0
+	for call := 0; call < 70; call++ {
+		ops := make([]fasp.Op, 0, 64)
+		for j := 0; j < 64; j++ {
+			k := key(id)
+			keys = append(keys, k)
+			ops = append(ops, fasp.Op{Kind: fasp.OpInsert, Key: k, Val: val(id)})
+			id++
+		}
+		apply(ops)
+	}
+
+	// Phase 2: delete every third key.
+	var ops []fasp.Op
+	for i := 0; i < len(keys); i += 3 {
+		ops = append(ops, fasp.Op{Kind: fasp.OpDelete, Key: keys[i]})
+	}
+	apply(ops)
+
+	// Phase 3: 300 two-op update calls over surviving keys.
+	var live [][]byte
+	for i := range keys {
+		if i%3 != 0 {
+			live = append(live, keys[i])
+		}
+	}
+	for call := 0; call < 300; call++ {
+		apply([]fasp.Op{
+			{Kind: fasp.OpUpdate, Key: live[(call*2)%len(live)], Val: val(call + 100000)},
+			{Kind: fasp.OpUpdate, Key: live[(call*2+1)%len(live)], Val: val(call + 200000)},
+		})
+	}
+
+	recs := make([]goldenAdaptiveRecord, shards)
+	for i := 0; i < shards; i++ {
+		scheme, err := kv.ShardScheme(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		mb, err := kv.ShardMaxBatch(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		trace, err := kv.TuneTrace(i)
+		if err != nil {
+			t.Fatal(err)
+		}
+		rec := goldenAdaptiveRecord{Scheme: scheme, MaxBatch: mb, Trace: trace}
+		h := fnv.New64a()
+		if err := kv.ShardScan(i, nil, nil, func(k, v []byte) bool {
+			h.Write(k)
+			h.Write(v)
+			rec.Count++
+			return true
+		}); err != nil {
+			t.Fatalf("shard %d scan: %v", i, err)
+		}
+		rec.TreeSum = h.Sum64()
+		recs[i] = rec
+	}
+	return recs
+}
+
+// TestGoldenAdaptiveDeterminism compares the adaptive workload's per-shard
+// decision traces and content against testdata/golden_adaptive.json.
+// Regenerate only on an intentional controller or protocol change:
+//
+//	go test -run TestGoldenAdaptiveDeterminism -update-golden .
+func TestGoldenAdaptiveDeterminism(t *testing.T) {
+	got := runGoldenAdaptiveWorkload(t)
+
+	path := filepath.Join("testdata", "golden_adaptive.json")
+	if *updateGolden {
+		if err := os.MkdirAll("testdata", 0o755); err != nil {
+			t.Fatal(err)
+		}
+		out, err := json.MarshalIndent(got, "", "  ")
+		if err != nil {
+			t.Fatal(err)
+		}
+		if err := os.WriteFile(path, append(out, '\n'), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		t.Logf("adaptive golden rewritten: %s", path)
+		return
+	}
+
+	raw, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatalf("read adaptive golden (run with -update-golden to create): %v", err)
+	}
+	var want []goldenAdaptiveRecord
+	if err := json.Unmarshal(raw, &want); err != nil {
+		t.Fatal(err)
+	}
+	if len(want) != len(got) {
+		t.Fatalf("golden has %d shards, run produced %d", len(want), len(got))
+	}
+	for i := range got {
+		if !reflect.DeepEqual(got[i], want[i]) {
+			gj, _ := json.Marshal(got[i])
+			wj, _ := json.Marshal(want[i])
+			t.Errorf("shard %d: adaptive behavior diverged from golden\n got: %s\nwant: %s", i, gj, wj)
+		}
+	}
+
+	// The workload is built to exercise every loop: both shards must have
+	// migrated out and back, and defragged at least once.
+	for i, rec := range got {
+		sawOut, sawBack, defragged := false, false, false
+		for _, d := range rec.Trace {
+			if d.Migrated && d.Migrate == "wal" {
+				sawOut = true
+			}
+			if d.Migrated && d.Migrate == "fast+" {
+				sawBack = true
+			}
+			if d.DefragPages > 0 {
+				defragged = true
+			}
+		}
+		if !sawOut || !sawBack || !defragged {
+			t.Errorf("shard %d: workload no longer exercises all loops (out=%v back=%v defrag=%v)",
+				i, sawOut, sawBack, defragged)
+		}
+		if rec.Scheme != "fast+" {
+			t.Errorf("shard %d: final scheme %q, want fast+ after the return migration", i, rec.Scheme)
+		}
+	}
+}
+
+// TestGoldenAdaptiveStable re-runs the adaptive workload twice in-process
+// and requires identical records.
+func TestGoldenAdaptiveStable(t *testing.T) {
+	a := runGoldenAdaptiveWorkload(t)
+	b := runGoldenAdaptiveWorkload(t)
+	if !reflect.DeepEqual(a, b) {
+		t.Fatalf("two identical adaptive runs diverged:\n a: %+v\n b: %+v", a, b)
+	}
+}

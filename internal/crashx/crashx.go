@@ -170,7 +170,20 @@ type Config struct {
 	Reattach func(st pager.Store) (pager.Store, error)
 	// Workload is the recorded transaction sequence (one txn per op).
 	Workload []Op
+	// AtOp, when set, runs before workload op i in every replay (Measure
+	// and Run alike) — the injection point migration sweeps use to switch
+	// the store's commit scheme mid-workload. It executes inside the
+	// crashed region, so its PM traffic contributes crash points like any
+	// transaction. It must be deterministic. A non-nil returned store
+	// replaces the one the replay applies the remaining ops to (a scheme
+	// migration swaps stores); returning nil keeps the current store.
+	AtOp func(i int, st pager.Store) (pager.Store, error)
 
+	// Points, when non-nil, overrides the schedule entirely: exactly these
+	// primary crash points are explored and Budget/Samples are ignored.
+	// Migration sweeps use it to enumerate the migration window (learned
+	// from a measured run) exhaustively while only sampling the rest.
+	Points []int64
 	// Budget is the number of crash points enumerated exhaustively from
 	// point 0; 0 enumerates every point. Beyond the budget, Samples points
 	// are stratified-sampled (seeded) from the remaining range.

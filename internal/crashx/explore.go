@@ -64,6 +64,10 @@ func Measure(cfg *Config) (int64, error) {
 	base := sys.CrashPoints()
 	tree := btree.New(st)
 	for i := range cfg.Workload {
+		var err error
+		if st, tree, err = cfg.atOp(i, st, tree); err != nil {
+			return 0, fmt.Errorf("crashx: AtOp hook before op %d failed uncrashed: %w", i, err)
+		}
 		if err := applyOp(tree, &cfg.Workload[i]); err != nil {
 			return 0, fmt.Errorf("crashx: workload op %d (%s %q) failed uncrashed: %w",
 				i, cfg.Workload[i].Kind, cfg.Workload[i].Key, err)
@@ -99,6 +103,11 @@ func Run(cfg *Config, spec Spec) Result {
 	sys.CrashAfter(spec.Point)
 	res.Crashed = sys.RunToCrash(func() {
 		for i := range cfg.Workload {
+			var err error
+			if st, tree, err = cfg.atOp(i, st, tree); err != nil {
+				opErr = fmt.Errorf("crashx: AtOp hook before op %d failed: %w", i, err)
+				return
+			}
 			if err := applyOp(tree, &cfg.Workload[i]); err != nil {
 				opErr = fmt.Errorf("crashx: workload op %d failed: %w", i, err)
 				return
@@ -149,6 +158,22 @@ func Run(cfg *Config, spec Spec) Result {
 
 	res.Err = checkOracle(st2, cfg.Workload, res.Acked, cfg.Check)
 	return res
+}
+
+// atOp runs the pre-op hook (when configured) and rebinds the replay's
+// store and tree if the hook swapped stores.
+func (c *Config) atOp(i int, st pager.Store, tree *btree.Tree) (pager.Store, *btree.Tree, error) {
+	if c.AtOp == nil {
+		return st, tree, nil
+	}
+	ns, err := c.AtOp(i, st)
+	if err != nil {
+		return st, tree, err
+	}
+	if ns != nil && ns != st {
+		return ns, btree.New(ns), nil
+	}
+	return st, tree, nil
 }
 
 // applyOp runs one workload transaction.
@@ -278,13 +303,19 @@ func Explore(cfg *Config) (*Report, error) {
 	if err != nil {
 		return nil, err
 	}
-	points := schedule(total, cfg.Budget, cfg.Samples, cfg.Seed)
+	points := cfg.Points
 	rep := &Report{TotalPoints: total, LotteriesPerPoint: 2 + cfg.Lotteries}
-	if cfg.Budget <= 0 || int64(cfg.Budget) >= total {
+	switch {
+	case points != nil:
 		rep.Enumerated = len(points)
-	} else {
-		rep.Enumerated = cfg.Budget
-		rep.Sampled = len(points) - cfg.Budget
+	default:
+		points = schedule(total, cfg.Budget, cfg.Samples, cfg.Seed)
+		if cfg.Budget <= 0 || int64(cfg.Budget) >= total {
+			rep.Enumerated = len(points)
+		} else {
+			rep.Enumerated = cfg.Budget
+			rep.Sampled = len(points) - cfg.Budget
+		}
 	}
 
 	fail := func(spec Spec, err error) bool {

@@ -81,11 +81,16 @@ type Stats struct {
 	Commits        int64
 	InPlaceCommits int64
 	LogCommits     int64
-	LoggedBytes    int64 // slot-header bytes written to the log
-	LoggedFrames   int64
-	Defrags        int64
-	Splits         int64 // updated by the B-tree layer via NoteSplit
-	FreeListFixes  int64
+	// SingleLeaf counts commits whose write set was exactly one leaf page
+	// with a cache-line header — the FAST+ in-place-eligible shape. It is
+	// counted under both variants (shape only, ignoring Variant), so the
+	// adaptive controller can estimate FAST+'s win rate while running FAST.
+	SingleLeaf    int64
+	LoggedBytes   int64 // slot-header bytes written to the log
+	LoggedFrames  int64
+	Defrags       int64
+	Splits        int64 // updated by the B-tree layer via NoteSplit
+	FreeListFixes int64
 }
 
 // Store is a FAST/FAST+ database in persistent memory.

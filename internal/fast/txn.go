@@ -197,11 +197,13 @@ func (tx *Txn) stageHeaders() {
 	}
 }
 
-// inPlaceEligible reports whether the FAST+ single-page HTM commit applies
-// (§4.2): exactly one dirty page, a leaf, header within one cache line, and
-// no allocation, free, defragmentation or metadata change.
-func (tx *Txn) inPlaceEligible() (*txnPage, bool) {
-	if tx.st.cfg.Variant != InPlaceCommit || tx.defragged || tx.metaDirty ||
+// singleLeafShape reports whether the transaction's write set has the
+// FAST+ in-place-commit shape (§4.2): exactly one dirty page, a leaf,
+// header within one cache line, and no allocation, free, defragmentation
+// or metadata change. The check reads only in-memory transaction state —
+// no arena traffic — so counting it under FAST costs no simulated time.
+func (tx *Txn) singleLeafShape() (*txnPage, bool) {
+	if tx.defragged || tx.metaDirty ||
 		len(tx.allocated) != 0 || len(tx.freed) != 0 || len(tx.dirtyOrder) != 1 {
 		return nil, false
 	}
@@ -216,12 +218,22 @@ func (tx *Txn) inPlaceEligible() (*txnPage, bool) {
 	return tp, true
 }
 
+// inPlaceEligible reports whether the FAST+ single-page HTM commit applies:
+// the single-leaf shape, under the in-place variant.
+func (tx *Txn) inPlaceEligible() (*txnPage, bool) {
+	if tx.st.cfg.Variant != InPlaceCommit {
+		return nil, false
+	}
+	return tx.singleLeafShape()
+}
+
 // Commit runs the commit protocol and closes the transaction.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return fmt.Errorf("fast: commit on finished transaction")
 	}
 	clock := tx.st.sys.Clock()
+	_, singleLeaf := tx.singleLeafShape()
 	var err error
 	clock.InPhase(phase.Commit, func() {
 		// Safety: any record bytes not flushed by OpEnd must be durable
@@ -246,6 +258,9 @@ func (tx *Txn) Commit() error {
 	}
 	tx.finish()
 	tx.st.stats.Commits++
+	if singleLeaf {
+		tx.st.stats.SingleLeaf++
+	}
 	return nil
 }
 

@@ -22,11 +22,19 @@ type ShardGauge struct {
 	SimNS   int64
 	Flushes int64
 	Fences  int64
+	// Scheme is the shard's live commit scheme name ("" when unknown);
+	// under adaptive tuning it may differ from the configured scheme.
+	Scheme string
+	// Fragmentation is the shard's committed-tree leaf fragmentation ratio
+	// (dead bytes / cell area) in [0,1]; -1 when not measured.
+	Fragmentation float64
+	// MaxBatch is the shard's live group-commit drain bound.
+	MaxBatch int
 }
 
 // eventNames labels Counters fields for the events_total metric, in the
 // same order as Recorder.events.
-var eventNames = [...]string{"clflush", "fence", "htm_commit", "htm_abort", "log_append", "checkpoint"}
+var eventNames = [...]string{"clflush", "fence", "htm_commit", "htm_abort", "log_append", "checkpoint", "single_leaf"}
 
 func (c Counters) byIndex(i int) int64 {
 	switch i {
@@ -42,6 +50,8 @@ func (c Counters) byIndex(i int) int64 {
 		return c.LogAppend
 	case 5:
 		return c.Checkpoint
+	case 6:
+		return c.SingleLeaf
 	}
 	return 0
 }
@@ -123,6 +133,21 @@ func WritePrometheus(w io.Writer, store string, snap Snapshot, shards []ShardGau
 			up = 1
 		}
 		fmt.Fprintf(w, "fasp_shard_healthy{store=%q,shard=\"%d\"} %d\n", store, g.Shard, up)
+	}
+	fmt.Fprintf(w, "# HELP fasp_shard_fragmentation_ratio Committed-tree leaf fragmentation (dead bytes / cell area); -1 when unmeasured.\n# TYPE fasp_shard_fragmentation_ratio gauge\n")
+	for _, g := range shards {
+		fmt.Fprintf(w, "fasp_shard_fragmentation_ratio{store=%q,shard=\"%d\"} %g\n", store, g.Shard, g.Fragmentation)
+	}
+	fmt.Fprintf(w, "# HELP fasp_shard_scheme Live commit scheme per shard (1 for the active scheme label).\n# TYPE fasp_shard_scheme gauge\n")
+	for _, g := range shards {
+		if g.Scheme == "" {
+			continue
+		}
+		fmt.Fprintf(w, "fasp_shard_scheme{store=%q,shard=\"%d\",scheme=%q} 1\n", store, g.Shard, g.Scheme)
+	}
+	fmt.Fprintf(w, "# HELP fasp_shard_max_batch Live group-commit drain bound per shard.\n# TYPE fasp_shard_max_batch gauge\n")
+	for _, g := range shards {
+		fmt.Fprintf(w, "fasp_shard_max_batch{store=%q,shard=\"%d\"} %d\n", store, g.Shard, g.MaxBatch)
 	}
 }
 

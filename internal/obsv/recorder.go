@@ -60,6 +60,10 @@ type Counters struct {
 	HTMAbort   int64 `json:"htm_abort"`
 	LogAppend  int64 `json:"log_append"`
 	Checkpoint int64 `json:"checkpoint"`
+	// SingleLeaf counts commits whose write set was a single leaf page —
+	// the FAST+ in-place-eligible shape, counted under every scheme. The
+	// adaptive controller's scheme rule reads its windowed ratio.
+	SingleLeaf int64 `json:"single_leaf"`
 }
 
 // Sub returns c - o, the events between two snapshots.
@@ -71,6 +75,7 @@ func (c Counters) Sub(o Counters) Counters {
 		HTMAbort:   c.HTMAbort - o.HTMAbort,
 		LogAppend:  c.LogAppend - o.LogAppend,
 		Checkpoint: c.Checkpoint - o.Checkpoint,
+		SingleLeaf: c.SingleLeaf - o.SingleLeaf,
 	}
 }
 
@@ -83,6 +88,7 @@ func (c Counters) Add(o Counters) Counters {
 		HTMAbort:   c.HTMAbort + o.HTMAbort,
 		LogAppend:  c.LogAppend + o.LogAppend,
 		Checkpoint: c.Checkpoint + o.Checkpoint,
+		SingleLeaf: c.SingleLeaf + o.SingleLeaf,
 	}
 }
 
@@ -160,7 +166,7 @@ type Recorder struct {
 	getRetries    atomic.Int64
 	scanFanout    Histogram
 
-	events  [6]atomic.Int64 // totals, indexed like Counters fields
+	events  [7]atomic.Int64 // totals, indexed like Counters fields
 	batches atomic.Int64
 	slows   atomic.Int64
 	seq     atomic.Uint64
@@ -306,6 +312,7 @@ func (r *Recorder) addEvents(ev Counters) {
 	r.events[3].Add(ev.HTMAbort)
 	r.events[4].Add(ev.LogAppend)
 	r.events[5].Add(ev.Checkpoint)
+	r.events[6].Add(ev.SingleLeaf)
 }
 
 // capture writes a sample into the appropriate ring slot(s).
@@ -414,6 +421,7 @@ func (r *Recorder) Snapshot() Snapshot {
 			HTMAbort:   r.events[3].Load(),
 			LogAppend:  r.events[4].Load(),
 			Checkpoint: r.events[5].Load(),
+			SingleLeaf: r.events[6].Load(),
 		},
 		Batches:   r.batches.Load(),
 		SlowOps:   r.slows.Load(),

@@ -11,6 +11,7 @@ import (
 	"fasp/internal/obsv"
 	"fasp/internal/pager"
 	"fasp/internal/pmem"
+	"fasp/internal/tune"
 )
 
 // Defaults for Config.
@@ -55,6 +56,21 @@ type Backend struct {
 	Sys   *pmem.System
 	Arena *pmem.Arena
 	Store pager.Store
+	// Ctl is the shard's control arena holding the persisted live-scheme
+	// tag; nil unless adaptive scheme selection is on. The facade owns its
+	// layout — the engine only carries it so Reattach and Migrate closures
+	// share one handle.
+	Ctl *pmem.Arena
+	// NewArena / NewScheme stage an in-flight cross-arena scheme migration:
+	// the target arena is fully built and NewScheme names its scheme before
+	// the tag flips, so a crash-time Reattach can tell which image the
+	// persisted tag refers to. Cleared once the swap completes.
+	NewArena  *pmem.Arena
+	NewScheme string
+	// EvBase accumulates the commit-path event counters of stores retired
+	// by scheme migrations, so the facade's counter bridge stays monotonic
+	// across store swaps.
+	EvBase obsv.Counters
 }
 
 // Config builds an Engine. Open and Reattach keep the engine
@@ -88,6 +104,21 @@ type Config struct {
 	// stores that support snapshot peeks — the baseline arm for read-path
 	// benchmarks, and an escape hatch.
 	NoOptimisticReads bool
+	// Tune, when set, runs the per-shard adaptive controller (online scheme
+	// selection, AIMD batch sizing, defrag scheduling). The facade fills
+	// Scheme before handing it over; MaxBatch and MailboxCap default to the
+	// engine's. Each shard gets its own Controller built from this template.
+	Tune *tune.Config
+	// Migrate performs a crash-safe commit-scheme migration of shard i to
+	// target, returning the new store over the (possibly replaced) arena.
+	// It is called with the shard quiesced — lock held, write gate closed,
+	// between group commits. Required when Tune.AdaptScheme is on.
+	Migrate func(i int, be *Backend, target string) (pager.Store, error)
+	// DefragThreshold enables proactive copy-on-write defragmentation under
+	// Tune: each closed decision window measures the committed tree's leaf
+	// fragmentation, and leaves at or above the threshold are rewritten
+	// during idle group-commit slots. 0 disables.
+	DefragThreshold float64
 }
 
 func (c *Config) fill() error {
@@ -108,6 +139,9 @@ func (c *Config) fill() error {
 	}
 	if c.Reattach == nil {
 		return errors.New("shard: Config.Reattach is required")
+	}
+	if c.Tune != nil && c.Tune.AdaptScheme && c.Migrate == nil {
+		return errors.New("shard: Tune.AdaptScheme requires Config.Migrate")
 	}
 	return nil
 }
@@ -221,7 +255,25 @@ type state struct {
 	// so it stays correct across Heal's store replacement.
 	rec  *obsv.Recorder
 	evFn func() obsv.Counters
+
+	// Adaptive tuning state (tuning.go). ctl is nil when tuning is off.
+	// liveBatch is always the live drain bound (== Config.MaxBatch until
+	// the controller retargets it), read by the writer loop and ApplyBatch.
+	// backoffs counts full-mailbox enqueue events since the last sample.
+	// frag and hotKeys hold the last fragmentation measurement (under mu;
+	// frag is -1 until measured). migrate is the bound facade migration
+	// closure.
+	ctl       *tune.Controller
+	liveBatch atomic.Int64
+	backoffs  atomic.Int64
+	defragTh  float64
+	frag      float64
+	hotKeys   [][]byte
+	migrate   func(target string) (pager.Store, error)
 }
+
+// maxBatchNow is the shard's live group-commit drain bound.
+func (s *state) maxBatchNow() int { return int(s.liveBatch.Load()) }
 
 // counters snapshots the shard's commit-path event counters (zero when no
 // bridge is configured). Callers hold s.mu.
@@ -269,15 +321,38 @@ func New(cfg Config) (*Engine, error) {
 			done:  make(chan struct{}),
 			rec:   cfg.Recorder,
 		}
+		s.frag = -1
+		s.liveBatch.Store(int64(cfg.MaxBatch))
 		s.publishReadState()
-		if cfg.Recorder != nil && cfg.Counters != nil {
+		// The counter bridge serves the recorder AND the tuner, so it is
+		// bound whenever the facade supplies it — metrics may be disabled
+		// while tuning is on.
+		if cfg.Counters != nil {
 			i, be := i, be
 			s.evFn = func() obsv.Counters { return cfg.Counters(i, be) }
+		}
+		if cfg.Tune != nil {
+			tc := *cfg.Tune
+			if tc.MaxBatch <= 0 {
+				tc.MaxBatch = cfg.MaxBatch
+			}
+			if tc.MailboxCap <= 0 {
+				tc.MailboxCap = cfg.Mailbox
+			}
+			s.ctl = tune.New(tc)
+			s.liveBatch.Store(int64(s.ctl.MaxBatch()))
+			s.defragTh = cfg.DefragThreshold
+			if cfg.Migrate != nil {
+				i, be := i, be
+				s.migrate = func(target string) (pager.Store, error) {
+					return cfg.Migrate(i, be, target)
+				}
+			}
 		}
 		e.shards[i] = s
 	}
 	for _, s := range e.shards {
-		go s.run(cfg.MaxBatch)
+		go s.run()
 	}
 	return e, nil
 }
@@ -348,7 +423,8 @@ func (e *Engine) ApplyBatch(ops []Op) []error {
 			sOps = append(sOps, ops[i])
 		}
 		sErrs = append(sErrs[:0], make([]error, len(idxs))...)
-		e.shards[si].applyLocked(e.cfg.MaxBatch, sOps, sErrs)
+		s := e.shards[si]
+		s.applyLocked(s.maxBatchNow(), sOps, sErrs)
 		for k, i := range idxs {
 			errs[i] = sErrs[k]
 		}
@@ -399,6 +475,13 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 	var sp obsv.Span
 	if s.rec != nil {
 		sp = s.rec.Begin(s.be.Sys.Clock().Now(), s.counters())
+	}
+	var tSim0, tBatches0 int64
+	var tc0 obsv.Counters
+	if s.ctl != nil {
+		tSim0 = s.be.Sys.Clock().Now()
+		tBatches0 = s.batches
+		tc0 = s.counters()
 	}
 	crashed, fault := s.runContained(func() {
 		s.batches += ApplyOps(s.tree, maxBatch, ops, errs)
@@ -461,6 +544,9 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 		}
 		if d != 0 {
 			s.recs.Add(d)
+		}
+		if s.ctl != nil {
+			s.tuneObserve(len(ops), tBatches0, tc0, tSim0)
 		}
 	}
 	s.ops += int64(len(ops))
@@ -562,6 +648,11 @@ func (e *Engine) Heal(i int) error {
 	s.downCause = nil
 	s.publishReadState()
 	s.setHealth()
+	if s.ctl != nil {
+		// Recovery resolves the persisted scheme tag; the controller syncs
+		// to whatever scheme the reattached store actually runs.
+		s.ctl.SetScheme(canonSchemeName(ns.Name()))
+	}
 	return nil
 }
 
@@ -650,13 +741,16 @@ func (e *Engine) Gauges() []obsv.ShardGauge {
 			health = Degraded
 		}
 		out[i] = obsv.ShardGauge{
-			Shard:   i,
-			Health:  health.String(),
-			Ops:     s.ops,
-			Batches: s.batches,
-			SimNS:   s.be.Sys.Clock().Now(),
-			Flushes: s.be.Arena.Stats().FlushCalls,
-			Fences:  s.be.Sys.Fences(),
+			Shard:         i,
+			Health:        health.String(),
+			Ops:           s.ops,
+			Batches:       s.batches,
+			SimNS:         s.be.Sys.Clock().Now(),
+			Flushes:       s.be.Arena.Stats().FlushCalls,
+			Fences:        s.be.Sys.Fences(),
+			Scheme:        canonSchemeName(s.be.Store.Name()),
+			Fragmentation: s.frag,
+			MaxBatch:      int(s.liveBatch.Load()),
 		}
 		s.mu.Unlock()
 	}

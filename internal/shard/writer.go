@@ -21,11 +21,13 @@ var reqPool = sync.Pool{New: func() any {
 }}
 
 // run is a shard's single-writer loop: block for one request, then drain
-// the mailbox without blocking until MaxBatch operations are queued, and
+// the mailbox without blocking until the live drain bound is reached, and
 // commit the drained set as one group-commit transaction. The drain bound
-// keeps latency bounded under sustained load; the blocking receive means
-// an idle shard costs nothing.
-func (s *state) run(maxBatch int) {
+// keeps latency bounded under sustained load (and is re-read every drain,
+// so the adaptive controller's retargets take effect at the next batch);
+// the blocking receive means an idle shard costs nothing — which is the
+// slot the proactive defrag pass borrows when work is pending.
+func (s *state) run() {
 	defer close(s.done)
 	var (
 		reqs []*request
@@ -37,6 +39,7 @@ func (s *state) run(maxBatch int) {
 		case r := <-s.mail:
 			reqs = append(reqs[:0], r)
 			n := len(r.ops)
+			maxBatch := s.maxBatchNow()
 		drain:
 			for n < maxBatch {
 				select {
@@ -48,6 +51,9 @@ func (s *state) run(maxBatch int) {
 				}
 			}
 			s.serve(maxBatch, reqs, &ops, &errs)
+			if len(s.mail) == 0 {
+				s.maybeIdleDefrag()
+			}
 		case <-s.quit:
 			// Serve the backlog, then exit. No new senders are allowed
 			// once Close has been called.
@@ -55,7 +61,7 @@ func (s *state) run(maxBatch int) {
 				select {
 				case r := <-s.mail:
 					reqs = append(reqs[:0], r)
-					s.serve(maxBatch, reqs, &ops, &errs)
+					s.serve(s.maxBatchNow(), reqs, &ops, &errs)
 				default:
 					return
 				}
@@ -158,6 +164,8 @@ func (e *Engine) enqueue(s *state, r *request) bool {
 		return true
 	default:
 	}
+	// The mailbox is full: one pressure event for the adaptive batch loop.
+	s.backoffs.Add(1)
 	deadline := time.Now().Add(e.cfg.EnqueueTimeout)
 	backoff := time.Millisecond
 	for {

@@ -1,0 +1,357 @@
+// Package tune implements the per-shard adaptive controller: online
+// commit-scheme selection, AIMD group-commit batch sizing, and proactive
+// defragmentation scheduling.
+//
+// The controller is deliberately dumb about time: every input is a counter
+// from the simulated machine or the shard's mailbox, accumulated over a
+// fixed window of group commits, and every decision is a pure function of
+// those counters. No wall clock, no randomness — the same op sequence
+// always produces the same decision trace, which is what lets the trace be
+// pinned in a golden file.
+//
+// The scheme rule follows the paper's own crossover data: FAST+ (HTM
+// in-place commit) only pays off when most commits touch a single leaf and
+// HTM aborts are rare; WAL amortises better once group commits grow into
+// multi-page batches; FAST is the safe middle. Hysteresis (the target must
+// win several consecutive windows) plus a post-migration cooldown keep the
+// controller from thrashing at a boundary.
+package tune
+
+// Scheme names the controller migrates between. They match the fasp
+// package's canonical Options.Scheme strings for the three schemes the
+// adaptive set covers.
+const (
+	SchemeFASTPlus = "fast+"
+	SchemeFAST     = "fast"
+	SchemeWAL      = "wal"
+)
+
+// Config parameterises a Controller. Zero fields take the defaults noted.
+type Config struct {
+	// Window is the number of group commits per decision window (default 32).
+	Window int
+	// Scheme is the shard's initial commit scheme.
+	Scheme string
+	// MaxBatch is the configured group-commit drain bound; the AIMD range
+	// is derived from it unless BatchFloor/BatchCeil are set.
+	MaxBatch int
+	// BatchFloor / BatchCeil clamp the adaptive batch size
+	// (defaults max(1, MaxBatch/4) and MaxBatch*4).
+	BatchFloor, BatchCeil int
+	// BatchStep is the additive-increase step (default max(1, MaxBatch/8)).
+	BatchStep int
+	// MailboxCap is the shard mailbox capacity, for the hot-mailbox test.
+	MailboxCap int
+	// SingleLeafHi is the single-leaf commit fraction above which FAST+ is
+	// preferred (default 0.5).
+	SingleLeafHi float64
+	// AbortHi is the HTM abort rate above which FAST+ is avoided
+	// (default 0.25).
+	AbortHi float64
+	// BatchHi is the mean ops-per-commit above which WAL is preferred
+	// (default 6).
+	BatchHi float64
+	// HotFrac is the mean mailbox-depth fraction of MailboxCap above which
+	// the batch bound grows (default 0.5).
+	HotFrac float64
+	// Hysteresis is the number of consecutive windows a scheme target must
+	// win before a migration is proposed (default 2).
+	Hysteresis int
+	// Cooldown is the number of windows after a migration during which no
+	// new migration is proposed (default 2).
+	Cooldown int
+	// AdaptScheme / AdaptBatch enable the two control loops independently.
+	AdaptScheme, AdaptBatch bool
+	// TraceCap bounds the retained decision trace (default 256).
+	TraceCap int
+}
+
+func (c *Config) fill() {
+	if c.Window <= 0 {
+		c.Window = 32
+	}
+	if c.MaxBatch <= 0 {
+		c.MaxBatch = 64
+	}
+	if c.BatchFloor <= 0 {
+		c.BatchFloor = c.MaxBatch / 4
+		if c.BatchFloor < 1 {
+			c.BatchFloor = 1
+		}
+	}
+	if c.BatchCeil <= 0 {
+		c.BatchCeil = c.MaxBatch * 4
+	}
+	if c.BatchStep <= 0 {
+		c.BatchStep = c.MaxBatch / 8
+		if c.BatchStep < 1 {
+			c.BatchStep = 1
+		}
+	}
+	if c.SingleLeafHi == 0 {
+		c.SingleLeafHi = 0.5
+	}
+	if c.AbortHi == 0 {
+		c.AbortHi = 0.25
+	}
+	if c.BatchHi == 0 {
+		c.BatchHi = 6
+	}
+	if c.HotFrac == 0 {
+		c.HotFrac = 0.5
+	}
+	if c.Hysteresis <= 0 {
+		c.Hysteresis = 2
+	}
+	if c.Cooldown <= 0 {
+		c.Cooldown = 2
+	}
+	if c.TraceCap <= 0 {
+		c.TraceCap = 256
+	}
+	if c.Scheme == "" {
+		c.Scheme = SchemeFASTPlus
+	}
+}
+
+// Sample is one group commit's worth of signal deltas, fed to Observe by
+// the shard after each committed batch. All fields are deltas or point
+// observations derived from the simulated machine and the mailbox — never
+// wall time.
+type Sample struct {
+	// Ops is the number of operations in the batch.
+	Ops int
+	// Commits is the store commit delta (usually 1 per batch, more when a
+	// batch fell back to per-op transactions).
+	Commits int64
+	// SingleLeaf is the delta of commits whose write set was a single leaf
+	// page (the FAST+ in-place-eligible shape).
+	SingleLeaf int64
+	// HTMCommit / HTMAbort are the HTM event deltas.
+	HTMCommit, HTMAbort int64
+	// MailDepth is the mailbox depth observed when the batch was drained.
+	MailDepth int
+	// Backoffs is the delta of enqueue attempts that found the mailbox full.
+	Backoffs int64
+	// SimNS is the simulated-time delta spent applying the batch.
+	SimNS int64
+}
+
+// Decision is one closed window's trace record. The shard fills the
+// outcome fields (Migrated, FragRatio, DefragPages) after acting on it.
+type Decision struct {
+	// Window is the 1-based decision-window ordinal.
+	Window int `json:"window"`
+	// Scheme is the scheme the window ran under.
+	Scheme string `json:"scheme"`
+	// Target is the scheme the rule picked for the observed signals.
+	Target string `json:"target"`
+	// Migrate is the proposed migration ("" = stay).
+	Migrate string `json:"migrate,omitempty"`
+	// Migrated reports whether the shard completed the migration.
+	Migrated bool `json:"migrated,omitempty"`
+	// SingleLeafPct / AbortPct are the window's signal percentages
+	// (integer, rounded down — keeps the trace arithmetic exact).
+	SingleLeafPct int `json:"single_leaf_pct"`
+	AbortPct      int `json:"abort_pct"`
+	// MeanBatchX10 is the mean ops-per-commit × 10 (integer).
+	MeanBatchX10 int `json:"mean_batch_x10"`
+	// MaxBatch is the live batch bound after this window's AIMD step.
+	MaxBatch int `json:"max_batch"`
+	// FragPct is the measured fragmentation ratio × 100 at window close
+	// (-1 when not measured).
+	FragPct int `json:"frag_pct"`
+	// DefragPages is the number of pages the proactive defrag pass rewrote.
+	DefragPages int `json:"defrag_pages,omitempty"`
+}
+
+// Controller runs the three adaptive loops for one shard. It is not
+// internally synchronised: the owning shard calls it with the shard lock
+// held.
+type Controller struct {
+	cfg Config
+
+	scheme   string
+	maxBatch int
+
+	// Window accumulators.
+	n          int
+	ops        int64
+	commits    int64
+	singleLeaf int64
+	htmCommit  int64
+	htmAbort   int64
+	mailDepth  int64
+	backoffs   int64
+	simNS      int64
+
+	// Scheme hysteresis / cooldown state.
+	agree    string
+	agreeN   int
+	cooldown int
+
+	windows int
+	trace   []Decision
+}
+
+// New builds a controller; cfg.Scheme and cfg.MaxBatch seed the live state.
+func New(cfg Config) *Controller {
+	cfg.fill()
+	mb := cfg.MaxBatch
+	if mb < cfg.BatchFloor {
+		mb = cfg.BatchFloor
+	}
+	if mb > cfg.BatchCeil {
+		mb = cfg.BatchCeil
+	}
+	return &Controller{cfg: cfg, scheme: cfg.Scheme, maxBatch: mb}
+}
+
+// Scheme returns the scheme the controller believes the shard runs under.
+func (c *Controller) Scheme() string { return c.scheme }
+
+// MaxBatch returns the live adaptive batch bound.
+func (c *Controller) MaxBatch() int { return c.maxBatch }
+
+// Windows returns the number of closed decision windows.
+func (c *Controller) Windows() int { return c.windows }
+
+// Trace returns the retained decision records, oldest first. The returned
+// slice aliases the controller's ring; callers must not mutate it.
+func (c *Controller) Trace() []Decision { return c.trace }
+
+// SetScheme records a completed migration: the live scheme changes, the
+// hysteresis resets, and the cooldown starts. The shard calls it only
+// after the tag flip and store swap succeeded.
+func (c *Controller) SetScheme(s string) {
+	c.scheme = s
+	c.agree = ""
+	c.agreeN = 0
+	c.cooldown = c.cfg.Cooldown
+}
+
+// Observe feeds one batch sample. When the sample closes a decision
+// window it returns a pointer to the freshly appended trace record — the
+// shard acts on Migrate/MaxBatch and fills the outcome fields through the
+// pointer — and true. Otherwise it returns nil, false.
+func (c *Controller) Observe(s Sample) (*Decision, bool) {
+	c.n++
+	c.ops += int64(s.Ops)
+	c.commits += s.Commits
+	c.singleLeaf += s.SingleLeaf
+	c.htmCommit += s.HTMCommit
+	c.htmAbort += s.HTMAbort
+	c.mailDepth += int64(s.MailDepth)
+	c.backoffs += s.Backoffs
+	c.simNS += s.SimNS
+	if c.n < c.cfg.Window {
+		return nil, false
+	}
+	return c.closeWindow(), true
+}
+
+// closeWindow computes the window's signals, runs the scheme rule and the
+// AIMD step, appends the trace record and resets the accumulators.
+func (c *Controller) closeWindow() *Decision {
+	c.windows++
+	d := Decision{
+		Window:   c.windows,
+		Scheme:   c.scheme,
+		MaxBatch: c.maxBatch,
+		FragPct:  -1,
+	}
+
+	// Window signals, integer-scaled for the trace.
+	var singleLeafFrac, abortRate, meanBatch float64
+	if c.commits > 0 {
+		singleLeafFrac = float64(c.singleLeaf) / float64(c.commits)
+		meanBatch = float64(c.ops) / float64(c.commits)
+	}
+	if t := c.htmCommit + c.htmAbort; t > 0 {
+		abortRate = float64(c.htmAbort) / float64(t)
+	}
+	d.SingleLeafPct = int(singleLeafFrac * 100)
+	d.AbortPct = int(abortRate * 100)
+	d.MeanBatchX10 = int(meanBatch * 10)
+
+	// Scheme rule.
+	target := c.scheme
+	if c.cfg.AdaptScheme {
+		switch {
+		case meanBatch >= c.cfg.BatchHi:
+			target = SchemeWAL
+		case singleLeafFrac >= c.cfg.SingleLeafHi && abortRate <= c.cfg.AbortHi:
+			target = SchemeFASTPlus
+		default:
+			target = SchemeFAST
+		}
+	}
+	d.Target = target
+
+	if c.cfg.AdaptScheme {
+		if c.cooldown > 0 {
+			c.cooldown--
+			c.agree = ""
+			c.agreeN = 0
+		} else if target != c.scheme {
+			if target == c.agree {
+				c.agreeN++
+			} else {
+				c.agree = target
+				c.agreeN = 1
+			}
+			if c.agreeN >= c.cfg.Hysteresis {
+				d.Migrate = target
+			}
+		} else {
+			c.agree = ""
+			c.agreeN = 0
+		}
+	}
+
+	// AIMD batch step, driven purely by mailbox pressure: grow additively
+	// while enqueuers back off or the queue runs deep, decay multiplicatively
+	// back toward the configured bound once the queue fully drains. Per-op
+	// simulated latency is deliberately not an input — it rises whenever the
+	// tree deepens, and reacting to it ratchets the bound to the floor on
+	// workloads with no queueing at all (the deterministic ApplyBatch path).
+	if c.cfg.AdaptBatch {
+		meanDepth := float64(c.mailDepth) / float64(c.n)
+		hot := c.backoffs > 0 ||
+			(c.cfg.MailboxCap > 0 && meanDepth >= c.cfg.HotFrac*float64(c.cfg.MailboxCap))
+		switch {
+		case hot:
+			c.maxBatch += c.cfg.BatchStep
+		case c.mailDepth == 0 && c.maxBatch > c.cfg.MaxBatch:
+			c.maxBatch /= 2
+			if c.maxBatch < c.cfg.MaxBatch {
+				c.maxBatch = c.cfg.MaxBatch
+			}
+		}
+		if c.maxBatch < c.cfg.BatchFloor {
+			c.maxBatch = c.cfg.BatchFloor
+		}
+		if c.maxBatch > c.cfg.BatchCeil {
+			c.maxBatch = c.cfg.BatchCeil
+		}
+		d.MaxBatch = c.maxBatch
+	}
+
+	// Reset accumulators for the next window.
+	c.n = 0
+	c.ops = 0
+	c.commits = 0
+	c.singleLeaf = 0
+	c.htmCommit = 0
+	c.htmAbort = 0
+	c.mailDepth = 0
+	c.backoffs = 0
+	c.simNS = 0
+
+	if len(c.trace) >= c.cfg.TraceCap {
+		copy(c.trace, c.trace[1:])
+		c.trace = c.trace[:len(c.trace)-1]
+	}
+	c.trace = append(c.trace, d)
+	return &c.trace[len(c.trace)-1]
+}

@@ -1,0 +1,154 @@
+package tune
+
+import "testing"
+
+// feedWindow feeds one full window of identical samples and returns the
+// closing decision.
+func feedWindow(t *testing.T, c *Controller, s Sample) *Decision {
+	t.Helper()
+	for i := 0; i < 31; i++ {
+		if d, closed := c.Observe(s); closed || d != nil {
+			t.Fatalf("window closed early at sample %d", i)
+		}
+	}
+	d, closed := c.Observe(s)
+	if !closed || d == nil {
+		t.Fatalf("window did not close")
+	}
+	return d
+}
+
+// singleLeafSample is the FAST+-favouring shape: every commit single-leaf,
+// no aborts, batch of one.
+var singleLeafSample = Sample{Ops: 1, Commits: 1, SingleLeaf: 1, HTMCommit: 1, SimNS: 1000}
+
+// bigBatchSample is the WAL-favouring shape: large multi-page batches.
+var bigBatchSample = Sample{Ops: 10, Commits: 1, SimNS: 5000}
+
+// mixedSample favours FAST: small batches, low single-leaf ratio.
+var mixedSample = Sample{Ops: 2, Commits: 1, SimNS: 2000}
+
+func TestSchemeRuleTargets(t *testing.T) {
+	cases := []struct {
+		name   string
+		s      Sample
+		target string
+	}{
+		{"single-leaf", singleLeafSample, SchemeFASTPlus},
+		{"big-batch", bigBatchSample, SchemeWAL},
+		{"mixed", mixedSample, SchemeFAST},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			c := New(Config{Scheme: SchemeFASTPlus, AdaptScheme: true})
+			d := feedWindow(t, c, tc.s)
+			if d.Target != tc.target {
+				t.Fatalf("target = %q, want %q", d.Target, tc.target)
+			}
+		})
+	}
+}
+
+func TestHysteresisDelaysMigration(t *testing.T) {
+	c := New(Config{Scheme: SchemeFASTPlus, AdaptScheme: true, Hysteresis: 2})
+	// First window disagreeing with the live scheme: no migration yet.
+	d := feedWindow(t, c, bigBatchSample)
+	if d.Migrate != "" {
+		t.Fatalf("migration proposed after one window, want hysteresis delay")
+	}
+	// Second consecutive window: migration proposed.
+	d = feedWindow(t, c, bigBatchSample)
+	if d.Migrate != SchemeWAL {
+		t.Fatalf("migrate = %q, want %q", d.Migrate, SchemeWAL)
+	}
+	// The shard completes it; cooldown suppresses immediate flapping.
+	c.SetScheme(SchemeWAL)
+	if c.Scheme() != SchemeWAL {
+		t.Fatalf("scheme = %q after SetScheme", c.Scheme())
+	}
+	for i := 0; i < 2; i++ {
+		if d = feedWindow(t, c, singleLeafSample); d.Migrate != "" {
+			t.Fatalf("migration proposed during cooldown window %d", i)
+		}
+	}
+	// After cooldown, two agreeing windows migrate back.
+	feedWindow(t, c, singleLeafSample)
+	d = feedWindow(t, c, singleLeafSample)
+	if d.Migrate != SchemeFASTPlus {
+		t.Fatalf("migrate = %q after cooldown, want %q", d.Migrate, SchemeFASTPlus)
+	}
+}
+
+func TestAIMDBatchGrowAndDecay(t *testing.T) {
+	c := New(Config{MaxBatch: 64, AdaptBatch: true, MailboxCap: 100})
+	if c.MaxBatch() != 64 {
+		t.Fatalf("initial MaxBatch = %d", c.MaxBatch())
+	}
+	// No queue signal at all (the deterministic ApplyBatch path): the bound
+	// must not move — latency is not an AIMD input.
+	idle := Sample{Ops: 4, Commits: 1, SimNS: 8000}
+	d := feedWindow(t, c, idle)
+	if d.MaxBatch != 64 {
+		t.Fatalf("MaxBatch after idle window = %d, want 64 (no queue signal)", d.MaxBatch)
+	}
+	// Hot mailbox (backoffs observed): additive growth.
+	hot := Sample{Ops: 4, Commits: 1, Backoffs: 1, MailDepth: 90, SimNS: 4000}
+	d = feedWindow(t, c, hot)
+	if d.MaxBatch != 64+8 {
+		t.Fatalf("MaxBatch after hot window = %d, want 72", d.MaxBatch)
+	}
+	// Sustained pressure saturates at the ceiling (MaxBatch*4).
+	for i := 0; i < 30; i++ {
+		d = feedWindow(t, c, hot)
+	}
+	if d.MaxBatch != 256 {
+		t.Fatalf("MaxBatch ceiling = %d, want 256", d.MaxBatch)
+	}
+	// Queue fully drained: multiplicative decay back toward the configured
+	// bound, never below it.
+	d = feedWindow(t, c, idle)
+	if d.MaxBatch != 128 {
+		t.Fatalf("MaxBatch after drain = %d, want 128", d.MaxBatch)
+	}
+	for i := 0; i < 5; i++ {
+		d = feedWindow(t, c, idle)
+	}
+	if d.MaxBatch != 64 {
+		t.Fatalf("MaxBatch after full decay = %d, want 64 (configured bound)", d.MaxBatch)
+	}
+}
+
+func TestDeterministicTrace(t *testing.T) {
+	run := func() []Decision {
+		c := New(Config{Scheme: SchemeFAST, AdaptScheme: true, AdaptBatch: true, MailboxCap: 64})
+		seq := []Sample{singleLeafSample, bigBatchSample, mixedSample}
+		for i := 0; i < 32*6; i++ {
+			c.Observe(seq[i%len(seq)])
+		}
+		out := make([]Decision, len(c.Trace()))
+		copy(out, c.Trace())
+		return out
+	}
+	a, b := run(), run()
+	if len(a) == 0 {
+		t.Fatalf("no windows closed")
+	}
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("trace diverged at window %d: %+v vs %+v", i, a[i], b[i])
+		}
+	}
+}
+
+func TestTraceCapBounded(t *testing.T) {
+	c := New(Config{Window: 1, TraceCap: 4, AdaptScheme: true})
+	for i := 0; i < 20; i++ {
+		c.Observe(mixedSample)
+	}
+	if len(c.Trace()) != 4 {
+		t.Fatalf("trace len = %d, want 4", len(c.Trace()))
+	}
+	if got := c.Trace()[3].Window; got != 20 {
+		t.Fatalf("newest window = %d, want 20", got)
+	}
+}

@@ -86,9 +86,14 @@ func (c Config) pageBase(no uint32) int64 {
 
 // Stats counts scheme-level events.
 type Stats struct {
-	Commits        int64
-	WALFrames      int64
-	WALBytes       int64 // payload bytes written to the log/journal
+	Commits   int64
+	WALFrames int64
+	WALBytes  int64 // payload bytes written to the log/journal
+	// SingleLeaf counts commits whose write set was exactly one leaf page —
+	// the shape FAST+ would commit with one HTM cache-line write. The
+	// adaptive controller reads it to decide when a migration to FAST+
+	// would pay off.
+	SingleLeaf     int64
 	Checkpoints    int64
 	JournaledPages int64
 	Splits         int64

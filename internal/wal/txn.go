@@ -5,6 +5,7 @@ import (
 
 	"fasp/internal/pager"
 	"fasp/internal/phase"
+	"fasp/internal/pmem"
 	"fasp/internal/slotted"
 )
 
@@ -228,11 +229,29 @@ func (tx *Txn) Rollback() {
 	tx.finish()
 }
 
+// singleLeafShape reports whether the transaction's write set has the
+// FAST+ in-place-commit shape (one dirty leaf, cache-line header, no
+// alloc/free/meta change) — the same in-memory check the fast package
+// counts, so scheme comparisons see one signal. No arena traffic.
+func (tx *Txn) singleLeafShape() bool {
+	if tx.metaDirty || len(tx.poppedFree) != 0 || len(tx.freed) != 0 ||
+		len(tx.dirtyOrder) != 1 {
+		return false
+	}
+	tp, ok := tx.pages[tx.dirtyOrder[0]]
+	if !ok || tp.page.Type() != slotted.TypeLeaf {
+		return false
+	}
+	return tp.page.NCells() <= slotted.MaxInPlaceCells &&
+		tp.page.Header().EncodedLen() <= pmem.CacheLineSize
+}
+
 // Commit dispatches to the scheme's protocol.
 func (tx *Txn) Commit() error {
 	if tx.done {
 		return fmt.Errorf("wal: commit on finished transaction")
 	}
+	singleLeaf := tx.singleLeafShape()
 	// Fold the working meta into the cached page 0 so it is logged and
 	// checkpointed like any other page.
 	if tx.metaDirty {
@@ -262,6 +281,9 @@ func (tx *Txn) Commit() error {
 	tx.st.meta = tx.meta
 	tx.st.freePages = append(tx.st.freePages, tx.freed...)
 	tx.st.stats.Commits++
+	if singleLeaf {
+		tx.st.stats.SingleLeaf++
+	}
 	tx.finish()
 	// Lazy checkpointing runs outside the measured commit path, as in the
 	// paper's NVWAL comparison.

@@ -1,0 +1,181 @@
+package fasp
+
+import (
+	"fmt"
+	"testing"
+
+	"fasp/internal/crashx"
+	"fasp/internal/pager"
+	"fasp/internal/pmem"
+	"fasp/internal/shard"
+)
+
+// The migration crash sweep: for every ordered pair of live schemes, run a
+// workload that migrates mid-stream and enumerate crash schedules through
+// the whole migration window — quiesce, checkpoint-to-clean-image, page
+// copy, tag flip, re-attach — plus nested crashes inside recovery. The
+// oracle is crashx's exact-state contract: after any crash + recovery the
+// store holds precisely the acknowledged prefix (or one in-flight op more),
+// under whichever scheme the persisted tag names.
+
+// migrationDirections are the six ordered scheme pairs the controller can
+// choose between (nvwal/journal are measurement baselines, not migration
+// targets — tune only ever proposes fast+/fast/wal).
+var migrationDirections = [][2]string{
+	{SchemeFASTPlus, SchemeFAST}, // same family, in-place tag flip
+	{SchemeFAST, SchemeFASTPlus},
+	{SchemeFASTPlus, SchemeWAL}, // cross family, copy + flip
+	{SchemeWAL, SchemeFASTPlus},
+	{SchemeFAST, SchemeWAL},
+	{SchemeWAL, SchemeFAST},
+}
+
+// migrationSweeper wires one direction into crashx. The backend pointer is
+// rebound by Open on every replay so the AtOp and Reattach closures always
+// see the current run's machine.
+type migrationSweeper struct {
+	opts      Options
+	target    string
+	migrateAt int
+	be        *shard.Backend
+	base      int64 // crash points consumed by Open (workload points are relative to this)
+
+	learn        bool  // set during the measuring run only
+	winLo, winHi int64 // migration window in absolute crash points
+}
+
+func (s *migrationSweeper) open() (*pmem.System, pager.Store) {
+	b, err := newBase(s.opts)
+	if err != nil {
+		panic(fmt.Sprintf("newBase(%q): %v", s.opts.Scheme, err))
+	}
+	be := &shard.Backend{Sys: b.sys, Arena: b.arena, Store: b.store, Ctl: newCtlArena(b.sys, s.opts.Scheme)}
+	s.be = be
+	s.base = b.sys.CrashPoints()
+	return b.sys, b.store
+}
+
+func (s *migrationSweeper) atOp(i int, _ pager.Store) (pager.Store, error) {
+	if i != s.migrateAt {
+		return nil, nil
+	}
+	if s.learn {
+		s.winLo = s.be.Sys.CrashPoints()
+	}
+	ns, err := migrateStore(s.opts, s.be, s.target)
+	if err != nil {
+		return nil, err
+	}
+	s.be.Store = ns
+	if s.learn {
+		s.winHi = s.be.Sys.CrashPoints()
+	}
+	return ns, nil
+}
+
+func (s *migrationSweeper) reattach(pager.Store) (pager.Store, error) {
+	ns, err := reattachShard(s.opts)(0, s.be)
+	if err != nil {
+		return nil, err
+	}
+	s.be.Store = ns
+	return ns, nil
+}
+
+// sweepPoints builds the primary crash-point schedule: the migration window
+// enumerated (capped with an even stride when it is wide), bracketed by a
+// few points on either side so the quiesced hand-off edges are covered too.
+func sweepPoints(lo, hi, total int64, cap int) []int64 {
+	var pts []int64
+	for d := int64(3); d >= 1; d-- {
+		if lo-d >= 0 {
+			pts = append(pts, lo-d)
+		}
+	}
+	win := hi - lo
+	switch {
+	case win <= int64(cap):
+		for p := lo; p < hi; p++ {
+			pts = append(pts, p)
+		}
+	default:
+		// Even stride across the window, always keeping both edges: the
+		// checkpoint prologue and the tag-flip/attach epilogue are where the
+		// protocol's atomicity claims live.
+		edge := int64(cap / 4)
+		for p := lo; p < lo+edge; p++ {
+			pts = append(pts, p)
+		}
+		mid := cap / 2
+		span := win - 2*edge
+		for i := 0; i < mid; i++ {
+			pts = append(pts, lo+edge+span*int64(i)/int64(mid))
+		}
+		for p := hi - edge; p < hi; p++ {
+			pts = append(pts, p)
+		}
+	}
+	for _, d := range []int64{0, 4, 40} {
+		if p := hi + d; p < total {
+			pts = append(pts, p)
+		}
+	}
+	return pts
+}
+
+func TestMigrationCrashSweep(t *testing.T) {
+	winCap, nb, ns := 120, 4, 6
+	if testing.Short() {
+		winCap, nb, ns = 36, 2, 2
+	}
+	for _, dir := range migrationDirections {
+		dir := dir
+		t.Run(fmt.Sprintf("%s_to_%s", dir[0], dir[1]), func(t *testing.T) {
+			s := &migrationSweeper{
+				opts: Options{
+					Scheme:     dir[0],
+					PageSize:   512,
+					MaxPages:   1024,
+					CacheBytes: 8 << 10,
+				},
+				target:    dir[1],
+				migrateAt: 18,
+			}
+			s.opts.fill()
+			cfg := &crashx.Config{
+				Open:          func() (*pmem.System, pager.Store) { return s.open() },
+				Reattach:      s.reattach,
+				Workload:      crashx.DefaultWorkload(36),
+				AtOp:          s.atOp,
+				Nested:        true,
+				NestedBudget:  nb,
+				NestedSamples: ns,
+				MaxFailures:   3,
+			}
+
+			// Measuring run: validates the workload end to end (including the
+			// migration) and learns the migration window's crash points.
+			s.learn = true
+			total, err := crashx.Measure(cfg)
+			if err != nil {
+				t.Fatalf("measure: %v", err)
+			}
+			s.learn = false
+			if s.winHi <= s.winLo {
+				t.Fatalf("migration window not learned (lo=%d hi=%d)", s.winLo, s.winHi)
+			}
+			lo, hi := s.winLo-s.base, s.winHi-s.base
+			cfg.Points = sweepPoints(lo, hi, total, winCap)
+
+			rep, err := crashx.Explore(cfg)
+			if err != nil {
+				t.Fatalf("explore: %v", err)
+			}
+			t.Logf("window [%d,%d) of %d points; %d schedules (%d nested), %d failures",
+				lo, hi, total, rep.Runs, rep.NestedRuns, len(rep.Failures))
+			for _, f := range rep.Failures {
+				t.Errorf("oracle violation at %s: %s", f.Spec, f.Err)
+			}
+		})
+	}
+}

@@ -7,6 +7,7 @@ import (
 	"net"
 	"net/http"
 	"sort"
+	"strings"
 	"sync"
 
 	"fasp/internal/fast"
@@ -70,10 +71,12 @@ func storeCounters(sys *pmem.System, arena *pmem.Arena, st pager.Store) obsv.Cou
 		fs := s.Stats()
 		c.LogAppend = fs.LoggedFrames
 		c.Checkpoint = fs.LogCommits
+		c.SingleLeaf = fs.SingleLeaf
 	case *wal.Store:
 		ws := s.Stats()
 		c.LogAppend = ws.WALFrames
 		c.Checkpoint = ws.Checkpoints
+		c.SingleLeaf = ws.SingleLeaf
 	}
 	return c
 }
@@ -119,12 +122,15 @@ func (kv *KV) shardGauges() []obsv.ShardGauge {
 	kv.mu.Lock()
 	defer kv.mu.Unlock()
 	return []obsv.ShardGauge{{
-		Shard:   0,
-		Health:  shard.Healthy.String(),
-		Ops:     int64(kv.rec.Seen()),
-		SimNS:   kv.sys.Clock().Now(),
-		Flushes: kv.arena.Stats().FlushCalls,
-		Fences:  kv.sys.Fences(),
+		Shard:         0,
+		Health:        shard.Healthy.String(),
+		Ops:           int64(kv.rec.Seen()),
+		SimNS:         kv.sys.Clock().Now(),
+		Flushes:       kv.arena.Stats().FlushCalls,
+		Fences:        kv.sys.Fences(),
+		Scheme:        strings.ToLower(kv.store.Name()),
+		Fragmentation: -1,
+		MaxBatch:      kv.opts.MaxBatch,
 	}}
 }
 
