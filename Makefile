@@ -1,7 +1,7 @@
 GO ?= go
 N  ?= 20000
 
-.PHONY: all build vet test race crashx obsv bench bench-json readbench phasebench clean
+.PHONY: all build vet test race crashx obsv bench bench-json readbench phasebench serverbench clean
 
 all: vet build test
 
@@ -60,5 +60,17 @@ readbench:
 phasebench:
 	$(GO) run ./cmd/faspbench -phasebench BENCH_PR6.json -n $(N)
 
+# Network-server benchmark: three loadgen arms (1 sync connection,
+# SB_CONNS pipelined connections, overload against a tiny in-flight
+# gate) against an in-process faspserver, with a /metrics self-scrape
+# validated through ValidatePrometheus. -sb-strict turns a missed
+# acceptance target (≥4x simulated speedup, commit width > 1, BUSY
+# shedding with zero dropped connections) into a non-zero exit; see
+# DESIGN.md §12 for the wall-vs-simulated accounting.
+SB_CONNS ?= 256
+SB_DUR   ?= 2s
+serverbench:
+	$(GO) run ./cmd/faspbench -serverbench BENCH_PR7.json -sb-conns $(SB_CONNS) -sb-dur $(SB_DUR) -metrics-addr 127.0.0.1:0 -scrape -sb-strict
+
 clean:
-	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR5.json BENCH_PR6.json
+	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json

@@ -15,9 +15,19 @@ import (
 	"flag"
 	"fmt"
 	"os"
+	"time"
 
 	"fasp/internal/experiment"
 )
+
+// defaultShards maps the shared -shards flag (0 = unset) to the
+// serverbench default of 8 partitions.
+func defaultShards(n int) int {
+	if n <= 0 {
+		return 8
+	}
+	return n
+}
 
 func main() {
 	var (
@@ -39,8 +49,32 @@ func main() {
 		phasebench = flag.String("phasebench", "", "write the adaptive-vs-pinned phase benchmark JSON to this file ('-' = stdout)")
 		readfrac   = flag.String("readfrac", "0.5,0.95", "with -readbench: comma list of read fractions of the mixed workload")
 		readers    = flag.String("readers", "1,2,4,8", "with -readbench: comma list of reader goroutine counts to sweep")
+
+		serverbench = flag.String("serverbench", "", "write the network-server benchmark JSON to this file ('-' = stdout)")
+		sbConns     = flag.Int("sb-conns", 256, "with -serverbench: connections in the many-client arm")
+		sbDur       = flag.Duration("sb-dur", 2*time.Second, "with -serverbench: load duration per arm")
+		sbValue     = flag.Int("sb-value", 64, "with -serverbench: PUT value size in bytes")
+		sbBatch     = flag.Int("sb-batch", 1, "with -serverbench: ops per BATCH request (1 = single PUTs)")
+		sbPipeline  = flag.Int("sb-pipeline", 4, "with -serverbench: pipelined requests per connection")
+		sbScheme    = flag.String("sb-scheme", "", "with -serverbench: commit scheme (default fast+)")
+		sbOverInfl  = flag.Int("sb-over-inflight", 4, "with -serverbench: MaxInFlight of the overload arm")
+		sbStrict    = flag.Bool("sb-strict", false, "with -serverbench: exit non-zero if acceptance targets are missed")
 	)
 	flag.Parse()
+
+	if *serverbench != "" {
+		err := runServerBench(serverBenchConfig{
+			out: *serverbench, conns: *sbConns, dur: *sbDur, valueSize: *sbValue,
+			batchSize: *sbBatch, pipeline: *sbPipeline, overInflit: *sbOverInfl,
+			shards: defaultShards(*shards), scheme: *sbScheme, pageSize: *pageSize, maxBatch: *maxBatch, seed: *seed,
+			metricsAddr: *mAddr, scrape: *scrape, strict: *sbStrict,
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: serverbench: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *phasebench != "" {
 		if err := runPhaseBench(*phasebench, *n, *pageSize, *seed); err != nil {

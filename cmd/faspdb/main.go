@@ -7,6 +7,8 @@
 //
 //	faspdb                       # FAST+ at PM 300/300
 //	faspdb -scheme nvwal -lat 900
+//	faspdb -kv -shards 8         # sharded key/value shell
+//	faspdb -connect host:4440    # remote KV shell over a running faspserver
 //
 // Meta commands: .help .clock .stats .crash .tables .quit
 package main
@@ -29,12 +31,17 @@ func main() {
 		wlat     = flag.Int64("wlat", 0, "PM write latency override (defaults to -lat)")
 		openPath = flag.String("open", "", "load a snapshot saved with .save")
 		kvMode   = flag.Bool("kv", false, "key/value shell instead of SQL (required for -shards)")
+		connect  = flag.String("connect", "", "remote KV shell against a running faspserver at this address")
 		shards   = flag.Int("shards", 0, "with -kv: hash-partition across this many shards")
 		maxBatch = flag.Int("maxbatch", 0, "with -kv -shards: group-commit drain bound (0 = default)")
 	)
 	flag.Parse()
 	if *wlat == 0 {
 		*wlat = *lat
+	}
+	if *connect != "" {
+		runRemoteShell(*connect)
+		return
 	}
 	if *kvMode {
 		opts := fasp.Options{Scheme: *scheme, PMReadNS: *lat, PMWriteNS: *wlat, Shards: *shards, MaxBatch: *maxBatch}

@@ -564,6 +564,26 @@ func (kv *KV) ApplyBatch(ops []Op) []error {
 	return errs
 }
 
+// DoBatch submits ops through the concurrent group-commit path: on a
+// sharded store the ops are partitioned by shard and enqueued on the shard
+// mailboxes, where the single-writer goroutines drain them — together with
+// any other caller's concurrent submissions — into combined failure-atomic
+// transactions (cross-caller group commit). Per-op errors are returned
+// aligned with ops once every shard's verdicts are in. Unlike ApplyBatch,
+// batch boundaries depend on runtime interleaving, so simulated time is
+// not reproducible; servers and other concurrent callers should prefer
+// DoBatch, deterministic harnesses ApplyBatch. On a single store it is
+// ApplyBatch (the facade mutex is the only batching there).
+func (kv *KV) DoBatch(ops []Op) []error {
+	if kv.eng != nil {
+		return kv.eng.DoBatch(ops)
+	}
+	return kv.ApplyBatch(ops)
+}
+
+// Closed reports whether Close has begun.
+func (kv *KV) Closed() bool { return kv.closed.Load() }
+
 // Scan visits keys in [lo, hi] in order (nil bounds are open). On a
 // sharded store the per-shard streams are collected and k-way merged, so
 // the global order is identical to the single-store order.

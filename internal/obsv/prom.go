@@ -152,8 +152,15 @@ func WritePrometheus(w io.Writer, store string, snap Snapshot, shards []ShardGau
 }
 
 // writeHist renders one HistSnapshot as a Prometheus histogram with
-// cumulative power-of-two buckets.
+// cumulative power-of-two buckets, labelled store="..." (writeHistAs
+// chooses the label).
 func writeHist(w io.Writer, name, help, store string, h HistSnapshot) {
+	writeHistAs(w, name, help, "store", store, h)
+}
+
+// writeHistAs is writeHist with a caller-chosen label name, so server-side
+// histograms can carry server="..." instead of store="...".
+func writeHistAs(w io.Writer, name, help, label, val string, h HistSnapshot) {
 	fmt.Fprintf(w, "# HELP %s %s\n# TYPE %s histogram\n", name, help, name)
 	last := -1
 	for b := range h.Counts {
@@ -164,11 +171,11 @@ func writeHist(w io.Writer, name, help, store string, h HistSnapshot) {
 	var cum int64
 	for b := 0; b <= last; b++ {
 		cum += h.Counts[b]
-		fmt.Fprintf(w, "%s_bucket{store=%q,le=\"%d\"} %d\n", name, store, BucketUpper(b), cum)
+		fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"%d\"} %d\n", name, label, val, BucketUpper(b), cum)
 	}
-	fmt.Fprintf(w, "%s_bucket{store=%q,le=\"+Inf\"} %d\n", name, store, h.Count)
-	fmt.Fprintf(w, "%s_sum{store=%q} %d\n", name, store, h.Sum)
-	fmt.Fprintf(w, "%s_count{store=%q} %d\n", name, store, h.Count)
+	fmt.Fprintf(w, "%s_bucket{%s=%q,le=\"+Inf\"} %d\n", name, label, val, h.Count)
+	fmt.Fprintf(w, "%s_sum{%s=%q} %d\n", name, label, val, h.Sum)
+	fmt.Fprintf(w, "%s_count{%s=%q} %d\n", name, label, val, h.Count)
 }
 
 var (

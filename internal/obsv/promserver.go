@@ -1,0 +1,89 @@
+package obsv
+
+import (
+	"fmt"
+	"io"
+)
+
+// ServerOpStats is one wire opcode's served-request summary inside a
+// ServerSnapshot.
+type ServerOpStats struct {
+	Op        string `json:"op"`
+	Count     int64  `json:"count"`
+	Errors    int64  `json:"errors"`
+	WallP50NS int64  `json:"wall_p50_ns"`
+	WallP99NS int64  `json:"wall_p99_ns"`
+	// WallP999NS is the tail quantile the serverbench overload arms watch.
+	WallP999NS int64   `json:"wall_p999_ns"`
+	WallMeanNS float64 `json:"wall_mean_ns"`
+}
+
+// ServerSnapshot is the network server's observability snapshot, rendered
+// by WriteServerPrometheus and embedded in bench reports. The server
+// builds it from its own atomics and histograms; obsv only defines the
+// shape and the exposition, keeping the metric names in one place with
+// the store's.
+type ServerSnapshot struct {
+	// ConnsOpen / ConnsTotal count live and lifetime accepted connections.
+	ConnsOpen  int64 `json:"conns_open"`
+	ConnsTotal int64 `json:"conns_total"`
+	// InFlight is the number of requests currently admitted past the
+	// backpressure gate; InFlightLimit is the gate's capacity.
+	InFlight      int64 `json:"in_flight"`
+	InFlightLimit int64 `json:"in_flight_limit"`
+	// RejectBusy / RejectShutdown / RejectProto count requests answered
+	// BUSY (load shed), SHUTDOWN (drain), and connections dropped after a
+	// framing error.
+	RejectBusy     int64 `json:"reject_busy"`
+	RejectShutdown int64 `json:"reject_shutdown"`
+	RejectProto    int64 `json:"reject_proto"`
+	// BytesIn / BytesOut are wire totals.
+	BytesIn  int64 `json:"bytes_in"`
+	BytesOut int64 `json:"bytes_out"`
+	// Ops is the per-opcode served summary, in opcode order.
+	Ops []ServerOpStats `json:"ops"`
+	// Coalesce is the distribution of write-ops per engine submission —
+	// how many pipelined/coalesced mutations one DoBatch carried.
+	Coalesce HistSnapshot `json:"coalesce"`
+}
+
+// WriteServerPrometheus renders a server snapshot in the Prometheus text
+// exposition format, alongside the store metrics on the same /metrics
+// endpoint.
+func WriteServerPrometheus(w io.Writer, server string, s ServerSnapshot) {
+	fmt.Fprintf(w, "# HELP fasp_server_connections_open Live client connections.\n# TYPE fasp_server_connections_open gauge\n")
+	fmt.Fprintf(w, "fasp_server_connections_open{server=%q} %d\n", server, s.ConnsOpen)
+	fmt.Fprintf(w, "# HELP fasp_server_connections_total Accepted client connections.\n# TYPE fasp_server_connections_total counter\n")
+	fmt.Fprintf(w, "fasp_server_connections_total{server=%q} %d\n", server, s.ConnsTotal)
+
+	fmt.Fprintf(w, "# HELP fasp_server_inflight_requests Requests admitted past the backpressure gate.\n# TYPE fasp_server_inflight_requests gauge\n")
+	fmt.Fprintf(w, "fasp_server_inflight_requests{server=%q} %d\n", server, s.InFlight)
+	fmt.Fprintf(w, "# HELP fasp_server_inflight_limit Backpressure gate capacity.\n# TYPE fasp_server_inflight_limit gauge\n")
+	fmt.Fprintf(w, "fasp_server_inflight_limit{server=%q} %d\n", server, s.InFlightLimit)
+
+	fmt.Fprintf(w, "# HELP fasp_server_rejects_total Requests refused, by reason (busy = load shed, shutdown = drain, proto = framing error).\n# TYPE fasp_server_rejects_total counter\n")
+	fmt.Fprintf(w, "fasp_server_rejects_total{server=%q,reason=\"busy\"} %d\n", server, s.RejectBusy)
+	fmt.Fprintf(w, "fasp_server_rejects_total{server=%q,reason=\"shutdown\"} %d\n", server, s.RejectShutdown)
+	fmt.Fprintf(w, "fasp_server_rejects_total{server=%q,reason=\"proto\"} %d\n", server, s.RejectProto)
+
+	fmt.Fprintf(w, "# HELP fasp_server_bytes_total Wire bytes, by direction.\n# TYPE fasp_server_bytes_total counter\n")
+	fmt.Fprintf(w, "fasp_server_bytes_total{server=%q,dir=\"in\"} %d\n", server, s.BytesIn)
+	fmt.Fprintf(w, "fasp_server_bytes_total{server=%q,dir=\"out\"} %d\n", server, s.BytesOut)
+
+	fmt.Fprintf(w, "# HELP fasp_server_requests_total Requests served, by opcode.\n# TYPE fasp_server_requests_total counter\n")
+	for _, o := range s.Ops {
+		fmt.Fprintf(w, "fasp_server_requests_total{server=%q,op=%q} %d\n", server, o.Op, o.Count)
+	}
+	fmt.Fprintf(w, "# HELP fasp_server_request_errors_total Requests answered with a non-OK code, by opcode.\n# TYPE fasp_server_request_errors_total counter\n")
+	for _, o := range s.Ops {
+		fmt.Fprintf(w, "fasp_server_request_errors_total{server=%q,op=%q} %d\n", server, o.Op, o.Errors)
+	}
+	fmt.Fprintf(w, "# HELP fasp_server_request_wall_ns Request service latency quantiles, by opcode.\n# TYPE fasp_server_request_wall_ns gauge\n")
+	for _, o := range s.Ops {
+		fmt.Fprintf(w, "fasp_server_request_wall_ns{server=%q,op=%q,quantile=\"0.5\"} %d\n", server, o.Op, o.WallP50NS)
+		fmt.Fprintf(w, "fasp_server_request_wall_ns{server=%q,op=%q,quantile=\"0.99\"} %d\n", server, o.Op, o.WallP99NS)
+		fmt.Fprintf(w, "fasp_server_request_wall_ns{server=%q,op=%q,quantile=\"0.999\"} %d\n", server, o.Op, o.WallP999NS)
+	}
+
+	writeHistAs(w, "fasp_server_coalesce_width", "Write operations per engine submission (cross-connection coalescing).", "server", server, s.Coalesce)
+}

@@ -1,0 +1,107 @@
+package server
+
+import (
+	"runtime"
+
+	"fasp"
+)
+
+// submission is one connection's flushed write-set: ops to commit, a
+// parallel error slice the batcher fills, and a reusable completion
+// channel. Each conn owns exactly one submission value and blocks on done
+// until its verdicts are in, so the buffers are safely reused per round.
+type submission struct {
+	ops  []fasp.Op
+	errs []error
+	done chan struct{}
+}
+
+// runBatcher is the server's cross-connection group-commit loop. Reader
+// goroutines never call the engine directly for writes: they enqueue
+// their write-sets here, and the batcher combines everything enqueued
+// into one KV.DoBatch — one engine submission, one set of per-shard
+// group commits, serving many connections.
+//
+// After the first submission of a round arrives, the batcher yields the
+// processor a couple of times (runtime.Gosched) before committing. The
+// yields matter: a channel send readies the receiver ahead of the run
+// queue, so without them the batcher would wake after a single enqueue
+// and commit width would collapse to ~1 under any load. Yielding lets
+// every runnable connection flush its write-set into the round first —
+// under load the round grows toward MaxCoalesce, while an idle server
+// pays only two scheduler yields of extra latency.
+func (s *Server) runBatcher() {
+	defer close(s.batchDone)
+	var (
+		round []*submission
+		ops   []fasp.Op
+	)
+	drain := func(n int) int {
+		for n < s.cfg.MaxCoalesce {
+			select {
+			case sub := <-s.batchCh:
+				round = append(round, sub)
+				n += len(sub.ops)
+			default:
+				return n
+			}
+		}
+		return n
+	}
+	for {
+		select {
+		case sub := <-s.batchCh:
+			round = append(round[:0], sub)
+			n := len(sub.ops)
+			for spin := 0; spin < 2 && n < s.cfg.MaxCoalesce; spin++ {
+				runtime.Gosched()
+				n = drain(n)
+			}
+			s.commitRound(round, &ops)
+		case <-s.batchQuit:
+			// Serve any straggling submissions, then exit. Shutdown closes
+			// batchQuit only after every connection reader has exited, so
+			// the channel can no longer grow.
+			for {
+				select {
+				case sub := <-s.batchCh:
+					round = append(round[:0], sub)
+					s.commitRound(round, &ops)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// commitRound flattens a round's submissions into one engine batch,
+// commits, and hands each connection its verdict slice.
+func (s *Server) commitRound(round []*submission, ops *[]fasp.Op) {
+	flat := (*ops)[:0]
+	for _, sub := range round {
+		flat = append(flat, sub.ops...)
+	}
+	errs := s.kv.DoBatch(flat)
+	s.met.coalesce.Observe(int64(len(flat)))
+	k := 0
+	for _, sub := range round {
+		copy(sub.errs, errs[k:k+len(sub.ops)])
+		k += len(sub.ops)
+		sub.done <- struct{}{}
+	}
+	*ops = flat
+}
+
+// commit submits one connection's write-set to the group-commit loop and
+// blocks until its verdicts are filled in. If the batcher has already
+// been stopped (a straggler round racing Shutdown), the write-set goes to
+// the engine directly — the engine's own Close contract then decides.
+func (s *Server) commit(sub *submission) {
+	select {
+	case s.batchCh <- sub:
+		<-sub.done
+	case <-s.batchQuit:
+		copy(sub.errs, s.kv.DoBatch(sub.ops))
+	}
+}

@@ -1,0 +1,287 @@
+// Package client is the Go client for the faspserver wire protocol. It is
+// the single client implementation in the tree — the load generator, the
+// faspdb -connect shell, and the tests all speak through it — and it
+// encodes frames exclusively via internal/server/wire, so the protocol
+// exists in one place.
+//
+// The protocol is strictly pipelined: responses arrive in request order.
+// The synchronous methods (Get/Put/Del/...) send one request and wait for
+// its response; the Queue*/Flush/Recv API keeps many requests in flight on
+// one connection, which is where the server's cross-connection group
+// commit pays off. A Client is not safe for concurrent use; open one per
+// goroutine (they are cheap — one socket and two buffers).
+package client
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"time"
+
+	"fasp/internal/server/wire"
+)
+
+// NotFound re-exports the GET-miss sentinel semantics: Get returns
+// (nil, false, nil) on a miss, never an error.
+
+// ErrPipeline reports Recv without a queued request.
+var ErrPipeline = errors.New("client: Recv with no request in flight")
+
+// Client is one connection to a faspserver.
+type Client struct {
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	out      []byte // queued request frames
+	buf      []byte // response decode buffer
+	queued   int    // requests encoded but not flushed
+	inflight int    // requests flushed but not received
+	codes    []wire.Code
+	maxFrame int
+}
+
+// Dial connects to a faspserver at addr.
+func Dial(addr string) (*Client, error) {
+	return DialTimeout(addr, 10*time.Second)
+}
+
+// DialTimeout connects with a dial timeout.
+func DialTimeout(addr string, d time.Duration) (*Client, error) {
+	c, err := net.DialTimeout("tcp", addr, d)
+	if err != nil {
+		return nil, fmt.Errorf("client: dial %s: %w", addr, err)
+	}
+	if tc, ok := c.(*net.TCPConn); ok {
+		tc.SetNoDelay(true)
+	}
+	return &Client{
+		c:        c,
+		br:       bufio.NewReaderSize(c, 64<<10),
+		bw:       bufio.NewWriterSize(c, 64<<10),
+		maxFrame: wire.DefaultMaxFrame,
+	}, nil
+}
+
+// Close closes the connection.
+func (cl *Client) Close() error { return cl.c.Close() }
+
+// --- Pipelined API ---------------------------------------------------------
+
+// QueueGet enqueues a GET; its response arrives at the matching Recv.
+func (cl *Client) QueueGet(key []byte) { cl.out = wire.AppendGet(cl.out, key); cl.queued++ }
+
+// QueuePut enqueues a PUT.
+func (cl *Client) QueuePut(key, val []byte) { cl.out = wire.AppendPut(cl.out, key, val); cl.queued++ }
+
+// QueueDel enqueues a DEL.
+func (cl *Client) QueueDel(key []byte) { cl.out = wire.AppendDel(cl.out, key); cl.queued++ }
+
+// QueueBatch enqueues a BATCH of ops.
+func (cl *Client) QueueBatch(ops []wire.BatchOp) { cl.out = wire.AppendBatch(cl.out, ops); cl.queued++ }
+
+// QueuePing enqueues a PING.
+func (cl *Client) QueuePing() { cl.out = wire.AppendEmptyReq(cl.out, wire.OpPing); cl.queued++ }
+
+// Pending reports requests awaiting their response (flushed or not).
+func (cl *Client) Pending() int { return cl.queued + cl.inflight }
+
+// Flush writes the queued requests to the socket.
+func (cl *Client) Flush() error {
+	if len(cl.out) > 0 {
+		if _, err := cl.bw.Write(cl.out); err != nil {
+			return err
+		}
+		cl.out = cl.out[:0]
+	}
+	cl.inflight += cl.queued
+	cl.queued = 0
+	return cl.bw.Flush()
+}
+
+// Recv reads the next pipelined response, in request order. It returns
+// the status code and the raw payload (valid until the next Recv). Framing
+// failures and server CodeProto responses are returned as errors; engine
+// error codes are NOT converted here — use Err, or the synchronous
+// methods.
+func (cl *Client) Recv() (wire.Code, []byte, error) {
+	if cl.Pending() == 0 {
+		return 0, nil, ErrPipeline
+	}
+	if cl.queued > 0 {
+		if err := cl.Flush(); err != nil {
+			return 0, nil, err
+		}
+	}
+	op, payload, buf, err := wire.ReadFrame(cl.br, cl.maxFrame, cl.buf)
+	cl.buf = buf
+	if err != nil {
+		if err == io.EOF {
+			err = io.ErrUnexpectedEOF
+		}
+		return 0, nil, err
+	}
+	cl.inflight--
+	return wire.Code(op), payload, nil
+}
+
+// Err converts a Recv result into the typed client error for non-OK
+// codes (nil for CodeOK and CodeNotFound).
+func Err(code wire.Code, payload []byte) error {
+	if code == wire.CodeOK || code == wire.CodeNotFound {
+		return nil
+	}
+	shard, msg := wire.ParseErr(payload)
+	return code.Err(shard, msg)
+}
+
+// --- Synchronous API -------------------------------------------------------
+
+// Get returns the value under key; a miss is (nil, false, nil). The value
+// is copied and remains valid.
+func (cl *Client) Get(key []byte) ([]byte, bool, error) {
+	cl.QueueGet(key)
+	code, payload, err := cl.Recv()
+	if err != nil {
+		return nil, false, err
+	}
+	switch code {
+	case wire.CodeOK:
+		return append([]byte(nil), payload...), true, nil
+	case wire.CodeNotFound:
+		return nil, false, nil
+	}
+	return nil, false, Err(code, payload)
+}
+
+// Put inserts or replaces key. The returned error is nil only if the
+// write is durably committed on the server.
+func (cl *Client) Put(key, val []byte) error {
+	cl.QueuePut(key, val)
+	return cl.recvAck()
+}
+
+// Del removes key (idempotent at the protocol level only when the key
+// exists; an absent key is ErrRemoteKeyAbsent).
+func (cl *Client) Del(key []byte) error {
+	cl.QueueDel(key)
+	return cl.recvAck()
+}
+
+// Ping round-trips an empty frame.
+func (cl *Client) Ping() error {
+	cl.QueuePing()
+	return cl.recvAck()
+}
+
+func (cl *Client) recvAck() error {
+	code, payload, err := cl.Recv()
+	if err != nil {
+		return err
+	}
+	return Err(code, payload)
+}
+
+// Batch applies ops as one request and returns per-op codes aligned with
+// ops (codes is reused when it has capacity). A request-level failure
+// (BUSY, SHUTDOWN, UNAVAIL) is returned as the error with nil codes.
+func (cl *Client) Batch(ops []wire.BatchOp) ([]wire.Code, error) {
+	cl.QueueBatch(ops)
+	code, payload, err := cl.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if code != wire.CodeOK {
+		return nil, Err(code, payload)
+	}
+	cl.codes, err = wire.ParseBatchReply(payload, cl.codes)
+	return cl.codes, err
+}
+
+// Scan streams [lo, hi] (nil bounds open) in order, calling fn until it
+// returns false or the range is exhausted; reverse walks descending. It
+// pages through the server's reply limit transparently, resuming past the
+// last received key. Key/value slices passed to fn are valid only during
+// the call.
+func (cl *Client) Scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) error {
+	curLo, curHi := lo, hi
+	var last, bound []byte
+	havePage := false
+	for {
+		cl.out = wire.AppendScan(cl.out, curLo, curHi, reverse, 0)
+		cl.queued++
+		code, payload, err := cl.Recv()
+		if err != nil {
+			return err
+		}
+		if code != wire.CodeOK {
+			return Err(code, payload)
+		}
+		stopped := false
+		progressed := false
+		more, err := wire.ParseScanReply(payload, func(k, v []byte) bool {
+			if reverse && havePage && bytes.Equal(k, last) {
+				// Reverse pages resume with hi = last key (byte strings
+				// have no closed-form predecessor), so the boundary pair
+				// comes back once more; drop it.
+				return true
+			}
+			last = append(last[:0], k...)
+			progressed = true
+			if !fn(k, v) {
+				stopped = true
+				return false
+			}
+			return true
+		})
+		if err != nil {
+			return err
+		}
+		if stopped || !more || (havePage && !progressed) {
+			return nil
+		}
+		havePage = true
+		// Resume past the last delivered key: forward bounds get the byte
+		// successor last+0x00; reverse bounds reuse last inclusively and
+		// the duplicate is dropped above. bound is the client's own buffer —
+		// never the caller's lo/hi backing array.
+		if !reverse {
+			bound = append(append(bound[:0], last...), 0)
+			curLo = bound
+		} else {
+			bound = append(bound[:0], last...)
+			curHi = bound
+		}
+	}
+}
+
+// Count returns the server's record count.
+func (cl *Client) Count() (uint64, error) {
+	cl.out = wire.AppendEmptyReq(cl.out, wire.OpCount)
+	cl.queued++
+	code, payload, err := cl.Recv()
+	if err != nil {
+		return 0, err
+	}
+	if code != wire.CodeOK {
+		return 0, Err(code, payload)
+	}
+	return wire.ParseCount(payload)
+}
+
+// Stats returns the server's STATS JSON payload.
+func (cl *Client) Stats() ([]byte, error) {
+	cl.out = wire.AppendEmptyReq(cl.out, wire.OpStats)
+	cl.queued++
+	code, payload, err := cl.Recv()
+	if err != nil {
+		return nil, err
+	}
+	if code != wire.CodeOK {
+		return nil, Err(code, payload)
+	}
+	return append([]byte(nil), payload...), nil
+}

@@ -1,0 +1,405 @@
+package server
+
+import (
+	"bufio"
+	"encoding/json"
+	"errors"
+	"net"
+	"time"
+
+	"fasp"
+	"fasp/internal/obsv"
+	"fasp/internal/server/wire"
+	"fasp/internal/shard"
+)
+
+// maxScanBytes caps one SCAN reply's size; the server truncates with the
+// more-marker set and the client resumes past the last key.
+const maxScanBytes = 256 << 10
+
+// opRef is one deferred write op, as offsets into the connection's arena —
+// offsets, not subslices, because the arena reallocates as it grows.
+type opRef struct {
+	kind       uint8
+	koff, klen int
+	voff, vlen int
+}
+
+// pend is one request awaiting its in-order response slot. nops > 0 means
+// the next nops verdicts of the flush batch belong to it; nops == 0 means
+// the response was decided at decode time (BUSY shed, SHUTDOWN drain,
+// PING ack, protocol error).
+type pend struct {
+	op   byte
+	code wire.Code
+	msg  string
+	t0   time.Time
+	nops int
+}
+
+// conn is one connection's reader state. All per-request buffers are
+// reused across frames; the write-op bytes are copied into the arena
+// because the frame decode buffer is clobbered by the next ReadFrame.
+type conn struct {
+	s  *Server
+	c  net.Conn
+	br *bufio.Reader
+	bw *bufio.Writer
+
+	buf   []byte // frame decode buffer
+	out   []byte // pending response bytes, flushed once per round
+	arena []byte // deferred write-op key/val bytes
+	refs  []opRef
+	pends []pend
+
+	req   wire.Request
+	ops   []fasp.Op   // scratch, materialised from refs at flush
+	codes []wire.Code // scratch for batch replies
+	sub   submission  // this connection's slot in the group-commit round
+}
+
+func newConn(s *Server, c net.Conn) *conn {
+	return &conn{
+		s:   s,
+		c:   c,
+		br:  bufio.NewReaderSize(c, 64<<10),
+		bw:  bufio.NewWriterSize(c, 64<<10),
+		sub: submission{done: make(chan struct{}, 1)},
+	}
+}
+
+// run is the connection loop: block for one frame, drain every further
+// frame already buffered, flush the deferred writes as one engine
+// submission, write the in-order responses, repeat. The blocking read only
+// ever happens with nothing pending and nothing unflushed, so a quiet
+// client never holds acks hostage and Shutdown can close idle readers.
+func (cn *conn) run() {
+	for {
+		op, payload, buf, err := wire.ReadFrame(cn.br, cn.s.cfg.MaxFrame, cn.buf)
+		cn.buf = buf
+		if err != nil {
+			cn.teardown(err)
+			return
+		}
+		cn.s.beginRound()
+		fatal := cn.process(op, payload)
+		for !fatal {
+			ready, perr := wire.PeekFrame(cn.br, cn.s.cfg.MaxFrame)
+			if perr != nil {
+				cn.flushWrites()
+				cn.protoErr(perr)
+				fatal = true
+				break
+			}
+			if !ready {
+				break
+			}
+			op, payload, buf, err = wire.ReadFrame(cn.br, cn.s.cfg.MaxFrame, cn.buf)
+			cn.buf = buf
+			if err != nil { // cannot happen: the frame was fully buffered
+				cn.teardown(err)
+				cn.s.reqWG.Done()
+				return
+			}
+			if fatal = cn.process(op, payload); fatal {
+				break
+			}
+			if len(cn.refs) >= cn.s.cfg.MaxCoalesce {
+				cn.flushWrites()
+			}
+		}
+		cn.flushWrites()
+		cn.writeOut()
+		cn.s.reqWG.Done()
+		if fatal {
+			return
+		}
+	}
+}
+
+// teardown handles a blocking-read error: frame-level protocol errors are
+// answered with CodeProto before closing; EOF and deadline errors just
+// close. Nothing is pending at a blocking read, so no acks are lost.
+func (cn *conn) teardown(err error) {
+	if errors.Is(err, wire.ErrMalformed) || errors.Is(err, wire.ErrFrameTooBig) {
+		cn.protoErr(err)
+		cn.writeOut()
+	}
+}
+
+// protoErr appends a CodeProto response; the connection closes after it.
+func (cn *conn) protoErr(err error) {
+	cn.s.met.rejProto.Add(1)
+	cn.out = wire.AppendErr(cn.out, wire.CodeProto, -1, err.Error())
+}
+
+// process handles one decoded frame; true means the connection must close
+// after the current round's responses are flushed (framing is broken).
+func (cn *conn) process(op byte, payload []byte) (fatal bool) {
+	cn.s.met.bytesIn.Add(int64(5 + len(payload)))
+	t0 := time.Now()
+	if err := wire.ParseRequest(op, payload, &cn.req); err != nil {
+		// An unparseable payload inside a well-framed request does not
+		// desynchronise the stream, but trusting anything after it is not
+		// worth the risk: answer in order, then drop the connection.
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeProto, msg: err.Error(), t0: t0})
+		cn.s.met.rejProto.Add(1)
+		return true
+	}
+	if op > 0 && op < wire.NumOps {
+		cn.s.met.opCount[op].Add(1)
+	}
+	if cn.s.draining.Load() {
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeShutdown, msg: "server draining", t0: t0})
+		cn.s.met.rejShutdown.Add(1)
+		return false
+	}
+
+	switch op {
+	case wire.OpPing:
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeOK, t0: t0})
+
+	case wire.OpPut:
+		cn.deferWrite(op, t0, wire.BatchOp{Kind: uint8(fasp.OpPut), Key: cn.req.Key, Val: cn.req.Val})
+	case wire.OpDel:
+		cn.deferWrite(op, t0, wire.BatchOp{Kind: uint8(fasp.OpDelete), Key: cn.req.Key})
+	case wire.OpBatch:
+		cn.deferWrite(op, t0, cn.req.Ops...)
+
+	case wire.OpGet:
+		cn.flushWrites()
+		if !cn.s.admit() {
+			cn.shedBusy(op, t0)
+			return false
+		}
+		v, ok, err := cn.s.kv.Get(cn.req.Key)
+		cn.s.release()
+		switch {
+		case err != nil:
+			cn.appendError(op, err)
+		case !ok:
+			cn.out = wire.AppendValue(cn.out, wire.CodeNotFound, nil)
+		default:
+			cn.out = wire.AppendValue(cn.out, wire.CodeOK, v)
+		}
+		cn.observe(op, t0)
+
+	case wire.OpScan:
+		cn.flushWrites()
+		if !cn.s.admit() {
+			cn.shedBusy(op, t0)
+			return false
+		}
+		cn.serveScan()
+		cn.s.release()
+		cn.observe(op, t0)
+
+	case wire.OpCount:
+		cn.flushWrites()
+		if !cn.s.admit() {
+			cn.shedBusy(op, t0)
+			return false
+		}
+		n, err := cn.s.kv.Count()
+		cn.s.release()
+		if err != nil {
+			cn.appendError(op, err)
+		} else {
+			cn.out = wire.AppendCount(cn.out, uint64(n))
+		}
+		cn.observe(op, t0)
+
+	case wire.OpStats:
+		cn.flushWrites()
+		cn.serveStats()
+		cn.observe(op, t0)
+	}
+	return false
+}
+
+// deferWrite admits a write request and parks its ops in the arena; the
+// verdicts arrive at the next flushWrites.
+func (cn *conn) deferWrite(op byte, t0 time.Time, ops ...wire.BatchOp) {
+	if !cn.s.admit() {
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeBusy, msg: "server overloaded", t0: t0})
+		cn.s.met.rejBusy.Add(1)
+		cn.s.met.opErr[op].Add(1)
+		return
+	}
+	for _, b := range ops {
+		r := opRef{kind: b.Kind, koff: len(cn.arena), klen: len(b.Key)}
+		cn.arena = append(cn.arena, b.Key...)
+		r.voff, r.vlen = len(cn.arena), len(b.Val)
+		cn.arena = append(cn.arena, b.Val...)
+		cn.refs = append(cn.refs, r)
+	}
+	cn.pends = append(cn.pends, pend{op: op, t0: t0, nops: len(ops)})
+}
+
+// shedBusy answers one immediate (read-path) request with BUSY.
+func (cn *conn) shedBusy(op byte, t0 time.Time) {
+	cn.out = wire.AppendErr(cn.out, wire.CodeBusy, -1, "server overloaded")
+	cn.s.met.rejBusy.Add(1)
+	cn.s.met.opErr[op].Add(1)
+	cn.observe(op, t0)
+}
+
+// flushWrites submits every deferred write op to the server's
+// cross-connection group-commit loop and emits the pending responses in
+// request order. The arena is reusable immediately after: commit blocks
+// until all verdicts are in, and the engine's writers copy what they
+// persist.
+func (cn *conn) flushWrites() {
+	if len(cn.pends) == 0 {
+		return
+	}
+	cn.ops = cn.ops[:0]
+	for _, r := range cn.refs {
+		o := fasp.Op{Kind: fasp.OpKind(r.kind), Key: cn.arena[r.koff : r.koff+r.klen]}
+		if fasp.OpKind(r.kind) != fasp.OpDelete {
+			o.Val = cn.arena[r.voff : r.voff+r.vlen]
+		}
+		cn.ops = append(cn.ops, o)
+	}
+	var errs []error
+	if len(cn.ops) > 0 {
+		cn.sub.ops = cn.ops
+		cn.sub.errs = cn.sub.errs[:0]
+		for range cn.ops {
+			cn.sub.errs = append(cn.sub.errs, nil)
+		}
+		cn.s.commit(&cn.sub)
+		errs = cn.sub.errs
+	}
+	vi := 0
+	admitted := 0
+	for i := range cn.pends {
+		p := &cn.pends[i]
+		switch {
+		case p.nops == 0 && p.code == wire.CodeOK:
+			cn.out = wire.AppendOK(cn.out)
+		case p.nops == 0:
+			cn.out = wire.AppendErr(cn.out, p.code, -1, p.msg)
+		case p.op == wire.OpBatch:
+			admitted++
+			cn.codes = cn.codes[:0]
+			failed := false
+			for _, err := range errs[vi : vi+p.nops] {
+				c := wire.CodeFor(err)
+				if c != wire.CodeOK {
+					failed = true
+				}
+				cn.codes = append(cn.codes, c)
+			}
+			vi += p.nops
+			cn.out = wire.AppendBatchReply(cn.out, cn.codes)
+			if failed {
+				cn.s.met.opErr[p.op].Add(1)
+			}
+		default: // single PUT/DEL
+			admitted++
+			err := errs[vi]
+			vi++
+			if err == nil {
+				cn.out = wire.AppendOK(cn.out)
+			} else {
+				cn.appendError(p.op, err)
+			}
+		}
+		cn.observe(p.op, p.t0)
+	}
+	for ; admitted > 0; admitted-- {
+		cn.s.release()
+	}
+	cn.pends = cn.pends[:0]
+	cn.refs = cn.refs[:0]
+	cn.arena = cn.arena[:0]
+}
+
+// appendError encodes an engine error with its wire code and shard pin.
+func (cn *conn) appendError(op byte, err error) {
+	cn.out = wire.AppendErr(cn.out, wire.CodeFor(err), wire.ShardOf(err), err.Error())
+	if op > 0 && op < wire.NumOps {
+		cn.s.met.opErr[op].Add(1)
+	}
+}
+
+// serveScan streams [lo, hi] pairs up to the request's limit (capped at
+// the server's page size) and the reply byte cap, setting the more-marker
+// when truncated.
+func (cn *conn) serveScan() {
+	limit := cn.s.cfg.ScanLimit
+	if cn.req.Limit > 0 && int(cn.req.Limit) < limit {
+		limit = int(cn.req.Limit)
+	}
+	var lo, hi []byte
+	if cn.req.HasLo {
+		lo = cn.req.Lo
+	}
+	if cn.req.HasHi {
+		hi = cn.req.Hi
+	}
+	mark := len(cn.out)
+	var sw wire.ScanReplyWriter
+	sw.Begin(cn.out)
+	n, more := 0, false
+	fn := func(k, v []byte) bool {
+		if n >= limit || sw.Size() > maxScanBytes {
+			more = true
+			return false
+		}
+		sw.Pair(k, v)
+		n++
+		return true
+	}
+	var err error
+	if cn.req.Rev {
+		err = cn.s.kv.ScanReverse(lo, hi, fn)
+	} else {
+		err = cn.s.kv.Scan(lo, hi, fn)
+	}
+	if err != nil {
+		cn.out = cn.out[:mark]
+		cn.appendError(wire.OpScan, err)
+		return
+	}
+	cn.out = sw.End(more)
+}
+
+// statsReply is the STATS response payload (JSON).
+type statsReply struct {
+	Server obsv.ServerSnapshot `json:"server"`
+	Engine shard.Stats         `json:"engine"`
+}
+
+func (cn *conn) serveStats() {
+	rep := statsReply{
+		Server: cn.s.Snapshot(),
+		Engine: cn.s.kv.EngineStats(),
+	}
+	b, err := json.Marshal(rep)
+	if err != nil {
+		cn.appendError(wire.OpStats, err)
+		return
+	}
+	cn.out = wire.AppendValue(cn.out, wire.CodeOK, b)
+}
+
+// observe records one served request's wall latency.
+func (cn *conn) observe(op byte, t0 time.Time) {
+	if op > 0 && op < wire.NumOps {
+		cn.s.met.opWall[op].Observe(time.Since(t0).Nanoseconds())
+	}
+}
+
+// writeOut flushes the round's accumulated responses to the socket.
+func (cn *conn) writeOut() {
+	if len(cn.out) == 0 {
+		return
+	}
+	cn.s.met.bytesOut.Add(int64(len(cn.out)))
+	if _, err := cn.bw.Write(cn.out); err == nil {
+		cn.bw.Flush()
+	}
+	cn.out = cn.out[:0]
+}

@@ -1,0 +1,269 @@
+// Package server is the fasp network service layer: a TCP daemon speaking
+// the internal/server/wire protocol over a fasp.KV.
+//
+// Each accepted connection gets one reader goroutine. The reader decodes
+// every frame already buffered on its connection and defers the write
+// operations (PUT/DEL/BATCH) into one pending set, which it flushes the
+// moment it would otherwise block — on a read request, on the
+// backpressure cap, or when the socket has no more complete frames. The
+// flush does not call the engine directly: write-sets go to the server's
+// group-commit batcher goroutine (see runBatcher), which combines every
+// connection's concurrently flushed ops into one KV.DoBatch — the
+// cross-connection group commit. Pipelining batches within a connection;
+// the batcher batches across connections; the engine's per-shard
+// mailboxes turn each combined submission into per-shard failure-atomic
+// transactions. Responses are emitted strictly in request order (the
+// protocol carries no request ids), and no response is written before its
+// write is durable in a committed transaction — an OK ack is a durability
+// guarantee the crash-under-load test holds the server to.
+//
+// Backpressure is a global in-flight request gate: a request arriving with
+// the gate full is answered with a typed retryable BUSY response in its
+// pipeline slot; the connection itself is never dropped. Draining
+// (Shutdown) stops the listener, answers new requests with SHUTDOWN,
+// finishes every in-flight batch, and closes connections only after their
+// final responses are flushed.
+package server
+
+import (
+	"errors"
+	"fmt"
+	"io"
+	"net"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"fasp"
+	"fasp/internal/obsv"
+)
+
+// Config tunes a Server. The zero value serves with the defaults below.
+type Config struct {
+	// Name labels the server's metrics series (default "faspserver").
+	Name string
+	// MaxInFlight caps requests admitted concurrently across all
+	// connections (default 1024). At the cap, further requests are answered
+	// BUSY until slots free — load is shed per request, never per
+	// connection.
+	MaxInFlight int
+	// MaxFrame bounds one request frame (default wire.DefaultMaxFrame).
+	MaxFrame int
+	// ScanLimit is the page size (pairs) of a SCAN with Limit 0, and the
+	// hard per-reply cap (default 256).
+	ScanLimit int
+	// MaxCoalesce flushes a connection's pending writes when this many ops
+	// have been deferred (default 1024).
+	MaxCoalesce int
+	// NoMetricsSource skips registering with the fasp /metrics endpoint
+	// (tests that assert exact scrape contents).
+	NoMetricsSource bool
+}
+
+func (c *Config) fill() {
+	if c.Name == "" {
+		c.Name = "faspserver"
+	}
+	if c.MaxInFlight <= 0 {
+		c.MaxInFlight = 1024
+	}
+	if c.MaxFrame <= 0 {
+		c.MaxFrame = 1 << 20
+	}
+	if c.ScanLimit <= 0 {
+		c.ScanLimit = 256
+	}
+	if c.MaxCoalesce <= 0 {
+		c.MaxCoalesce = 1024
+	}
+}
+
+// ErrServerClosed is returned by Serve after Shutdown completes the drain.
+var ErrServerClosed = errors.New("server: closed")
+
+// Server serves one fasp.KV over the wire protocol. It does not own the
+// KV: Shutdown drains and returns, and the caller closes the store (the
+// faspserver daemon does exactly that on SIGTERM).
+type Server struct {
+	kv  *fasp.KV
+	cfg Config
+
+	ln       net.Listener
+	sem      chan struct{}
+	draining atomic.Bool
+
+	batchCh   chan *submission
+	batchQuit chan struct{}
+	batchDone chan struct{}
+
+	mu    sync.Mutex
+	conns map[net.Conn]struct{}
+
+	connWG sync.WaitGroup // reader goroutines
+	reqMu  sync.Mutex     // serialises reqWG.Add-from-zero against Wait
+	reqWG  sync.WaitGroup // processing rounds with undelivered responses
+
+	met    metrics
+	unreg  func()
+	downMu sync.Mutex // serialises Shutdown
+	down   bool
+}
+
+// New builds a Server over kv.
+func New(kv *fasp.KV, cfg Config) *Server {
+	cfg.fill()
+	s := &Server{
+		kv:        kv,
+		cfg:       cfg,
+		sem:       make(chan struct{}, cfg.MaxInFlight),
+		conns:     make(map[net.Conn]struct{}),
+		batchCh:   make(chan *submission, 1024),
+		batchQuit: make(chan struct{}),
+		batchDone: make(chan struct{}),
+	}
+	go s.runBatcher()
+	return s
+}
+
+// Listen binds addr (":0" for ephemeral) and registers the metrics
+// source; call Serve to start accepting.
+func (s *Server) Listen(addr string) (string, error) {
+	ln, err := net.Listen("tcp", addr)
+	if err != nil {
+		return "", fmt.Errorf("server: listen: %w", err)
+	}
+	s.ln = ln
+	if !s.cfg.NoMetricsSource {
+		name := s.cfg.Name
+		s.unreg = fasp.RegisterPromSource(func(w io.Writer) {
+			obsv.WriteServerPrometheus(w, name, s.Snapshot())
+		})
+	}
+	return ln.Addr().String(), nil
+}
+
+// Addr reports the bound listen address.
+func (s *Server) Addr() string {
+	if s.ln == nil {
+		return ""
+	}
+	return s.ln.Addr().String()
+}
+
+// Serve accepts connections until Shutdown, then returns ErrServerClosed.
+func (s *Server) Serve() error {
+	if s.ln == nil {
+		return errors.New("server: Serve before Listen")
+	}
+	for {
+		c, err := s.ln.Accept()
+		if err != nil {
+			if s.draining.Load() {
+				return ErrServerClosed
+			}
+			return fmt.Errorf("server: accept: %w", err)
+		}
+		if s.draining.Load() {
+			c.Close()
+			continue
+		}
+		s.mu.Lock()
+		s.conns[c] = struct{}{}
+		s.mu.Unlock()
+		s.met.connsTotal.Add(1)
+		s.met.connsOpen.Add(1)
+		s.connWG.Add(1)
+		go s.serveConn(c)
+	}
+}
+
+// ListenAndServe is Listen + Serve.
+func (s *Server) ListenAndServe(addr string) error {
+	if _, err := s.Listen(addr); err != nil {
+		return err
+	}
+	return s.Serve()
+}
+
+// Shutdown drains gracefully: stop accepting, answer new requests with
+// SHUTDOWN, wait for every in-flight batch to commit and its responses to
+// flush, then close the connections. It is idempotent and safe to call
+// concurrently; the KV is left open for the caller to Close.
+func (s *Server) Shutdown() {
+	s.downMu.Lock()
+	defer s.downMu.Unlock()
+	if s.down {
+		return
+	}
+	s.down = true
+
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	// In-flight processing rounds finish their group commits and write
+	// their final responses. The mutex keeps a reader's Add-from-zero from
+	// racing the Wait (a WaitGroup cannot re-arm under a waiter); a round
+	// that starts after the barrier still completes under connWG, with its
+	// requests answered SHUTDOWN.
+	s.reqMu.Lock()
+	s.reqWG.Wait()
+	s.reqMu.Unlock()
+	// Unblock readers parked on idle sockets. CloseRead delivers EOF while
+	// still letting a racing final response flush; SetReadDeadline is the
+	// fallback for non-TCP conns.
+	s.mu.Lock()
+	for c := range s.conns {
+		if cr, ok := c.(interface{ CloseRead() error }); ok {
+			cr.CloseRead()
+		} else {
+			c.SetReadDeadline(time.Unix(0, 0))
+		}
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	// Every reader has exited; stop the group-commit loop after it drains
+	// any straggler round.
+	close(s.batchQuit)
+	<-s.batchDone
+	if s.unreg != nil {
+		s.unreg()
+	}
+}
+
+// Snapshot renders the server's metrics counters.
+func (s *Server) Snapshot() obsv.ServerSnapshot {
+	return s.met.snapshot(len(s.sem), cap(s.sem))
+}
+
+// beginRound registers one processing round with undelivered responses;
+// the round ends with reqWG.Done after its responses are written.
+func (s *Server) beginRound() {
+	s.reqMu.Lock()
+	s.reqWG.Add(1)
+	s.reqMu.Unlock()
+}
+
+// admit try-acquires one in-flight slot; false sheds the request as BUSY.
+func (s *Server) admit() bool {
+	select {
+	case s.sem <- struct{}{}:
+		return true
+	default:
+		return false
+	}
+}
+
+func (s *Server) release() { <-s.sem }
+
+func (s *Server) serveConn(c net.Conn) {
+	defer s.connWG.Done()
+	defer s.met.connsOpen.Add(-1)
+	defer func() {
+		s.mu.Lock()
+		delete(s.conns, c)
+		s.mu.Unlock()
+		c.Close()
+	}()
+	newConn(s, c).run()
+}

@@ -1,0 +1,103 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"errors"
+	"io"
+	"testing"
+)
+
+// FuzzWireFrame throws arbitrary bytes at the frame reader and request
+// parser. The contract under fuzz: typed errors only (io.EOF,
+// io.ErrUnexpectedEOF, ErrFrameTooBig, ErrMalformed, ErrBadOpcode), no
+// panics, and no allocation beyond the frame limit regardless of forged
+// length fields.
+func FuzzWireFrame(f *testing.F) {
+	// Valid frames of every opcode, plus classic decoder traps.
+	f.Add(AppendGet(nil, []byte("key")))
+	f.Add(AppendPut(nil, []byte("k"), []byte("v")))
+	f.Add(AppendDel(nil, []byte("k")))
+	f.Add(AppendBatch(nil, []BatchOp{
+		{Kind: KindPut, Key: []byte("a"), Val: []byte("1")},
+		{Kind: KindDelete, Key: []byte("b")},
+	}))
+	f.Add(AppendScan(nil, []byte("lo"), []byte("hi"), true, 10))
+	f.Add(AppendScan(nil, nil, nil, false, 0))
+	f.Add(AppendEmptyReq(nil, OpCount))
+	f.Add(AppendEmptyReq(nil, OpStats))
+	f.Add(AppendEmptyReq(nil, OpPing))
+	f.Add([]byte{})
+	f.Add([]byte{0, 0})                                                                // torn header
+	f.Add([]byte{0, 0, 0, 0})                                                          // zero-length frame
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff, 1})                                           // oversized length
+	f.Add([]byte{0, 0, 0, 1, 0x7f})                                                    // unknown opcode
+	f.Add([]byte{0, 0, 0, 9, OpBatch, 0xff, 0xff, 0xff, 0xff, 0})                      // forged batch count
+	f.Add([]byte{0, 0, 0, 10, OpPut, 0xff, 0xff, 0xff, 0xff, 'k', 'v', 'v', 'v', 'v'}) // forged klen
+
+	const maxFrame = 1 << 16
+
+	f.Fuzz(func(t *testing.T, data []byte) {
+		br := bufio.NewReader(bytes.NewReader(data))
+		var buf []byte
+		var req Request
+		for {
+			op, payload, nbuf, err := ReadFrame(br, maxFrame, buf)
+			buf = nbuf
+			if cap(buf) > maxFrame {
+				t.Fatalf("decode buffer grew past the frame limit: %d", cap(buf))
+			}
+			if err != nil {
+				if err == io.EOF || err == io.ErrUnexpectedEOF ||
+					errors.Is(err, ErrFrameTooBig) || errors.Is(err, ErrMalformed) {
+					return
+				}
+				t.Fatalf("untyped ReadFrame error: %v", err)
+			}
+			if perr := ParseRequest(op, payload, &req); perr != nil {
+				if errors.Is(perr, ErrMalformed) || errors.Is(perr, ErrBadOpcode) {
+					// A parse error desynchronises nothing at the frame
+					// layer; keep reading to exercise resync behaviour.
+					continue
+				}
+				t.Fatalf("untyped ParseRequest error: %v", perr)
+			}
+			// Parsed requests must be internally consistent.
+			if len(req.Ops) > MaxBatchOps {
+				t.Fatalf("batch over limit parsed: %d ops", len(req.Ops))
+			}
+			for i := range req.Ops {
+				if req.Ops[i].Kind > KindDelete {
+					t.Fatalf("invalid kind parsed: %d", req.Ops[i].Kind)
+				}
+			}
+		}
+	})
+}
+
+// FuzzScanReply fuzzes the client-side SCAN response parser with the same
+// no-panic, typed-error contract.
+func FuzzScanReply(f *testing.F) {
+	var sw ScanReplyWriter
+	sw.Begin(nil)
+	sw.Pair([]byte("k"), []byte("v"))
+	full := sw.End(false)
+	f.Add(full[5:]) // payload only
+	f.Add([]byte{})
+	f.Add([]byte{0xff, 0xff, 0xff, 0xff})
+
+	f.Fuzz(func(t *testing.T, payload []byte) {
+		pairs := 0
+		_, err := ParseScanReply(payload, func(k, v []byte) bool {
+			pairs++
+			return true
+		})
+		if err != nil && !errors.Is(err, ErrMalformed) {
+			t.Fatalf("untyped ParseScanReply error: %v", err)
+		}
+		// Each parsed pair consumes ≥8 payload bytes (two u32 lengths).
+		if pairs > len(payload)/8+1 {
+			t.Fatalf("%d pairs from %d bytes", pairs, len(payload))
+		}
+	})
+}

@@ -407,6 +407,15 @@ func (e *Engine) Closed() bool { return e.closed.Load() }
 // golden determinism tests pin it.
 func (e *Engine) ApplyBatch(ops []Op) []error {
 	errs := make([]error, len(ops))
+	// Close's contract: writes after Close fail with ErrClosed. The mailbox
+	// path enforces it in submit; this locked path must too, or a post-Close
+	// ApplyBatch silently mutates a store its owner believes quiesced.
+	if e.closed.Load() {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return errs
+	}
 	parts := make([][]int, len(e.shards))
 	for i := range ops {
 		si := e.ShardFor(ops[i].Key)

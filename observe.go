@@ -4,6 +4,7 @@ import (
 	"errors"
 	"expvar"
 	"fmt"
+	"io"
 	"net"
 	"net/http"
 	"sort"
@@ -137,12 +138,48 @@ func (kv *KV) shardGauges() []obsv.ShardGauge {
 // Registry of live KVs for the exporter. OpenKV registers, Close
 // unregisters; ServeMetrics renders every registered store.
 var (
-	regMu  sync.Mutex
-	regSeq int
-	regKVs = map[string]*KV{}
+	regMu     sync.Mutex
+	regSeq    int
+	regKVs    = map[string]*KV{}
+	regSrcSeq int
+	regSrcs   = map[int]func(io.Writer){}
 
 	expvarOnce sync.Once
 )
+
+// RegisterPromSource adds an extra producer to the /metrics endpoint:
+// fn is invoked on every scrape, after the KV sections, and must write
+// Prometheus text exposition. Subsystems layered on top of the store (the
+// network server) export through it without the facade knowing their
+// metric set. The returned function unregisters.
+func RegisterPromSource(fn func(io.Writer)) (unregister func()) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	id := regSrcSeq
+	regSrcSeq++
+	regSrcs[id] = fn
+	return func() {
+		regMu.Lock()
+		defer regMu.Unlock()
+		delete(regSrcs, id)
+	}
+}
+
+// promSources snapshots the registered extra producers in a stable order.
+func promSources() []func(io.Writer) {
+	regMu.Lock()
+	defer regMu.Unlock()
+	ids := make([]int, 0, len(regSrcs))
+	for id := range regSrcs {
+		ids = append(ids, id)
+	}
+	sort.Ints(ids)
+	fns := make([]func(io.Writer), 0, len(ids))
+	for _, id := range ids {
+		fns = append(fns, regSrcs[id])
+	}
+	return fns
+}
 
 func registerKV(kv *KV) {
 	regMu.Lock()
@@ -216,6 +253,9 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 		names, kvs := registeredKVs()
 		for i, kv := range kvs {
 			obsv.WritePrometheus(w, names[i], kv.Metrics(), kv.shardGauges())
+		}
+		for _, fn := range promSources() {
+			fn(w)
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
