@@ -14,7 +14,6 @@ package client
 
 import (
 	"bufio"
-	"bytes"
 	"errors"
 	"fmt"
 	"io"
@@ -208,10 +207,10 @@ func (cl *Client) Batch(ops []wire.BatchOp) ([]wire.Code, error) {
 // the call.
 func (cl *Client) Scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) error {
 	curLo, curHi := lo, hi
+	exclHi := false
 	var last, bound []byte
-	havePage := false
 	for {
-		cl.out = wire.AppendScan(cl.out, curLo, curHi, reverse, 0)
+		cl.out = wire.AppendScan(cl.out, curLo, curHi, reverse, exclHi, 0)
 		cl.queued++
 		code, payload, err := cl.Recv()
 		if err != nil {
@@ -223,12 +222,6 @@ func (cl *Client) Scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) e
 		stopped := false
 		progressed := false
 		more, err := wire.ParseScanReply(payload, func(k, v []byte) bool {
-			if reverse && havePage && bytes.Equal(k, last) {
-				// Reverse pages resume with hi = last key (byte strings
-				// have no closed-form predecessor), so the boundary pair
-				// comes back once more; drop it.
-				return true
-			}
 			last = append(last[:0], k...)
 			progressed = true
 			if !fn(k, v) {
@@ -240,20 +233,28 @@ func (cl *Client) Scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) e
 		if err != nil {
 			return err
 		}
-		if stopped || !more || (havePage && !progressed) {
+		if stopped || !more {
 			return nil
 		}
-		havePage = true
+		if !progressed {
+			// The resume bounds exclude everything already delivered, so a
+			// truncated page with zero fresh pairs means paging cannot make
+			// progress — fail loudly instead of silently dropping the rest
+			// of the range.
+			return fmt.Errorf("client: scan stalled: truncated page delivered no new pairs")
+		}
 		// Resume past the last delivered key: forward bounds get the byte
-		// successor last+0x00; reverse bounds reuse last inclusively and
-		// the duplicate is dropped above. bound is the client's own buffer —
-		// never the caller's lo/hi backing array.
+		// successor last+0x00; reverse bounds re-send last as an exclusive
+		// hi (byte strings have no closed-form predecessor, so the server
+		// steps past the boundary key itself). bound is the client's own
+		// buffer — never the caller's lo/hi backing array.
 		if !reverse {
 			bound = append(append(bound[:0], last...), 0)
 			curLo = bound
 		} else {
 			bound = append(bound[:0], last...)
 			curHi = bound
+			exclHi = true
 		}
 	}
 }

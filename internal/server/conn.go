@@ -2,6 +2,7 @@ package server
 
 import (
 	"bufio"
+	"bytes"
 	"encoding/json"
 	"errors"
 	"net"
@@ -220,6 +221,14 @@ func (cn *conn) process(op byte, payload []byte) (fatal bool) {
 // deferWrite admits a write request and parks its ops in the arena; the
 // verdicts arrive at the next flushWrites.
 func (cn *conn) deferWrite(op byte, t0 time.Time, ops ...wire.BatchOp) {
+	if len(ops) == 0 {
+		// Only BATCH can be empty (ParseRequest accepts n == 0). There is
+		// nothing to commit, so skip admission entirely — the reply is an
+		// empty verdict list decided here, and flushWrites must not release
+		// a semaphore slot this request never took.
+		cn.pends = append(cn.pends, pend{op: op, t0: t0})
+		return
+	}
 	if !cn.s.admit() {
 		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeBusy, msg: "server overloaded", t0: t0})
 		cn.s.met.rejBusy.Add(1)
@@ -276,6 +285,10 @@ func (cn *conn) flushWrites() {
 	for i := range cn.pends {
 		p := &cn.pends[i]
 		switch {
+		case p.nops == 0 && p.code == wire.CodeOK && p.op == wire.OpBatch:
+			// Empty BATCH: never admitted, nothing committed; the reply is
+			// still a batch-shaped frame so ParseBatchReply accepts it.
+			cn.out = wire.AppendBatchReply(cn.out, nil)
 		case p.nops == 0 && p.code == wire.CodeOK:
 			cn.out = wire.AppendOK(cn.out)
 		case p.nops == 0:
@@ -344,6 +357,12 @@ func (cn *conn) serveScan() {
 	sw.Begin(cn.out)
 	n, more := 0, false
 	fn := func(k, v []byte) bool {
+		if cn.req.ExclHi && bytes.Equal(k, hi) {
+			// hi is exclusive (a reverse-resume boundary): skip the pair
+			// without counting it toward the page, so a resume always
+			// delivers at least one fresh pair when the range has one.
+			return true
+		}
 		if n >= limit || sw.Size() > maxScanBytes {
 			more = true
 			return false

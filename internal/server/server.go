@@ -163,16 +163,22 @@ func (s *Server) Serve() error {
 			}
 			return fmt.Errorf("server: accept: %w", err)
 		}
+		// Register under s.mu with a draining re-check: Shutdown stores
+		// draining before it sweeps s.conns under the same lock, so a
+		// connection either lands in the map before the sweep (and gets its
+		// read unblocked) or observes draining here and is closed — a late
+		// registrant can never slip past the sweep and outlive Shutdown.
+		s.mu.Lock()
 		if s.draining.Load() {
+			s.mu.Unlock()
 			c.Close()
 			continue
 		}
-		s.mu.Lock()
 		s.conns[c] = struct{}{}
+		s.connWG.Add(1)
 		s.mu.Unlock()
 		s.met.connsTotal.Add(1)
 		s.met.connsOpen.Add(1)
-		s.connWG.Add(1)
 		go s.serveConn(c)
 	}
 }

@@ -509,3 +509,91 @@ func shardOf(kv *fasp.KV, key []byte) int {
 	}
 	return int(h % uint64(kv.Shards()))
 }
+
+// TestEmptyBatch pins two regressions around zero-op BATCH frames (valid
+// per ParseRequest): the reply must be a batch-shaped frame with zero
+// verdicts, and — since an empty batch is never admitted — it must not
+// consume an in-flight gate slot. The old code leaked one slot per empty
+// batch, so a handful of empty frames against a small gate turned every
+// later request into BUSY forever.
+func TestEmptyBatch(t *testing.T) {
+	_, _, addr := start(t, fasp.Options{Shards: 2}, Config{MaxInFlight: 4})
+	cl := dial(t, addr)
+
+	for i := 0; i < 64; i++ {
+		codes, err := cl.Batch(nil)
+		if err != nil {
+			t.Fatalf("empty Batch #%d: %v", i, err)
+		}
+		if len(codes) != 0 {
+			t.Fatalf("empty Batch codes = %v", codes)
+		}
+	}
+	// The gate must be fully free: real work still gets through.
+	if err := cl.Put([]byte("after"), []byte("v")); err != nil {
+		t.Fatalf("Put after empty batches: %v", err)
+	}
+	codes, err := cl.Batch([]wire.BatchOp{{Kind: wire.KindPut, Key: []byte("b"), Val: []byte("v")}})
+	if err != nil || len(codes) != 1 || codes[0] != wire.CodeOK {
+		t.Fatalf("real Batch after empty batches: %v %v", codes, err)
+	}
+}
+
+// TestScanPagingLimitOne drives paging at the degenerate page size of one
+// pair, where every resume page used to consist solely of the reverse
+// boundary duplicate — the old client saw "no progress" and silently
+// returned after the first key. The exclusive-hi resume must deliver the
+// whole range in both directions.
+func TestScanPagingLimitOne(t *testing.T) {
+	_, kv, addr := start(t, fasp.Options{Shards: 4}, Config{ScanLimit: 1})
+	const n = 20
+	ops := make([]fasp.Op, n)
+	for i := range ops {
+		ops[i] = fasp.Op{Kind: fasp.OpPut, Key: []byte(fmt.Sprintf("p%03d", i)), Val: []byte("v")}
+	}
+	for _, err := range kv.ApplyBatch(ops) {
+		if err != nil {
+			t.Fatalf("seed: %v", err)
+		}
+	}
+	cl := dial(t, addr)
+
+	var keys []string
+	if err := cl.Scan(nil, nil, true, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	}); err != nil {
+		t.Fatalf("reverse Scan: %v", err)
+	}
+	if len(keys) != n {
+		t.Fatalf("reverse scan with 1-pair pages got %d keys, want %d: %v", len(keys), n, keys)
+	}
+	for i := range keys {
+		if want := fmt.Sprintf("p%03d", n-1-i); keys[i] != want {
+			t.Fatalf("rev keys[%d] = %s, want %s", i, keys[i], want)
+		}
+	}
+
+	keys = keys[:0]
+	if err := cl.Scan(nil, nil, false, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	}); err != nil {
+		t.Fatalf("forward Scan: %v", err)
+	}
+	if len(keys) != n {
+		t.Fatalf("forward scan with 1-pair pages got %d keys", len(keys))
+	}
+
+	// Bounded reverse paging across the same degenerate pages.
+	keys = keys[:0]
+	if err := cl.Scan([]byte("p005"), []byte("p014"), true, func(k, v []byte) bool {
+		keys = append(keys, string(k))
+		return true
+	}); err != nil {
+		t.Fatalf("bounded reverse Scan: %v", err)
+	}
+	if len(keys) != 10 || keys[0] != "p014" || keys[9] != "p005" {
+		t.Fatalf("bounded reverse scan: %v", keys)
+	}
+}

@@ -22,8 +22,10 @@ func FuzzWireFrame(f *testing.F) {
 		{Kind: KindPut, Key: []byte("a"), Val: []byte("1")},
 		{Kind: KindDelete, Key: []byte("b")},
 	}))
-	f.Add(AppendScan(nil, []byte("lo"), []byte("hi"), true, 10))
-	f.Add(AppendScan(nil, nil, nil, false, 0))
+	f.Add(AppendScan(nil, []byte("lo"), []byte("hi"), true, false, 10))
+	f.Add(AppendScan(nil, nil, nil, false, false, 0))
+	f.Add(AppendScan(nil, nil, []byte("hi"), true, true, 1))
+	f.Add([]byte{0, 0, 0, 6, OpScan, ScanExclHi, 0, 0, 0, 0}) // exclusive hi without a hi bound
 	f.Add(AppendEmptyReq(nil, OpCount))
 	f.Add(AppendEmptyReq(nil, OpStats))
 	f.Add(AppendEmptyReq(nil, OpPing))

@@ -67,11 +67,17 @@ func OpName(op byte) string {
 	return "unknown"
 }
 
-// Scan request flag bits.
+// Scan request flag bits. ScanExclHi makes the hi bound exclusive —
+// pairs whose key equals hi are skipped. It exists for reverse paging:
+// byte strings have no closed-form predecessor, so a reverse resume
+// must re-send the last delivered key as hi and needs the server to
+// step past it; without the flag a page whose single pair is that
+// boundary key can never make progress. ScanExclHi requires ScanHasHi.
 const (
 	ScanHasLo   = 1 << 0
 	ScanHasHi   = 1 << 1
 	ScanReverse = 1 << 2
+	ScanExclHi  = 1 << 3
 )
 
 // Batch op kinds, mirroring the engine's OpKind values (shard.OpPut etc.);
@@ -115,16 +121,17 @@ type BatchOp struct {
 // Request is one decoded request frame. Byte slices alias the decode
 // buffer and are valid only until the next ReadFrame on that buffer.
 type Request struct {
-	Op    byte
-	Key   []byte    // GET / DEL
-	Val   []byte    // PUT
-	Ops   []BatchOp // BATCH
-	Lo    []byte    // SCAN
-	Hi    []byte    // SCAN
-	HasLo bool
-	HasHi bool
-	Rev   bool
-	Limit uint32 // SCAN: max pairs (0 = server default)
+	Op     byte
+	Key    []byte    // GET / DEL
+	Val    []byte    // PUT
+	Ops    []BatchOp // BATCH
+	Lo     []byte    // SCAN
+	Hi     []byte    // SCAN
+	HasLo  bool
+	HasHi  bool
+	Rev    bool
+	ExclHi bool   // SCAN: hi bound is exclusive
+	Limit  uint32 // SCAN: max pairs (0 = server default)
 }
 
 // ReadFrame reads one frame from br, reusing buf when it is large enough,
@@ -249,8 +256,9 @@ func AppendBatch(dst []byte, ops []BatchOp) []byte {
 }
 
 // AppendScan appends a SCAN frame. Nil lo/hi are open bounds; limit 0
-// accepts the server's default page size.
-func AppendScan(dst, lo, hi []byte, reverse bool, limit uint32) []byte {
+// accepts the server's default page size; exclHi (valid only with a
+// non-nil hi) makes the hi bound exclusive.
+func AppendScan(dst, lo, hi []byte, reverse, exclHi bool, limit uint32) []byte {
 	dst, start := BeginFrame(dst, OpScan)
 	var flags byte
 	if lo != nil {
@@ -258,6 +266,9 @@ func AppendScan(dst, lo, hi []byte, reverse bool, limit uint32) []byte {
 	}
 	if hi != nil {
 		flags |= ScanHasHi
+		if exclHi {
+			flags |= ScanExclHi
+		}
 	}
 	if reverse {
 		flags |= ScanReverse
@@ -384,10 +395,14 @@ func ParseRequest(op byte, payload []byte, req *Request) error {
 		if err != nil {
 			return err
 		}
-		if flags&^(ScanHasLo|ScanHasHi|ScanReverse) != 0 {
+		if flags&^(ScanHasLo|ScanHasHi|ScanReverse|ScanExclHi) != 0 {
 			return fmt.Errorf("%w: scan flags %#x", ErrMalformed, flags)
 		}
+		if flags&ScanExclHi != 0 && flags&ScanHasHi == 0 {
+			return fmt.Errorf("%w: scan exclusive-hi flag without a hi bound", ErrMalformed)
+		}
 		req.HasLo, req.HasHi, req.Rev = flags&ScanHasLo != 0, flags&ScanHasHi != 0, flags&ScanReverse != 0
+		req.ExclHi = flags&ScanExclHi != 0
 		if req.HasLo {
 			if req.Lo, err = r.bytes(); err != nil {
 				return err

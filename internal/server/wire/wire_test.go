@@ -82,21 +82,41 @@ func TestRequestRoundTrip(t *testing.T) {
 		}
 	}
 
-	op, payload = readOne(t, AppendScan(nil, []byte("lo"), []byte("hi"), true, 77))
+	op, payload = readOne(t, AppendScan(nil, []byte("lo"), []byte("hi"), true, false, 77))
 	if err := ParseRequest(op, payload, &req); err != nil {
 		t.Fatalf("scan: %v", err)
 	}
-	if !req.HasLo || !req.HasHi || !req.Rev || req.Limit != 77 ||
+	if !req.HasLo || !req.HasHi || !req.Rev || req.ExclHi || req.Limit != 77 ||
 		string(req.Lo) != "lo" || string(req.Hi) != "hi" {
 		t.Fatalf("scan round trip: %+v", req)
 	}
 
-	op, payload = readOne(t, AppendScan(nil, nil, nil, false, 0))
+	op, payload = readOne(t, AppendScan(nil, nil, nil, false, false, 0))
 	if err := ParseRequest(op, payload, &req); err != nil {
 		t.Fatalf("open scan: %v", err)
 	}
-	if req.HasLo || req.HasHi || req.Rev || req.Limit != 0 {
+	if req.HasLo || req.HasHi || req.Rev || req.ExclHi || req.Limit != 0 {
 		t.Fatalf("open scan round trip: %+v", req)
+	}
+
+	// Exclusive hi (reverse-resume paging).
+	op, payload = readOne(t, AppendScan(nil, nil, []byte("hi"), true, true, 0))
+	if err := ParseRequest(op, payload, &req); err != nil {
+		t.Fatalf("excl-hi scan: %v", err)
+	}
+	if req.HasLo || !req.HasHi || !req.Rev || !req.ExclHi || string(req.Hi) != "hi" {
+		t.Fatalf("excl-hi scan round trip: %+v", req)
+	}
+
+	// exclHi without a hi bound must not be encoded…
+	op, payload = readOne(t, AppendScan(nil, nil, nil, false, true, 0))
+	if err := ParseRequest(op, payload, &req); err != nil || req.ExclHi {
+		t.Fatalf("exclHi without hi: err=%v req=%+v", err, req)
+	}
+	// …and a hand-forged frame carrying it is malformed.
+	forged := []byte{ScanExclHi, 0, 0, 0, 0} // flags, u32 limit
+	if err := ParseRequest(OpScan, forged, &req); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("forged exclHi-without-hi: %v", err)
 	}
 
 	for _, empty := range []byte{OpCount, OpStats, OpPing} {

@@ -226,6 +226,7 @@ type state struct {
 	mu         sync.Mutex
 	be         *Backend
 	tree       *btree.Tree
+	closed     bool // sealed by Engine.Close after the writer drained
 	crashed    bool
 	degraded   bool
 	downCause  error
@@ -392,6 +393,16 @@ func (e *Engine) Close() {
 		for _, s := range e.shards {
 			<-s.done
 		}
+		// Seal each shard under its lock. A locked-path ApplyBatch that
+		// passed the engine-level closed check either already holds s.mu —
+		// then Close waits for it here, so its commit lands before Close
+		// returns — or it takes the lock later and fails with ErrClosed.
+		// Nothing commits after Close returns.
+		for _, s := range e.shards {
+			s.mu.Lock()
+			s.closed = true
+			s.mu.Unlock()
+		}
 	})
 }
 
@@ -473,6 +484,12 @@ func (s *state) runContained(fn func()) (crashed bool, fault error) {
 func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 	s.mu.Lock()
 	defer s.mu.Unlock()
+	if s.closed {
+		for i := range errs {
+			errs[i] = ErrClosed
+		}
+		return
+	}
 	if err := s.unavailable(); err != nil {
 		for i := range errs {
 			errs[i] = err

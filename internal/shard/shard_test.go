@@ -686,3 +686,61 @@ func TestConfigValidation(t *testing.T) {
 		t.Fatal("missing Reattach accepted")
 	}
 }
+
+// TestCloseSealsLockedPath pins the stronger half of the Close contract
+// on the locked (ApplyBatch) path: once Close has returned, no batch —
+// including one already past the engine-level closed check — commits.
+// Close seals each shard under its own lock, so a racing ApplyBatch
+// either lands before Close returns or fails with ErrClosed.
+func TestCloseSealsLockedPath(t *testing.T) {
+	e, err := shard.New(testConfig(4, 8, 0))
+	if err != nil {
+		t.Fatal(err)
+	}
+
+	count := func() int {
+		n := 0
+		if err := e.Scan(nil, nil, func(k, v []byte) bool {
+			n++
+			return true
+		}); err != nil {
+			t.Fatalf("Scan: %v", err)
+		}
+		return n
+	}
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for c := 0; c < 4; c++ {
+		wg.Add(1)
+		go func(c int) {
+			defer wg.Done()
+			for i := 0; ; i++ {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				ops := []shard.Op{{Kind: shard.OpPut, Key: []byte(fmt.Sprintf("seal-c%d-%06d", c, i)), Val: []byte("v")}}
+				for _, err := range e.ApplyBatch(ops) {
+					if err != nil && !errors.Is(err, shard.ErrClosed) {
+						t.Errorf("ApplyBatch: %v", err)
+						return
+					}
+				}
+			}
+		}(c)
+	}
+	time.Sleep(2 * time.Millisecond) // let the writers commit a few batches
+	e.Close()
+	n0 := count()
+	time.Sleep(2 * time.Millisecond) // racing batches would land here
+	if n1 := count(); n1 != n0 {
+		t.Fatalf("batch committed after Close returned: %d -> %d records", n0, n1)
+	}
+	close(stop)
+	wg.Wait()
+	if n2 := count(); n2 != n0 {
+		t.Fatalf("late batch committed after Close returned: %d -> %d records", n0, n2)
+	}
+}
