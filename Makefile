@@ -1,7 +1,7 @@
 GO ?= go
 N  ?= 20000
 
-.PHONY: all build vet test race crashx obsv bench bench-json readbench phasebench serverbench clean
+.PHONY: all build vet test race crashx obsv bench bench-json readbench phasebench serverbench chaos clean
 
 all: vet build test
 
@@ -71,6 +71,18 @@ SB_CONNS ?= 256
 SB_DUR   ?= 2s
 serverbench:
 	$(GO) run ./cmd/faspbench -serverbench BENCH_PR7.json -sb-conns $(SB_CONNS) -sb-dur $(SB_DUR) -metrics-addr 127.0.0.1:0 -scrape -sb-strict
+
+# Chaos soak: the -race in-process soak test, then the standalone harness —
+# a faspserver under a seeded storm of connection kills, torn frames,
+# stalls, injected shard-writer panics and whole-server crash-restarts,
+# driven by retrying clients, audited by the acked-prefix oracle after a
+# final crash recovery. A failure prints the replayable faultx spec; replay
+# it with CHAOS_SPEC=fx:1:<seed>:<kill>:<torn>:<stall>:<stallms>:<panic>:<restarts>.
+CHAOS_DUR  ?= 3s
+CHAOS_SPEC ?= fx:1:42:0.03:0.02:0.005:2:0.004:2
+chaos:
+	$(GO) test -race -run TestChaosSoak ./internal/server/
+	$(GO) run ./cmd/faspbench -chaos - -chaos-spec "$(CHAOS_SPEC)" -chaos-dur $(CHAOS_DUR) > /dev/null
 
 clean:
 	rm -f BENCH_PR1.json BENCH_PR2.json BENCH_PR5.json BENCH_PR6.json BENCH_PR7.json

@@ -1,0 +1,65 @@
+package main
+
+// Chaos soak mode (-chaos): runs the fault-injection harness
+// (internal/server.RunChaos) — a faspserver under a seeded storm of
+// connection kills, torn writes, stalls, injected shard-writer panics,
+// and whole-server crash-restarts, driven by retrying loadgen clients —
+// then audits the acked-prefix oracle after a final crash recovery. The
+// report (JSON) carries the replayable faultx spec; re-run any failure
+// with -chaos-spec "<spec>".
+
+import (
+	"encoding/json"
+	"fmt"
+	"os"
+	"time"
+
+	"fasp/internal/faultx"
+	"fasp/internal/server"
+)
+
+type chaosBenchConfig struct {
+	out    string
+	spec   string
+	dur    time.Duration
+	conns  int
+	shards int
+}
+
+func runChaosBench(cfg chaosBenchConfig) error {
+	sp, err := faultx.ParseSpec(cfg.spec)
+	if err != nil {
+		return err
+	}
+	rep, chaosErr := server.RunChaos(server.ChaosConfig{
+		Spec:     sp,
+		Shards:   cfg.shards,
+		Duration: cfg.dur,
+		Conns:    cfg.conns,
+	})
+
+	out := os.Stdout
+	if cfg.out != "-" && cfg.out != "" {
+		f, err := os.Create(cfg.out)
+		if err != nil {
+			return err
+		}
+		defer f.Close()
+		out = f
+	}
+	enc := json.NewEncoder(out)
+	enc.SetIndent("", "  ")
+	if err := enc.Encode(rep); err != nil {
+		return err
+	}
+
+	if chaosErr != nil {
+		return fmt.Errorf("soak FAILED — replay with -chaos-spec %q: %w", rep.Spec, chaosErr)
+	}
+	fmt.Fprintf(os.Stderr,
+		"faspbench: chaos OK: %d acked writes verified through %d kills, %d torn writes, %d stalls, %d shard panics (healed %d/%d), %d restarts, %d reconnects (spec %s)\n",
+		rep.AckedWrites, rep.Faults.Kills, rep.Faults.Torn, rep.Faults.Stalls,
+		rep.Faults.Panics, rep.HealAttempts-rep.HealFailures, rep.HealAttempts,
+		rep.Restarts, rep.Loadgen.Reconnects, rep.Spec)
+	return nil
+}

@@ -59,8 +59,25 @@ func main() {
 		sbScheme    = flag.String("sb-scheme", "", "with -serverbench: commit scheme (default fast+)")
 		sbOverInfl  = flag.Int("sb-over-inflight", 4, "with -serverbench: MaxInFlight of the overload arm")
 		sbStrict    = flag.Bool("sb-strict", false, "with -serverbench: exit non-zero if acceptance targets are missed")
+
+		chaos      = flag.String("chaos", "", "write the chaos-soak report JSON to this file ('-' = stdout); non-zero exit on an oracle violation")
+		chaosSpec  = flag.String("chaos-spec", "fx:1:42:0.03:0.02:0.005:2:0.004:2", "with -chaos: replayable faultx fault schedule")
+		chaosDur   = flag.Duration("chaos-dur", 3*time.Second, "with -chaos: soak duration")
+		chaosConns = flag.Int("chaos-conns", 12, "with -chaos: retrying client connections")
 	)
 	flag.Parse()
+
+	if *chaos != "" {
+		err := runChaosBench(chaosBenchConfig{
+			out: *chaos, spec: *chaosSpec, dur: *chaosDur,
+			conns: *chaosConns, shards: defaultShards(*shards),
+		})
+		if err != nil {
+			fmt.Fprintf(os.Stderr, "faspbench: chaos: %v\n", err)
+			os.Exit(1)
+		}
+		return
+	}
 
 	if *serverbench != "" {
 		err := runServerBench(serverBenchConfig{

@@ -35,6 +35,10 @@ func main() {
 		inflight = flag.Int("inflight", 0, "max concurrently admitted requests before BUSY (0 = default 1024)")
 		adaptive = flag.Bool("adaptive", false, "enable adaptive per-shard scheme + batch tuning")
 		defrag   = flag.Float64("defrag", 0, "proactive defrag dead-byte threshold (0 = off)")
+		idleTO   = flag.Duration("idle-timeout", 0, "close connections idle longer than this, after a typed TIMEOUT notice (0 = never)")
+		writeTO  = flag.Duration("write-timeout", 0, "per-connection response write deadline (0 = none)")
+		autoheal = flag.Bool("autoheal", false, "background auto-heal loop: recover degraded/crashed shards automatically")
+		healIvl  = flag.Duration("heal-interval", 0, "with -autoheal: base heal retry cadence (0 = default 10ms)")
 	)
 	flag.Parse()
 
@@ -62,7 +66,13 @@ func main() {
 		fmt.Printf("faspserver: metrics on http://%s/metrics\n", ms.Addr())
 	}
 
-	srv := server.New(kv, server.Config{MaxInFlight: *inflight})
+	srv := server.New(kv, server.Config{
+		MaxInFlight:  *inflight,
+		IdleTimeout:  *idleTO,
+		WriteTimeout: *writeTO,
+		AutoHeal:     *autoheal,
+		HealInterval: *healIvl,
+	})
 	bound, err := srv.Listen(*addr)
 	if err != nil {
 		fmt.Fprintf(os.Stderr, "faspserver: %v\n", err)

@@ -121,6 +121,13 @@ type Options struct {
 	// threshold it is rewritten during idle group-commit slots. Sensible
 	// values are 0.2–0.5. Ignored when Shards <= 1.
 	DefragThreshold float64
+	// FaultHook, when set on a sharded store, runs at the top of every
+	// group commit with the shard index, inside the contained writer
+	// section — the fault-injection harness's entry point (see
+	// internal/faultx): a panic degrades that one shard until Heal, a
+	// sleep stalls its batch while the others keep serving. Production
+	// leaves it nil. Ignored when Shards <= 1.
+	FaultHook func(shard int)
 }
 
 // fill applies defaults and normalises Scheme to its canonical lower-case
@@ -352,6 +359,11 @@ type KV struct {
 	rec     *obsv.Recorder
 	regName string
 	closed  atomic.Bool
+
+	// crashed tracks a single store's post-Crash state (the sharded engine
+	// tracks health per shard itself), so Heal and ShardStats can tell a
+	// healthy store from one awaiting recovery.
+	crashed atomic.Bool
 }
 
 // Op and OpKind re-export the sharded engine's operation type, used by
@@ -447,6 +459,7 @@ func newShardEngine(opts Options, rec *obsv.Recorder) (*shard.Engine, error) {
 		Tune:            tuneTemplate(opts),
 		Migrate:         migrate,
 		DefragThreshold: opts.DefragThreshold,
+		FaultHook:       opts.FaultHook,
 	})
 }
 
@@ -690,14 +703,24 @@ func (kv *KV) checkShard(i int) error {
 
 // Heal re-runs recovery on one shard of a sharded store — the containment
 // path after ErrShardDown: the degraded shard reattaches over its arena
-// while the healthy shards keep serving. On a single store, Heal(0) is
-// equivalent to ReopenKV. An out-of-range index is ErrBadShard.
+// while the healthy shards keep serving. Heal on a HEALTHY shard is a
+// documented no-op returning nil: recovery is only re-run when the shard
+// actually stopped serving, so a background healer can call it
+// unconditionally without churning stores under live readers. On a single
+// store, Heal(0) after Crash is equivalent to ReopenKV. An out-of-range
+// index is ErrBadShard.
 func (kv *KV) Heal(i int) error {
 	if err := kv.checkShard(i); err != nil {
 		return err
 	}
 	if kv.eng != nil {
+		if kv.eng.ShardInfo(i).Health == shard.Healthy {
+			return nil
+		}
 		return kv.eng.Heal(i)
+	}
+	if !kv.crashed.Load() {
+		return nil
 	}
 	return kv.ReopenKV()
 }
@@ -713,6 +736,7 @@ func (kv *KV) ReopenKV() error {
 		return err
 	}
 	kv.tree = btree.New(kv.store)
+	kv.crashed.Store(false)
 	return nil
 }
 
@@ -727,6 +751,7 @@ func (kv *KV) Crash(opts CrashOptions) {
 		return
 	}
 	kv.base.Crash(opts)
+	kv.crashed.Store(true)
 }
 
 // SchemeName reports the active commit scheme.
@@ -826,11 +851,15 @@ func (kv *KV) ShardStats(i int) (ShardInfo, error) {
 	if kv.eng != nil {
 		return kv.eng.ShardInfo(i), nil
 	}
-	return ShardInfo{
+	in := ShardInfo{
 		SimNS:  kv.base.SimulatedNS(),
 		PM:     kv.base.PMStats(),
 		Phases: kv.base.System().Clock().Phases(),
-	}, nil
+	}
+	if kv.crashed.Load() {
+		in.Health = shard.Crashed
+	}
+	return in, nil
 }
 
 // EngineStats aggregates the sharded engine's counters (zero value on a

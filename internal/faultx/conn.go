@@ -1,0 +1,116 @@
+package faultx
+
+import (
+	"errors"
+	"math/rand"
+	"net"
+	"sync"
+	"time"
+)
+
+// ErrInjected is the error returned by a faulted Read/Write. It wraps no
+// syscall error on purpose: the injected failure also closes the underlying
+// connection, so the peer observes an ordinary reset while the local caller
+// gets a typed, grep-able cause.
+var ErrInjected = errors.New("faultx: injected connection fault")
+
+// WrapConn wraps c with this injector's network-fault schedule. Each wrapped
+// connection draws from a private RNG stream derived from Spec.Seed and the
+// connection's arrival index, so a replayed Spec deals the same per-
+// connection fault sequence. Safe for one concurrent reader + one concurrent
+// writer, the net.Conn contract the server relies on.
+func (in *Injector) WrapConn(c net.Conn) net.Conn {
+	sp := in.spec
+	if sp.KillProb == 0 && sp.TornProb == 0 && sp.StallProb == 0 {
+		return c
+	}
+	idx := in.connSeq.Add(1)
+	return &faultConn{
+		Conn: c,
+		in:   in,
+		rng:  rand.New(rand.NewSource(mix64(sp.Seed ^ idx*0x9e3779b1))),
+	}
+}
+
+// faultConn injects write kills, torn writes, and read/write stalls. The
+// rng is shared by the reader and writer goroutines, so draws go through a
+// mutex; the fault actions themselves (sleep, close) run outside it.
+type faultConn struct {
+	net.Conn
+	in  *Injector
+	mu  sync.Mutex
+	rng *rand.Rand
+}
+
+type faultKind int
+
+const (
+	faultNone faultKind = iota
+	faultKill           // close before writing anything
+	faultTorn           // write a strict prefix, then close
+	faultStall
+)
+
+// draw deals the next fault for one I/O. Reads only stall — a read-side
+// kill is indistinguishable from a peer hangup and adds nothing torn writes
+// don't already cover.
+func (c *faultConn) draw(write bool) (faultKind, int64) {
+	if !c.in.enabled.Load() {
+		return faultNone, 0
+	}
+	sp := c.in.spec
+	c.mu.Lock()
+	defer c.mu.Unlock()
+	p := c.rng.Float64()
+	if write {
+		switch {
+		case p < sp.KillProb:
+			return faultKill, 0
+		case p < sp.KillProb+sp.TornProb:
+			return faultTorn, c.rng.Int63()
+		case p < sp.KillProb+sp.TornProb+sp.StallProb && sp.Stall > 0:
+			return faultStall, 0
+		}
+		return faultNone, 0
+	}
+	if p < sp.StallProb && sp.Stall > 0 {
+		return faultStall, 0
+	}
+	return faultNone, 0
+}
+
+func (c *faultConn) Read(p []byte) (int, error) {
+	if k, _ := c.draw(false); k == faultStall {
+		c.in.stalls.Add(1)
+		time.Sleep(c.in.spec.Stall)
+	}
+	return c.Conn.Read(p)
+}
+
+func (c *faultConn) Write(p []byte) (int, error) {
+	k, r := c.draw(true)
+	switch k {
+	case faultKill:
+		c.in.kills.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	case faultTorn:
+		// A strict prefix lands on the wire, then the connection dies:
+		// the peer sees a torn frame. One-byte buffers degrade to a
+		// kill (no strict prefix exists).
+		if len(p) > 1 {
+			n := 1 + int(r%int64(len(p)-1))
+			c.Conn.Write(p[:n])
+			c.in.torn.Add(1)
+			c.Conn.Close()
+			return n, ErrInjected
+		}
+		c.in.kills.Add(1)
+		c.Conn.Close()
+		return 0, ErrInjected
+	case faultStall:
+		c.in.stalls.Add(1)
+		time.Sleep(c.in.spec.Stall)
+	}
+	return c.Conn.Write(p)
+}

@@ -1,0 +1,183 @@
+package faultx
+
+import (
+	"bytes"
+	"errors"
+	"net"
+	"strings"
+	"testing"
+	"time"
+)
+
+func TestSpecRoundTrip(t *testing.T) {
+	specs := []Spec{
+		{},
+		{Seed: 42, KillProb: 0.002, TornProb: 0.002, StallProb: 0.01, Stall: 5 * time.Millisecond, PanicProb: 0.02, Restarts: 2},
+		{Seed: -7, KillProb: 1, TornProb: 0, StallProb: 0.5, Stall: 250 * time.Millisecond, PanicProb: 0.125, Restarts: 10},
+	}
+	for _, want := range specs {
+		s := want.String()
+		got, err := ParseSpec(s)
+		if err != nil {
+			t.Fatalf("ParseSpec(%q): %v", s, err)
+		}
+		if got != want {
+			t.Fatalf("round trip %q: got %+v want %+v", s, got, want)
+		}
+	}
+}
+
+func TestParseSpecRejectsMalformed(t *testing.T) {
+	bad := []string{
+		"",
+		"fx:1:42",                          // too few fields
+		"cx:1:42:0:0:0:0:0:0",              // wrong prefix
+		"fx:2:42:0:0:0:0:0:0",              // unknown version
+		"fx:1:nope:0:0:0:0:0:0",            // bad seed
+		"fx:1:42:1.5:0:0:0:0:0",            // prob out of range
+		"fx:1:42:0:-0.1:0:0:0:0",           // negative prob
+		"fx:1:42:0:0:0:-1:0:0",             // negative stall
+		"fx:1:42:0:0:0:0:0:-1",             // negative restarts
+		"fx:1:42:0:0:0:0:0:0:extra",        // trailing field
+		"fx:1:42:0.1:0.1:0.1:5:0.1:banana", // bad restarts
+	}
+	for _, s := range bad {
+		if _, err := ParseSpec(s); err == nil {
+			t.Errorf("ParseSpec(%q): want error, got nil", s)
+		}
+	}
+}
+
+// fakeConn records writes and close calls; reads always succeed.
+type fakeConn struct {
+	net.Conn
+	wrote  bytes.Buffer
+	closed bool
+}
+
+func (f *fakeConn) Write(p []byte) (int, error) { f.wrote.Write(p); return len(p), nil }
+func (f *fakeConn) Read(p []byte) (int, error)  { return len(p), nil }
+func (f *fakeConn) Close() error                { f.closed = true; return nil }
+
+func TestWrapConnKill(t *testing.T) {
+	in := New(Spec{Seed: 1, KillProb: 1})
+	fc := &fakeConn{}
+	c := in.WrapConn(fc)
+	n, err := c.Write([]byte("hello world"))
+	if n != 0 || !errors.Is(err, ErrInjected) {
+		t.Fatalf("killed write: got n=%d err=%v", n, err)
+	}
+	if !fc.closed || fc.wrote.Len() != 0 {
+		t.Fatalf("kill must close without writing: closed=%v wrote=%d", fc.closed, fc.wrote.Len())
+	}
+	if got := in.Counts().Kills; got != 1 {
+		t.Fatalf("Kills = %d, want 1", got)
+	}
+}
+
+func TestWrapConnTorn(t *testing.T) {
+	in := New(Spec{Seed: 1, TornProb: 1})
+	fc := &fakeConn{}
+	c := in.WrapConn(fc)
+	frame := []byte("0123456789abcdef")
+	n, err := c.Write(frame)
+	if !errors.Is(err, ErrInjected) {
+		t.Fatalf("torn write error = %v", err)
+	}
+	if n <= 0 || n >= len(frame) {
+		t.Fatalf("torn write must land a strict prefix, wrote %d of %d", n, len(frame))
+	}
+	if fc.wrote.Len() != n || !fc.closed {
+		t.Fatalf("underlying: wrote=%d closed=%v, want %d true", fc.wrote.Len(), fc.closed, n)
+	}
+	// One-byte buffers have no strict prefix: degrade to kill.
+	fc2 := &fakeConn{}
+	c2 := in.WrapConn(fc2)
+	if n, err := c2.Write([]byte{7}); n != 0 || !errors.Is(err, ErrInjected) || fc2.wrote.Len() != 0 {
+		t.Fatalf("one-byte torn write: n=%d err=%v wrote=%d", n, err, fc2.wrote.Len())
+	}
+}
+
+func TestWrapConnStallAndPassThrough(t *testing.T) {
+	in := New(Spec{Seed: 9, StallProb: 1, Stall: time.Millisecond})
+	fc := &fakeConn{}
+	c := in.WrapConn(fc)
+	if n, err := c.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("stalled write must still succeed: n=%d err=%v", n, err)
+	}
+	if _, err := c.Read(make([]byte, 4)); err != nil {
+		t.Fatalf("stalled read: %v", err)
+	}
+	if got := in.Counts().Stalls; got != 2 {
+		t.Fatalf("Stalls = %d, want 2", got)
+	}
+	// Zero spec wraps to the identity: same net.Conn back.
+	id := New(Spec{Seed: 9})
+	if got := id.WrapConn(fc); got != net.Conn(fc) {
+		t.Fatalf("zero spec must return the conn unwrapped")
+	}
+}
+
+func TestWrapConnDeterministicStreams(t *testing.T) {
+	sp := Spec{Seed: 1234, KillProb: 0.1, TornProb: 0.1, StallProb: 0.2, Stall: time.Nanosecond}
+	run := func() []string {
+		in := New(sp)
+		var seq []string
+		for conn := 0; conn < 4; conn++ {
+			fc := &fakeConn{}
+			c := in.WrapConn(fc)
+			for i := 0; i < 50 && !fc.closed; i++ {
+				n, err := c.Write([]byte("payload-payload"))
+				switch {
+				case err == nil:
+					seq = append(seq, "ok")
+				case n == 0:
+					seq = append(seq, "kill")
+				default:
+					seq = append(seq, "torn")
+				}
+			}
+		}
+		return seq
+	}
+	a, b := run(), run()
+	if strings.Join(a, ",") != strings.Join(b, ",") {
+		t.Fatalf("same spec must deal the same per-conn fault sequence:\n a=%v\n b=%v", a, b)
+	}
+	if !strings.Contains(strings.Join(a, ","), "kill") {
+		t.Fatalf("expected at least one kill in %v", a)
+	}
+}
+
+func TestCommitFaultPanicIsReplayable(t *testing.T) {
+	in := New(Spec{Seed: 5, PanicProb: 1})
+	defer func() {
+		r := recover()
+		if r == nil {
+			t.Fatalf("CommitFault with PanicProb=1 must panic")
+		}
+		msg, _ := r.(string)
+		if !strings.Contains(msg, in.String()) {
+			t.Fatalf("panic %q must embed the replayable spec %q", msg, in.String())
+		}
+		if got := in.Counts().Panics; got != 1 {
+			t.Fatalf("Panics = %d, want 1", got)
+		}
+	}()
+	in.CommitFault(3)
+}
+
+func TestSetEnabledPausesInjection(t *testing.T) {
+	in := New(Spec{Seed: 5, KillProb: 1, PanicProb: 1})
+	in.SetEnabled(false)
+	in.CommitFault(0) // must not panic
+	fc := &fakeConn{}
+	c := in.WrapConn(fc)
+	if n, err := c.Write([]byte("abc")); n != 3 || err != nil {
+		t.Fatalf("disabled injector must pass writes through: n=%d err=%v", n, err)
+	}
+	in.SetEnabled(true)
+	if _, err := c.Write([]byte("abc")); !errors.Is(err, ErrInjected) {
+		t.Fatalf("re-enabled injector must fault: %v", err)
+	}
+}

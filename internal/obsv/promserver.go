@@ -3,6 +3,7 @@ package obsv
 import (
 	"fmt"
 	"io"
+	"sort"
 )
 
 // ServerOpStats is one wire opcode's served-request summary inside a
@@ -37,6 +38,14 @@ type ServerSnapshot struct {
 	RejectBusy     int64 `json:"reject_busy"`
 	RejectShutdown int64 `json:"reject_shutdown"`
 	RejectProto    int64 `json:"reject_proto"`
+	// Timeouts counts connections closed by the idle deadline.
+	Timeouts int64 `json:"timeouts"`
+	// HealAttempts / HealFailures count the background auto-heal loop's
+	// recovery attempts on unhealthy shards; DegradedShards gauges how
+	// many shards are currently not serving (degraded or crashed).
+	HealAttempts   int64 `json:"heal_attempts"`
+	HealFailures   int64 `json:"heal_failures"`
+	DegradedShards int64 `json:"degraded_shards"`
 	// BytesIn / BytesOut are wire totals.
 	BytesIn  int64 `json:"bytes_in"`
 	BytesOut int64 `json:"bytes_out"`
@@ -66,6 +75,16 @@ func WriteServerPrometheus(w io.Writer, server string, s ServerSnapshot) {
 	fmt.Fprintf(w, "fasp_server_rejects_total{server=%q,reason=\"shutdown\"} %d\n", server, s.RejectShutdown)
 	fmt.Fprintf(w, "fasp_server_rejects_total{server=%q,reason=\"proto\"} %d\n", server, s.RejectProto)
 
+	fmt.Fprintf(w, "# HELP fasp_server_conn_timeouts_total Connections closed by the idle deadline.\n# TYPE fasp_server_conn_timeouts_total counter\n")
+	fmt.Fprintf(w, "fasp_server_conn_timeouts_total{server=%q} %d\n", server, s.Timeouts)
+
+	fmt.Fprintf(w, "# HELP fasp_server_heal_attempts_total Auto-heal recovery attempts on unhealthy shards.\n# TYPE fasp_server_heal_attempts_total counter\n")
+	fmt.Fprintf(w, "fasp_server_heal_attempts_total{server=%q} %d\n", server, s.HealAttempts)
+	fmt.Fprintf(w, "# HELP fasp_server_heal_failures_total Auto-heal attempts that failed (the shard stayed down).\n# TYPE fasp_server_heal_failures_total counter\n")
+	fmt.Fprintf(w, "fasp_server_heal_failures_total{server=%q} %d\n", server, s.HealFailures)
+	fmt.Fprintf(w, "# HELP fasp_server_degraded_shards Shards currently not serving (degraded or crashed).\n# TYPE fasp_server_degraded_shards gauge\n")
+	fmt.Fprintf(w, "fasp_server_degraded_shards{server=%q} %d\n", server, s.DegradedShards)
+
 	fmt.Fprintf(w, "# HELP fasp_server_bytes_total Wire bytes, by direction.\n# TYPE fasp_server_bytes_total counter\n")
 	fmt.Fprintf(w, "fasp_server_bytes_total{server=%q,dir=\"in\"} %d\n", server, s.BytesIn)
 	fmt.Fprintf(w, "fasp_server_bytes_total{server=%q,dir=\"out\"} %d\n", server, s.BytesOut)
@@ -86,4 +105,33 @@ func WriteServerPrometheus(w io.Writer, server string, s ServerSnapshot) {
 	}
 
 	writeHistAs(w, "fasp_server_coalesce_width", "Write operations per engine submission (cross-connection coalescing).", "server", server, s.Coalesce)
+}
+
+// ClientSnapshot is the retrying client layer's telemetry: retries by
+// trigger code and reconnect count. The client package aggregates it
+// process-wide; whoever owns the /metrics endpoint renders it via
+// WriteClientPrometheus.
+type ClientSnapshot struct {
+	// Retries maps a code label (busy, unavail, conn_reset, ...) to how
+	// many operations were retried because of it.
+	Retries map[string]int64 `json:"retries"`
+	// Reconnects counts successful redials (session re-established and
+	// unacked frames replayed).
+	Reconnects int64 `json:"reconnects"`
+}
+
+// WriteClientPrometheus renders client retry telemetry in the Prometheus
+// text exposition format.
+func WriteClientPrometheus(w io.Writer, client string, s ClientSnapshot) {
+	fmt.Fprintf(w, "# HELP fasp_client_retries_total Operations retried by the client layer, by trigger code.\n# TYPE fasp_client_retries_total counter\n")
+	codes := make([]string, 0, len(s.Retries))
+	for code := range s.Retries {
+		codes = append(codes, code)
+	}
+	sort.Strings(codes)
+	for _, code := range codes {
+		fmt.Fprintf(w, "fasp_client_retries_total{client=%q,code=%q} %d\n", client, code, s.Retries[code])
+	}
+	fmt.Fprintf(w, "# HELP fasp_client_reconnects_total Successful redial-and-replay cycles.\n# TYPE fasp_client_reconnects_total counter\n")
+	fmt.Fprintf(w, "fasp_client_reconnects_total{client=%q} %d\n", client, s.Reconnects)
 }

@@ -1,0 +1,236 @@
+package server
+
+import (
+	"bytes"
+	"fmt"
+	"sync"
+	"time"
+
+	"fasp"
+	"fasp/internal/faultx"
+	"fasp/internal/server/client"
+	"fasp/internal/server/loadgen"
+)
+
+// Chaos soak harness: RunChaos stands up the full stack — sharded KV with
+// the faultx commit hook, Server with the faultx connection wrapper and
+// auto-heal on, retrying loadgen clients — and runs it under the schedule
+// until the duration elapses, killing and restarting the whole server
+// Spec.Restarts times along the way. Afterwards it disables injection,
+// heals every shard, drains, power-fails and recovers the store one final
+// time, and audits the acked-prefix oracle: every write a client saw acked
+// must be present and intact in the recovered store. The entire schedule
+// is captured by the Spec string in the report — a failing run is re-run
+// by feeding that string back through faultx.ParseSpec.
+//
+// This is the TestCrashUnderLoad oracle generalised from one staged crash
+// to a continuous storm: the server may shed (BUSY), refuse (UNAVAIL),
+// drop connections mid-frame, lose whole process lifetimes — but it may
+// never lose or corrupt an acknowledged write.
+
+// ChaosConfig shapes one soak.
+type ChaosConfig struct {
+	// Spec is the replayable fault schedule (seed, probabilities, restart
+	// count).
+	Spec faultx.Spec
+	// Shards is the KV shard count (default 4).
+	Shards int
+	// Duration is the loadgen send phase (default 3s).
+	Duration time.Duration
+	// Conns is the client count (default 8); Pipeline per conn (default 4).
+	Conns    int
+	Pipeline int
+	// Server overrides parts of the server config; zero values get chaos
+	// defaults (AutoHeal on, 5ms heal cadence, write deadline).
+	Server Config
+}
+
+// ChaosReport is one soak's outcome.
+type ChaosReport struct {
+	// Spec replays this exact schedule.
+	Spec string `json:"spec"`
+	// Loadgen is the client-side aggregate (reconnects, retries, typed
+	// verdict counts).
+	Loadgen loadgen.Result `json:"loadgen"`
+	// Faults is what the injector actually dealt.
+	Faults faultx.Counts `json:"faults"`
+	// Restarts counts completed kill→crash→recover→restart cycles.
+	Restarts int `json:"restarts"`
+	// HealAttempts / HealFailures aggregate the auto-heal loop across all
+	// server incarnations.
+	HealAttempts int64 `json:"heal_attempts"`
+	HealFailures int64 `json:"heal_failures"`
+	// AckedWrites is the oracle set size; every one was found intact.
+	AckedWrites int `json:"acked_writes"`
+}
+
+// RunChaos runs one soak and returns its report; err is non-nil on an
+// oracle violation or a harness failure (the report's Spec string replays
+// the schedule either way).
+func RunChaos(cfg ChaosConfig) (ChaosReport, error) {
+	if cfg.Shards <= 0 {
+		cfg.Shards = 4
+	}
+	if cfg.Duration <= 0 {
+		cfg.Duration = 3 * time.Second
+	}
+	if cfg.Conns <= 0 {
+		cfg.Conns = 8
+	}
+	if cfg.Pipeline <= 0 {
+		cfg.Pipeline = 4
+	}
+	in := faultx.New(cfg.Spec)
+	rep := ChaosReport{Spec: in.String()}
+
+	kv, err := fasp.OpenKV(fasp.Options{
+		Shards:    cfg.Shards,
+		PageSize:  1024,
+		FaultHook: in.CommitFault,
+	})
+	if err != nil {
+		return rep, fmt.Errorf("chaos: open: %w", err)
+	}
+	defer kv.Close()
+
+	scfg := cfg.Server
+	scfg.WrapConn = in.WrapConn
+	scfg.AutoHeal = true
+	if scfg.HealInterval <= 0 {
+		scfg.HealInterval = 5 * time.Millisecond
+	}
+	if scfg.WriteTimeout <= 0 {
+		scfg.WriteTimeout = 2 * time.Second
+	}
+	scfg.NoMetricsSource = true
+
+	srv := New(kv, scfg)
+	addr, err := srv.Listen("127.0.0.1:0")
+	if err != nil {
+		return rep, fmt.Errorf("chaos: listen: %w", err)
+	}
+	go srv.Serve()
+
+	// The restart goroutine kills the whole server mid-storm: abrupt stop,
+	// simulated power failure, recovery, fresh Server on the same address.
+	// Retrying clients ride through each cycle by reconnect+replay.
+	var (
+		srvMu    sync.Mutex // guards srv across restart cycles
+		restarts int
+		restErr  error
+		stopRest = make(chan struct{})
+		restDone = make(chan struct{})
+	)
+	harvest := func(s *Server) {
+		rep.HealAttempts += s.met.healAttempts.Load()
+		rep.HealFailures += s.met.healFailures.Load()
+	}
+	go func() {
+		defer close(restDone)
+		if cfg.Spec.Restarts <= 0 {
+			return
+		}
+		gap := cfg.Duration / time.Duration(cfg.Spec.Restarts+1)
+		for i := 0; i < cfg.Spec.Restarts; i++ {
+			select {
+			case <-stopRest:
+				return
+			case <-time.After(gap):
+			}
+			srvMu.Lock()
+			srv.Kill()
+			harvest(srv)
+			kv.Crash(fasp.CrashOptions{})
+			if err := kv.ReopenKV(); err != nil {
+				restErr = fmt.Errorf("chaos: recover after kill %d: %w", i, err)
+				srvMu.Unlock()
+				return
+			}
+			srv = New(kv, scfg)
+			if _, err := srv.Listen(addr); err != nil {
+				restErr = fmt.Errorf("chaos: relisten after kill %d: %w", i, err)
+				srvMu.Unlock()
+				return
+			}
+			go srv.Serve()
+			restarts++
+			srvMu.Unlock()
+		}
+	}()
+
+	// The oracle set: every acked write's key and expected value.
+	var (
+		ackMu sync.Mutex
+		acked = make(map[string][]byte)
+	)
+	res, lgErr := loadgen.Run(loadgen.Config{
+		Addr:     addr,
+		Conns:    cfg.Conns,
+		Pipeline: cfg.Pipeline,
+		Duration: cfg.Duration,
+		Seed:     cfg.Spec.Seed,
+		Prefix:   "chaos",
+		Retry:    true,
+		// A reconnect loop must outlast a whole crash-restart cycle (dial
+		// refused fails fast; the backoff budget has to cover recovery).
+		Policy: client.RetryPolicy{
+			MaxAttempts: 30,
+			BaseBackoff: time.Millisecond,
+			MaxBackoff:  150 * time.Millisecond,
+		},
+		UniqueKeys: true,
+		Record: func(key, val []byte) {
+			ackMu.Lock()
+			acked[string(key)] = val
+			ackMu.Unlock()
+		},
+	})
+	close(stopRest)
+	<-restDone
+	rep.Loadgen = res
+	rep.Restarts = restarts
+	rep.Faults = in.Counts()
+
+	// Storm over: stop injecting, heal what is still down, drain cleanly.
+	in.SetEnabled(false)
+	srvMu.Lock()
+	s := srv
+	srvMu.Unlock()
+	for i := 0; i < cfg.Shards; i++ {
+		if err := kv.Heal(i); err != nil { // no-op on healthy shards
+			s.Shutdown()
+			return rep, fmt.Errorf("chaos: final heal shard %d: %w", i, err)
+		}
+	}
+	s.Shutdown()
+	harvest(s)
+	if restErr != nil {
+		return rep, restErr
+	}
+	if lgErr != nil {
+		return rep, fmt.Errorf("chaos: loadgen: %w", lgErr)
+	}
+
+	// Final power failure + recovery, then the audit.
+	kv.Crash(fasp.CrashOptions{})
+	if err := kv.ReopenKV(); err != nil {
+		return rep, fmt.Errorf("chaos: final recover: %w", err)
+	}
+	if err := kv.Validate(); err != nil {
+		return rep, fmt.Errorf("chaos: tree invalid after recovery: %w", err)
+	}
+	rep.AckedWrites = len(acked)
+	for k, want := range acked {
+		got, ok, err := kv.Get([]byte(k))
+		if err != nil {
+			return rep, fmt.Errorf("chaos: oracle read %q: %w", k, err)
+		}
+		if !ok {
+			return rep, fmt.Errorf("chaos: ACKED WRITE LOST: key %q missing after recovery (spec %s)", k, rep.Spec)
+		}
+		if !bytes.Equal(got, want) {
+			return rep, fmt.Errorf("chaos: ACKED WRITE CORRUPT: key %q (spec %s)", k, rep.Spec)
+		}
+	}
+	return rep, nil
+}

@@ -10,6 +10,10 @@
 // one connection, which is where the server's cross-connection group
 // commit pays off. A Client is not safe for concurrent use; open one per
 // goroutine (they are cheap — one socket and two buffers).
+//
+// Dial returns a plain client that surfaces every fault; DialRetry (see
+// retry.go) returns one that reconnects, replays unacked requests under
+// the server's dedup window, and retries BUSY/UNAVAIL refusals.
 package client
 
 import (
@@ -41,6 +45,11 @@ type Client struct {
 	inflight int    // requests flushed but not received
 	codes    []wire.Code
 	maxFrame int
+
+	// retry is non-nil for DialRetry clients; lastRetryMS caches the most
+	// recent error payload's retry-after hint for the backoff loop.
+	retry       *retryState
+	lastRetryMS uint32
 }
 
 // Dial connects to a faspserver at addr.
@@ -71,34 +80,80 @@ func (cl *Client) Close() error { return cl.c.Close() }
 // --- Pipelined API ---------------------------------------------------------
 
 // QueueGet enqueues a GET; its response arrives at the matching Recv.
-func (cl *Client) QueueGet(key []byte) { cl.out = wire.AppendGet(cl.out, key); cl.queued++ }
+func (cl *Client) QueueGet(key []byte) {
+	mark := len(cl.out)
+	cl.out = wire.AppendGet(cl.out, key)
+	cl.queued++
+	cl.track(mark)
+}
 
-// QueuePut enqueues a PUT.
-func (cl *Client) QueuePut(key, val []byte) { cl.out = wire.AppendPut(cl.out, key, val); cl.queued++ }
+// QueuePut enqueues a PUT. Retry clients tag it with a fresh sequence
+// token so a reconnect replay cannot double-apply it.
+func (cl *Client) QueuePut(key, val []byte) {
+	mark := len(cl.out)
+	if cl.retry != nil {
+		cl.retry.nextSeq++
+		cl.out = wire.AppendPutSeq(cl.out, cl.retry.nextSeq, key, val)
+	} else {
+		cl.out = wire.AppendPut(cl.out, key, val)
+	}
+	cl.queued++
+	cl.track(mark)
+}
 
-// QueueDel enqueues a DEL.
-func (cl *Client) QueueDel(key []byte) { cl.out = wire.AppendDel(cl.out, key); cl.queued++ }
+// QueueDel enqueues a DEL (sequence-tagged for retry clients).
+func (cl *Client) QueueDel(key []byte) {
+	mark := len(cl.out)
+	if cl.retry != nil {
+		cl.retry.nextSeq++
+		cl.out = wire.AppendDelSeq(cl.out, cl.retry.nextSeq, key)
+	} else {
+		cl.out = wire.AppendDel(cl.out, key)
+	}
+	cl.queued++
+	cl.track(mark)
+}
 
-// QueueBatch enqueues a BATCH of ops.
-func (cl *Client) QueueBatch(ops []wire.BatchOp) { cl.out = wire.AppendBatch(cl.out, ops); cl.queued++ }
+// QueueBatch enqueues a BATCH of ops (sequence-tagged for retry clients).
+func (cl *Client) QueueBatch(ops []wire.BatchOp) {
+	mark := len(cl.out)
+	if cl.retry != nil {
+		cl.retry.nextSeq++
+		cl.out = wire.AppendBatchSeq(cl.out, cl.retry.nextSeq, ops)
+	} else {
+		cl.out = wire.AppendBatch(cl.out, ops)
+	}
+	cl.queued++
+	cl.track(mark)
+}
 
 // QueuePing enqueues a PING.
-func (cl *Client) QueuePing() { cl.out = wire.AppendEmptyReq(cl.out, wire.OpPing); cl.queued++ }
+func (cl *Client) QueuePing() {
+	mark := len(cl.out)
+	cl.out = wire.AppendEmptyReq(cl.out, wire.OpPing)
+	cl.queued++
+	cl.track(mark)
+}
 
 // Pending reports requests awaiting their response (flushed or not).
 func (cl *Client) Pending() int { return cl.queued + cl.inflight }
 
-// Flush writes the queued requests to the socket.
+// Flush writes the queued requests to the socket. A retry client swallows
+// write failures here: the frames are retained in the replay set, and the
+// next Recv repairs the connection and re-sends them.
 func (cl *Client) Flush() error {
 	if len(cl.out) > 0 {
-		if _, err := cl.bw.Write(cl.out); err != nil {
+		if _, err := cl.bw.Write(cl.out); err != nil && cl.retry == nil {
 			return err
 		}
 		cl.out = cl.out[:0]
 	}
 	cl.inflight += cl.queued
 	cl.queued = 0
-	return cl.bw.Flush()
+	if err := cl.bw.Flush(); err != nil && cl.retry == nil {
+		return err
+	}
+	return nil
 }
 
 // Recv reads the next pipelined response, in request order. It returns
@@ -115,16 +170,32 @@ func (cl *Client) Recv() (wire.Code, []byte, error) {
 			return 0, nil, err
 		}
 	}
-	op, payload, buf, err := wire.ReadFrame(cl.br, cl.maxFrame, cl.buf)
-	cl.buf = buf
-	if err != nil {
-		if err == io.EOF {
-			err = io.ErrUnexpectedEOF
+	for {
+		op, payload, buf, err := wire.ReadFrame(cl.br, cl.maxFrame, cl.buf)
+		cl.buf = buf
+		if err == nil {
+			if wire.Code(op) == wire.CodeTimeout && cl.retry != nil {
+				// An idle-deadline notice, not a verdict for any request —
+				// the server is closing the socket. Repair and replay.
+				if rerr := cl.reconnect(); rerr != nil {
+					return 0, nil, rerr
+				}
+				continue
+			}
+			cl.inflight--
+			cl.pop()
+			return wire.Code(op), payload, nil
 		}
-		return 0, nil, err
+		if cl.retry == nil {
+			if err == io.EOF {
+				err = io.ErrUnexpectedEOF
+			}
+			return 0, nil, err
+		}
+		if rerr := cl.reconnect(); rerr != nil {
+			return 0, nil, rerr
+		}
 	}
-	cl.inflight--
-	return wire.Code(op), payload, nil
 }
 
 // Err converts a Recv result into the typed client error for non-OK
@@ -133,47 +204,84 @@ func Err(code wire.Code, payload []byte) error {
 	if code == wire.CodeOK || code == wire.CodeNotFound {
 		return nil
 	}
-	shard, msg := wire.ParseErr(payload)
+	shard, _, msg := wire.ParseErr(payload)
 	return code.Err(shard, msg)
 }
+
+// RetryAfter extracts the server's retry-after hint (milliseconds) from a
+// non-OK response payload; 0 when the server offered none.
+func RetryAfter(payload []byte) uint32 {
+	_, ms, _ := wire.ParseErr(payload)
+	return ms
+}
+
+// errOf is Err plus hint capture: the retry loops read cl.lastRetryMS to
+// honour the server's retry-after suggestion.
+func (cl *Client) errOf(code wire.Code, payload []byte) error {
+	if code == wire.CodeOK || code == wire.CodeNotFound {
+		cl.lastRetryMS = 0
+		return nil
+	}
+	shard, retryMS, msg := wire.ParseErr(payload)
+	cl.lastRetryMS = retryMS
+	return code.Err(shard, msg)
+}
+
+func isCode(err, sentinel error) bool { return errors.Is(err, sentinel) }
 
 // --- Synchronous API -------------------------------------------------------
 
 // Get returns the value under key; a miss is (nil, false, nil). The value
 // is copied and remains valid.
 func (cl *Client) Get(key []byte) ([]byte, bool, error) {
-	cl.QueueGet(key)
-	code, payload, err := cl.Recv()
-	if err != nil {
-		return nil, false, err
+	for attempt := 0; ; attempt++ {
+		cl.QueueGet(key)
+		code, payload, err := cl.Recv()
+		if err != nil {
+			return nil, false, err
+		}
+		switch code {
+		case wire.CodeOK:
+			return append([]byte(nil), payload...), true, nil
+		case wire.CodeNotFound:
+			return nil, false, nil
+		}
+		if err := cl.errOf(code, payload); !cl.shouldRetry(err, attempt) {
+			return nil, false, err
+		}
 	}
-	switch code {
-	case wire.CodeOK:
-		return append([]byte(nil), payload...), true, nil
-	case wire.CodeNotFound:
-		return nil, false, nil
-	}
-	return nil, false, Err(code, payload)
 }
 
 // Put inserts or replaces key. The returned error is nil only if the
 // write is durably committed on the server.
 func (cl *Client) Put(key, val []byte) error {
-	cl.QueuePut(key, val)
-	return cl.recvAck()
+	for attempt := 0; ; attempt++ {
+		cl.QueuePut(key, val)
+		if err := cl.recvAck(); !cl.shouldRetry(err, attempt) {
+			return err
+		}
+	}
 }
 
 // Del removes key (idempotent at the protocol level only when the key
 // exists; an absent key is ErrRemoteKeyAbsent).
 func (cl *Client) Del(key []byte) error {
-	cl.QueueDel(key)
-	return cl.recvAck()
+	for attempt := 0; ; attempt++ {
+		cl.QueueDel(key)
+		if err := cl.recvAck(); !cl.shouldRetry(err, attempt) {
+			return err
+		}
+	}
 }
 
 // Ping round-trips an empty frame.
 func (cl *Client) Ping() error {
-	cl.QueuePing()
-	return cl.recvAck()
+	for attempt := 0; ; attempt++ {
+		cl.QueuePing()
+		if err := cl.recvAck(); !cl.shouldRetry(err, attempt) {
+			return err
+		}
+	}
 }
 
 func (cl *Client) recvAck() error {
@@ -181,23 +289,29 @@ func (cl *Client) recvAck() error {
 	if err != nil {
 		return err
 	}
-	return Err(code, payload)
+	return cl.errOf(code, payload)
 }
 
 // Batch applies ops as one request and returns per-op codes aligned with
 // ops (codes is reused when it has capacity). A request-level failure
 // (BUSY, SHUTDOWN, UNAVAIL) is returned as the error with nil codes.
+// Retry clients re-submit refused batches with a fresh sequence token —
+// the server cancels a refused batch's token, so this never double-applies.
 func (cl *Client) Batch(ops []wire.BatchOp) ([]wire.Code, error) {
-	cl.QueueBatch(ops)
-	code, payload, err := cl.Recv()
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		cl.QueueBatch(ops)
+		code, payload, err := cl.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if code == wire.CodeOK {
+			cl.codes, err = wire.ParseBatchReply(payload, cl.codes)
+			return cl.codes, err
+		}
+		if err := cl.errOf(code, payload); !cl.shouldRetry(err, attempt) {
+			return nil, err
+		}
 	}
-	if code != wire.CodeOK {
-		return nil, Err(code, payload)
-	}
-	cl.codes, err = wire.ParseBatchReply(payload, cl.codes)
-	return cl.codes, err
 }
 
 // Scan streams [lo, hi] (nil bounds open) in order, calling fn until it
@@ -208,17 +322,27 @@ func (cl *Client) Batch(ops []wire.BatchOp) ([]wire.Code, error) {
 func (cl *Client) Scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) error {
 	curLo, curHi := lo, hi
 	exclHi := false
+	attempt := 0
 	var last, bound []byte
 	for {
+		mark := len(cl.out)
 		cl.out = wire.AppendScan(cl.out, curLo, curHi, reverse, exclHi, 0)
 		cl.queued++
+		cl.track(mark)
 		code, payload, err := cl.Recv()
 		if err != nil {
 			return err
 		}
 		if code != wire.CodeOK {
-			return Err(code, payload)
+			// Each page is a standalone request with explicit bounds, so a
+			// shed page can be re-asked without disturbing the walk.
+			if err := cl.errOf(code, payload); !cl.shouldRetry(err, attempt) {
+				return err
+			}
+			attempt++
+			continue
 		}
+		attempt = 0
 		stopped := false
 		progressed := false
 		more, err := wire.ParseScanReply(payload, func(k, v []byte) bool {
@@ -261,28 +385,40 @@ func (cl *Client) Scan(lo, hi []byte, reverse bool, fn func(k, v []byte) bool) e
 
 // Count returns the server's record count.
 func (cl *Client) Count() (uint64, error) {
-	cl.out = wire.AppendEmptyReq(cl.out, wire.OpCount)
-	cl.queued++
-	code, payload, err := cl.Recv()
-	if err != nil {
-		return 0, err
+	for attempt := 0; ; attempt++ {
+		mark := len(cl.out)
+		cl.out = wire.AppendEmptyReq(cl.out, wire.OpCount)
+		cl.queued++
+		cl.track(mark)
+		code, payload, err := cl.Recv()
+		if err != nil {
+			return 0, err
+		}
+		if code == wire.CodeOK {
+			return wire.ParseCount(payload)
+		}
+		if err := cl.errOf(code, payload); !cl.shouldRetry(err, attempt) {
+			return 0, err
+		}
 	}
-	if code != wire.CodeOK {
-		return 0, Err(code, payload)
-	}
-	return wire.ParseCount(payload)
 }
 
 // Stats returns the server's STATS JSON payload.
 func (cl *Client) Stats() ([]byte, error) {
-	cl.out = wire.AppendEmptyReq(cl.out, wire.OpStats)
-	cl.queued++
-	code, payload, err := cl.Recv()
-	if err != nil {
-		return nil, err
+	for attempt := 0; ; attempt++ {
+		mark := len(cl.out)
+		cl.out = wire.AppendEmptyReq(cl.out, wire.OpStats)
+		cl.queued++
+		cl.track(mark)
+		code, payload, err := cl.Recv()
+		if err != nil {
+			return nil, err
+		}
+		if code == wire.CodeOK {
+			return append([]byte(nil), payload...), nil
+		}
+		if err := cl.errOf(code, payload); !cl.shouldRetry(err, attempt) {
+			return nil, err
+		}
 	}
-	if code != wire.CodeOK {
-		return nil, Err(code, payload)
-	}
-	return append([]byte(nil), payload...), nil
 }

@@ -1,0 +1,330 @@
+package client
+
+import (
+	"bufio"
+	"fmt"
+	"net"
+	"sync/atomic"
+	"time"
+
+	"fasp/internal/obsv"
+	"fasp/internal/server/wire"
+)
+
+// Retry layer: DialRetry returns a Client that survives the faults faultx
+// injects — connection kills, torn frames, server restarts, BUSY shedding,
+// degraded shards — without giving up exactly-once write semantics.
+//
+// Mechanics:
+//
+//   - The client binds each connection to a session (HELLO with a
+//     process-unique id) and tags every write with a per-session sequence
+//     token (PUT_SEQ/DEL_SEQ/BATCH_SEQ).
+//   - Every queued frame is retained (a copy) until its response arrives.
+//     When the connection dies, Recv redials with capped exponential
+//     backoff, re-sends HELLO, replays the retained frames in order, and
+//     resumes reading — the pipelined response stream restarts from the
+//     oldest unanswered request. The server's dedup window answers any
+//     frame whose write already committed from the cached verdict, so a
+//     kill between commit and ack cannot double-apply.
+//   - The synchronous methods additionally retry BUSY/UNAVAIL verdicts
+//     with fresh tokens (the server cancels a shed write's token, and a
+//     fresh token is always correct for a write that was not applied),
+//     honouring the server's retry-after hint when it exceeds the local
+//     backoff.
+//
+// Pipelined users (Queue*/Flush/Recv) get the reconnect+replay behaviour
+// but see BUSY/UNAVAIL verdicts raw: transparently re-queueing inside a
+// pipeline would reorder same-key writes, so the caller owns that retry
+// (the load generator's chaos mode re-enqueues with fresh tokens).
+
+// RetryPolicy tunes DialRetry. The zero value gets the defaults below.
+type RetryPolicy struct {
+	// SessionID identifies the dedup session; 0 derives a process-unique
+	// id. Two live clients must never share one.
+	SessionID uint64
+	// MaxAttempts bounds one repair loop — dial attempts per reconnect,
+	// and BUSY/UNAVAIL retries per synchronous call (default 10).
+	MaxAttempts int
+	// BaseBackoff is the first retry delay (default 2ms), doubling per
+	// attempt up to MaxBackoff (default 250ms).
+	BaseBackoff time.Duration
+	MaxBackoff  time.Duration
+	// DialTimeout bounds each dial attempt (default 5s).
+	DialTimeout time.Duration
+	// NoRetryBusy disables the synchronous methods' BUSY/UNAVAIL retry
+	// (reconnect+replay still applies).
+	NoRetryBusy bool
+}
+
+func (p *RetryPolicy) fill() {
+	if p.SessionID == 0 {
+		p.SessionID = NewSessionID()
+	}
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 10
+	}
+	if p.BaseBackoff <= 0 {
+		p.BaseBackoff = 2 * time.Millisecond
+	}
+	if p.MaxBackoff <= 0 {
+		p.MaxBackoff = 250 * time.Millisecond
+	}
+	if p.DialTimeout <= 0 {
+		p.DialTimeout = 5 * time.Second
+	}
+}
+
+var sessionSeq atomic.Uint64
+
+// NewSessionID returns a process-unique session id: a nanosecond stamp in
+// the high bits decorrelates processes, a sequence counter decorrelates
+// clients within one.
+func NewSessionID() uint64 {
+	return uint64(time.Now().UnixNano())<<16 | (sessionSeq.Add(1) & 0xffff)
+}
+
+// retryState is the per-client retry machinery.
+type retryState struct {
+	addr string
+	pol  RetryPolicy
+	// pending retains a copy of every frame whose response has not
+	// arrived (reads included — responses are positional, so a replay
+	// must resend the whole unanswered prefix in order).
+	pending [][]byte
+	// nextSeq is the per-session sequence token counter; every queued
+	// write gets a fresh token, replays reuse the frame (and token) as-is.
+	nextSeq    uint64
+	reconnects int64
+	retries    int64
+}
+
+// Package-wide telemetry, rendered as fasp_client_retries_total{code} via
+// obsv.WriteClientPrometheus by whoever owns the /metrics endpoint.
+var (
+	telBusy      atomic.Int64
+	telUnavail   atomic.Int64
+	telConnReset atomic.Int64
+	telReconnect atomic.Int64
+)
+
+// TelemetryCounts is the process-wide retry telemetry snapshot.
+type TelemetryCounts struct {
+	// RetryBusy / RetryUnavail count synchronous-call retries by trigger;
+	// ReplayedFrames counts frames re-sent by reconnect replays.
+	RetryBusy      int64
+	RetryUnavail   int64
+	ReplayedFrames int64
+	// Reconnects counts successful redial-and-replay cycles.
+	Reconnects int64
+}
+
+// Telemetry snapshots the process-wide retry counters.
+func Telemetry() TelemetryCounts {
+	return TelemetryCounts{
+		RetryBusy:      telBusy.Load(),
+		RetryUnavail:   telUnavail.Load(),
+		ReplayedFrames: telConnReset.Load(),
+		Reconnects:     telReconnect.Load(),
+	}
+}
+
+// PromSnapshot renders the process-wide retry telemetry as an
+// obsv.ClientSnapshot, ready for WriteClientPrometheus — plug it into
+// fasp.RegisterPromSource to expose fasp_client_retries_total{code} and
+// fasp_client_reconnects_total on a /metrics endpoint.
+func PromSnapshot() obsv.ClientSnapshot {
+	t := Telemetry()
+	return obsv.ClientSnapshot{
+		Retries: map[string]int64{
+			"busy":       t.RetryBusy,
+			"unavail":    t.RetryUnavail,
+			"conn_reset": t.ReplayedFrames,
+		},
+		Reconnects: t.Reconnects,
+	}
+}
+
+// DialRetry connects to addr as a retrying, session-bound client. The
+// initial dial and HELLO are themselves retried under the policy — under
+// chaos a connection can be killed before the HELLO ack lands, and a
+// retrying client must not die at birth to a fault it exists to survive.
+func DialRetry(addr string, pol RetryPolicy) (*Client, error) {
+	pol.fill()
+	backoff := pol.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > pol.MaxBackoff {
+				backoff = pol.MaxBackoff
+			}
+		}
+		cl, err := DialTimeout(addr, pol.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		cl.retry = &retryState{addr: addr, pol: pol}
+		if err := cl.hello(); err != nil {
+			cl.c.Close()
+			lastErr = err
+			continue
+		}
+		return cl, nil
+	}
+	return nil, fmt.Errorf("client: dial %s failed after %d attempts: %w", addr, pol.MaxAttempts, lastErr)
+}
+
+// Reconnects reports this client's successful redial-and-replay cycles.
+func (cl *Client) Reconnects() int64 {
+	if cl.retry == nil {
+		return 0
+	}
+	return cl.retry.reconnects
+}
+
+// Retries reports this client's synchronous BUSY/UNAVAIL retries.
+func (cl *Client) Retries() int64 {
+	if cl.retry == nil {
+		return 0
+	}
+	return cl.retry.retries
+}
+
+// SessionID reports the dedup session id (0 for a non-retrying client).
+func (cl *Client) SessionID() uint64 {
+	if cl.retry == nil {
+		return 0
+	}
+	return cl.retry.pol.SessionID
+}
+
+// hello binds the current connection to the session: one HELLO frame,
+// answered OK, outside the pending set (every reconnect sends its own).
+func (cl *Client) hello() error {
+	frame := wire.AppendHello(nil, cl.retry.pol.SessionID)
+	if _, err := cl.bw.Write(frame); err != nil {
+		return err
+	}
+	if err := cl.bw.Flush(); err != nil {
+		return err
+	}
+	op, payload, buf, err := wire.ReadFrame(cl.br, cl.maxFrame, cl.buf)
+	cl.buf = buf
+	if err != nil {
+		return fmt.Errorf("client: hello: %w", err)
+	}
+	if code := wire.Code(op); code != wire.CodeOK {
+		return fmt.Errorf("client: hello refused: %w", cl.errOf(code, payload))
+	}
+	return nil
+}
+
+// track retains a copy of the frame just appended to cl.out (from mark) in
+// the replay set. No-op without retry.
+func (cl *Client) track(mark int) {
+	if cl.retry == nil {
+		return
+	}
+	f := cl.out[mark:]
+	cl.retry.pending = append(cl.retry.pending, append(make([]byte, 0, len(f)), f...))
+}
+
+// pop drops the oldest pending frame — its response arrived.
+func (cl *Client) pop() {
+	if cl.retry != nil && len(cl.retry.pending) > 0 {
+		cl.retry.pending = cl.retry.pending[1:]
+	}
+}
+
+// reconnect repairs a dead connection: redial with capped exponential
+// backoff, re-HELLO, replay every unanswered frame in order. On return the
+// response stream resumes from the oldest unanswered request.
+func (cl *Client) reconnect() error {
+	r := cl.retry
+	cl.c.Close()
+	backoff := r.pol.BaseBackoff
+	var lastErr error
+	for attempt := 0; attempt < r.pol.MaxAttempts; attempt++ {
+		if attempt > 0 {
+			time.Sleep(backoff)
+			backoff *= 2
+			if backoff > r.pol.MaxBackoff {
+				backoff = r.pol.MaxBackoff
+			}
+		}
+		c, err := net.DialTimeout("tcp", r.addr, r.pol.DialTimeout)
+		if err != nil {
+			lastErr = err
+			continue
+		}
+		if tc, ok := c.(*net.TCPConn); ok {
+			tc.SetNoDelay(true)
+		}
+		cl.c = c
+		cl.br = bufio.NewReaderSize(c, 64<<10)
+		cl.bw = bufio.NewWriterSize(c, 64<<10)
+		if err := cl.hello(); err != nil {
+			lastErr = err
+			c.Close()
+			continue
+		}
+		err = nil
+		for _, f := range r.pending {
+			if _, err = cl.bw.Write(f); err != nil {
+				break
+			}
+		}
+		if err == nil {
+			err = cl.bw.Flush()
+		}
+		if err != nil {
+			lastErr = err
+			c.Close()
+			continue
+		}
+		cl.out = cl.out[:0]
+		cl.queued = 0
+		cl.inflight = len(r.pending)
+		r.reconnects++
+		telReconnect.Add(1)
+		telConnReset.Add(int64(len(r.pending)))
+		return nil
+	}
+	return fmt.Errorf("client: reconnect to %s failed after %d attempts: %w", r.addr, r.pol.MaxAttempts, lastErr)
+}
+
+// shouldRetry decides whether a synchronous call retries its verdict: only
+// with a retry policy, only when nothing else is pipelined (re-queueing
+// inside a pipeline would reorder same-key writes), and only for
+// BUSY/UNAVAIL — refusals the server guarantees were not applied, so a
+// fresh sequence token is always correct. Sleeps the greater of the local
+// backoff and the server's retry-after hint before returning true.
+func (cl *Client) shouldRetry(err error, attempt int) bool {
+	if err == nil || cl.retry == nil || cl.retry.pol.NoRetryBusy || cl.Pending() != 0 {
+		return false
+	}
+	if attempt+1 >= cl.retry.pol.MaxAttempts {
+		return false
+	}
+	switch {
+	case isCode(err, wire.ErrRemoteBusy):
+		telBusy.Add(1)
+	case isCode(err, wire.ErrRemoteUnavail):
+		telUnavail.Add(1)
+	default:
+		return false
+	}
+	cl.retry.retries++
+	d := cl.retry.pol.BaseBackoff << uint(attempt)
+	if d > cl.retry.pol.MaxBackoff {
+		d = cl.retry.pol.MaxBackoff
+	}
+	if hint := time.Duration(cl.lastRetryMS) * time.Millisecond; hint > d {
+		d = hint
+	}
+	time.Sleep(d)
+	return true
+}

@@ -6,6 +6,7 @@ import (
 	"encoding/json"
 	"errors"
 	"net"
+	"os"
 	"time"
 
 	"fasp"
@@ -29,13 +30,19 @@ type opRef struct {
 // pend is one request awaiting its in-order response slot. nops > 0 means
 // the next nops verdicts of the flush batch belong to it; nops == 0 means
 // the response was decided at decode time (BUSY shed, SHUTDOWN drain,
-// PING ack, protocol error).
+// PING ack, protocol error). raw, when non-nil, is a pre-encoded response
+// frame emitted verbatim (a dedup-cache hit replaying a committed write's
+// original ack). seq/hasSeq carry the session dedup token so flushWrites
+// can complete (cache the reply) or cancel (refused unapplied) it.
 type pend struct {
-	op   byte
-	code wire.Code
-	msg  string
-	t0   time.Time
-	nops int
+	op     byte
+	code   wire.Code
+	msg    string
+	t0     time.Time
+	nops   int
+	raw    []byte
+	seq    uint64
+	hasSeq bool
 }
 
 // conn is one connection's reader state. All per-request buffers are
@@ -57,6 +64,7 @@ type conn struct {
 	ops   []fasp.Op   // scratch, materialised from refs at flush
 	codes []wire.Code // scratch for batch replies
 	sub   submission  // this connection's slot in the group-commit round
+	sess  *session    // bound by HELLO; nil until then
 }
 
 func newConn(s *Server, c net.Conn) *conn {
@@ -76,6 +84,12 @@ func newConn(s *Server, c net.Conn) *conn {
 // client never holds acks hostage and Shutdown can close idle readers.
 func (cn *conn) run() {
 	for {
+		// The idle deadline only arms the blocking read: every other read
+		// in the round consumes bytes PeekFrame proved are already
+		// buffered, so the deadline cannot fire spuriously mid-round.
+		if d := cn.s.cfg.IdleTimeout; d > 0 {
+			cn.c.SetReadDeadline(time.Now().Add(d))
+		}
 		op, payload, buf, err := wire.ReadFrame(cn.br, cn.s.cfg.MaxFrame, cn.buf)
 		cn.buf = buf
 		if err != nil {
@@ -110,20 +124,28 @@ func (cn *conn) run() {
 			}
 		}
 		cn.flushWrites()
-		cn.writeOut()
+		ok := cn.writeOut()
 		cn.s.reqWG.Done()
-		if fatal {
+		if fatal || !ok {
 			return
 		}
 	}
 }
 
 // teardown handles a blocking-read error: frame-level protocol errors are
-// answered with CodeProto before closing; EOF and deadline errors just
+// answered with CodeProto before closing; an expired idle deadline is
+// answered with CodeTimeout (the typed "I'm hanging up on you" — the
+// shutdown sweep also trips read deadlines, but it already answered
+// SHUTDOWN and draining distinguishes it); EOF and everything else just
 // close. Nothing is pending at a blocking read, so no acks are lost.
 func (cn *conn) teardown(err error) {
-	if errors.Is(err, wire.ErrMalformed) || errors.Is(err, wire.ErrFrameTooBig) {
+	switch {
+	case errors.Is(err, wire.ErrMalformed) || errors.Is(err, wire.ErrFrameTooBig):
 		cn.protoErr(err)
+		cn.writeOut()
+	case errors.Is(err, os.ErrDeadlineExceeded) && !cn.s.draining.Load():
+		cn.s.met.timeouts.Add(1)
+		cn.out = wire.AppendErr(cn.out, wire.CodeTimeout, -1, 0, "connection idle timeout")
 		cn.writeOut()
 	}
 }
@@ -131,7 +153,7 @@ func (cn *conn) teardown(err error) {
 // protoErr appends a CodeProto response; the connection closes after it.
 func (cn *conn) protoErr(err error) {
 	cn.s.met.rejProto.Add(1)
-	cn.out = wire.AppendErr(cn.out, wire.CodeProto, -1, err.Error())
+	cn.out = wire.AppendErr(cn.out, wire.CodeProto, -1, 0, err.Error())
 }
 
 // process handles one decoded frame; true means the connection must close
@@ -160,11 +182,27 @@ func (cn *conn) process(op byte, payload []byte) (fatal bool) {
 	case wire.OpPing:
 		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeOK, t0: t0})
 
-	case wire.OpPut:
+	case wire.OpHello:
+		cn.sess = cn.s.sessions.get(cn.req.SID)
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeOK, t0: t0})
+
+	case wire.OpPut, wire.OpPutSeq:
+		resolved, fatal := cn.beginSeq(op, t0)
+		if resolved || fatal {
+			return fatal
+		}
 		cn.deferWrite(op, t0, wire.BatchOp{Kind: uint8(fasp.OpPut), Key: cn.req.Key, Val: cn.req.Val})
-	case wire.OpDel:
+	case wire.OpDel, wire.OpDelSeq:
+		resolved, fatal := cn.beginSeq(op, t0)
+		if resolved || fatal {
+			return fatal
+		}
 		cn.deferWrite(op, t0, wire.BatchOp{Kind: uint8(fasp.OpDelete), Key: cn.req.Key})
-	case wire.OpBatch:
+	case wire.OpBatch, wire.OpBatchSeq:
+		resolved, fatal := cn.beginSeq(op, t0)
+		if resolved || fatal {
+			return fatal
+		}
 		cn.deferWrite(op, t0, cn.req.Ops...)
 
 	case wire.OpGet:
@@ -218,19 +256,58 @@ func (cn *conn) process(op byte, payload []byte) (fatal bool) {
 	return false
 }
 
+// beginSeq resolves a sequenced write's dedup token before execution; it
+// is a no-op for unsequenced writes. resolved means the response is already
+// decided (cached replay of a committed write, or a typed error) and the
+// caller must not defer the ops; fatal means the connection must close (a
+// sequenced write before HELLO is a protocol violation).
+func (cn *conn) beginSeq(op byte, t0 time.Time) (resolved, fatal bool) {
+	if !cn.req.HasSeq {
+		return false, false
+	}
+	if cn.sess == nil {
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeProto, msg: "sequenced write before HELLO", t0: t0})
+		cn.s.met.rejProto.Add(1)
+		return true, true
+	}
+	for {
+		e, st := cn.sess.begin(cn.req.Seq)
+		switch st {
+		case seqFresh:
+			return false, false
+		case seqDone:
+			// Exactly-once: the write already committed (through this or a
+			// previous connection); answer its cached ack verbatim.
+			cn.pends = append(cn.pends, pend{op: op, raw: e.reply, t0: t0})
+			return true, false
+		case seqInflight:
+			// The original is racing through another connection's commit.
+			// Flush our own pending set first — if the original were in
+			// it, waiting without flushing would deadlock on ourselves —
+			// then wait for its verdict and re-resolve.
+			cn.flushWrites()
+			<-e.done
+		case seqStale:
+			cn.pends = append(cn.pends, pend{op: op, code: wire.CodeInternal, msg: "sequence token outside dedup window", t0: t0})
+			return true, false
+		}
+	}
+}
+
 // deferWrite admits a write request and parks its ops in the arena; the
 // verdicts arrive at the next flushWrites.
 func (cn *conn) deferWrite(op byte, t0 time.Time, ops ...wire.BatchOp) {
+	seq, hasSeq := cn.req.Seq, cn.req.HasSeq
 	if len(ops) == 0 {
 		// Only BATCH can be empty (ParseRequest accepts n == 0). There is
 		// nothing to commit, so skip admission entirely — the reply is an
 		// empty verdict list decided here, and flushWrites must not release
 		// a semaphore slot this request never took.
-		cn.pends = append(cn.pends, pend{op: op, t0: t0})
+		cn.pends = append(cn.pends, pend{op: op, t0: t0, seq: seq, hasSeq: hasSeq})
 		return
 	}
 	if !cn.s.admit() {
-		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeBusy, msg: "server overloaded", t0: t0})
+		cn.pends = append(cn.pends, pend{op: op, code: wire.CodeBusy, msg: "server overloaded", t0: t0, seq: seq, hasSeq: hasSeq})
 		cn.s.met.rejBusy.Add(1)
 		cn.s.met.opErr[op].Add(1)
 		return
@@ -242,15 +319,28 @@ func (cn *conn) deferWrite(op byte, t0 time.Time, ops ...wire.BatchOp) {
 		cn.arena = append(cn.arena, b.Val...)
 		cn.refs = append(cn.refs, r)
 	}
-	cn.pends = append(cn.pends, pend{op: op, t0: t0, nops: len(ops)})
+	cn.pends = append(cn.pends, pend{op: op, t0: t0, nops: len(ops), seq: seq, hasSeq: hasSeq})
 }
 
 // shedBusy answers one immediate (read-path) request with BUSY.
 func (cn *conn) shedBusy(op byte, t0 time.Time) {
-	cn.out = wire.AppendErr(cn.out, wire.CodeBusy, -1, "server overloaded")
+	cn.out = wire.AppendErr(cn.out, wire.CodeBusy, -1, cn.s.retryHintMS(wire.CodeBusy), "server overloaded")
 	cn.s.met.rejBusy.Add(1)
 	cn.s.met.opErr[op].Add(1)
 	cn.observe(op, t0)
+}
+
+// verdictApplied reports whether a verdict code means the op took effect or
+// was at least evaluated against data state (complete → cache for replay),
+// as opposed to refused without execution (cancel → a replay re-executes).
+// CodeInternal is deliberately "applied": on an ambiguous failure,
+// exactly-once degrades to at-most-once, never to twice.
+func verdictApplied(c wire.Code) bool {
+	switch c {
+	case wire.CodeBusy, wire.CodeUnavail, wire.CodeShutdown:
+		return false
+	}
+	return true
 }
 
 // flushWrites submits every deferred write op to the server's
@@ -284,23 +374,34 @@ func (cn *conn) flushWrites() {
 	admitted := 0
 	for i := range cn.pends {
 		p := &cn.pends[i]
+		mark := len(cn.out)
+		applied := true // whether the verdict is final for dedup purposes
 		switch {
-		case p.nops == 0 && p.code == wire.CodeOK && p.op == wire.OpBatch:
+		case p.raw != nil:
+			// Dedup-cache hit: replay the committed write's original ack
+			// verbatim, in this request's pipeline slot.
+			cn.out = append(cn.out, p.raw...)
+		case p.nops == 0 && p.code == wire.CodeOK && wire.BaseOp(p.op) == wire.OpBatch:
 			// Empty BATCH: never admitted, nothing committed; the reply is
 			// still a batch-shaped frame so ParseBatchReply accepts it.
 			cn.out = wire.AppendBatchReply(cn.out, nil)
 		case p.nops == 0 && p.code == wire.CodeOK:
 			cn.out = wire.AppendOK(cn.out)
 		case p.nops == 0:
-			cn.out = wire.AppendErr(cn.out, p.code, -1, p.msg)
-		case p.op == wire.OpBatch:
+			cn.out = wire.AppendErr(cn.out, p.code, -1, cn.s.retryHintMS(p.code), p.msg)
+			applied = verdictApplied(p.code)
+		case wire.BaseOp(p.op) == wire.OpBatch:
 			admitted++
 			cn.codes = cn.codes[:0]
 			failed := false
+			applied = false
 			for _, err := range errs[vi : vi+p.nops] {
 				c := wire.CodeFor(err)
 				if c != wire.CodeOK {
 					failed = true
+				}
+				if verdictApplied(c) {
+					applied = true
 				}
 				cn.codes = append(cn.codes, c)
 			}
@@ -317,6 +418,17 @@ func (cn *conn) flushWrites() {
 				cn.out = wire.AppendOK(cn.out)
 			} else {
 				cn.appendError(p.op, err)
+				applied = verdictApplied(wire.CodeFor(err))
+			}
+		}
+		if p.hasSeq && p.raw == nil {
+			// Dedup bookkeeping: an applied (or evaluated) verdict is
+			// cached under its token for replays; a refused-unapplied one
+			// releases the token so a retry re-executes.
+			if applied {
+				cn.sess.complete(p.seq, cn.out[mark:])
+			} else {
+				cn.sess.cancel(p.seq)
 			}
 		}
 		cn.observe(p.op, p.t0)
@@ -329,9 +441,11 @@ func (cn *conn) flushWrites() {
 	cn.arena = cn.arena[:0]
 }
 
-// appendError encodes an engine error with its wire code and shard pin.
+// appendError encodes an engine error with its wire code, shard pin, and
+// retry-after hint.
 func (cn *conn) appendError(op byte, err error) {
-	cn.out = wire.AppendErr(cn.out, wire.CodeFor(err), wire.ShardOf(err), err.Error())
+	code := wire.CodeFor(err)
+	cn.out = wire.AppendErr(cn.out, code, wire.ShardOf(err), cn.s.retryHintMS(code), err.Error())
 	if op > 0 && op < wire.NumOps {
 		cn.s.met.opErr[op].Add(1)
 	}
@@ -411,14 +525,22 @@ func (cn *conn) observe(op byte, t0 time.Time) {
 	}
 }
 
-// writeOut flushes the round's accumulated responses to the socket.
-func (cn *conn) writeOut() {
+// writeOut flushes the round's accumulated responses to the socket; false
+// means the socket is broken (write error or expired write deadline) and
+// the connection must close. Responses already handed to a dead socket are
+// simply lost — the retry layer's dedup tokens make the replay safe.
+func (cn *conn) writeOut() bool {
 	if len(cn.out) == 0 {
-		return
+		return true
 	}
 	cn.s.met.bytesOut.Add(int64(len(cn.out)))
+	if d := cn.s.cfg.WriteTimeout; d > 0 {
+		cn.c.SetWriteDeadline(time.Now().Add(d))
+	}
+	ok := false
 	if _, err := cn.bw.Write(cn.out); err == nil {
-		cn.bw.Flush()
+		ok = cn.bw.Flush() == nil
 	}
 	cn.out = cn.out[:0]
+	return ok
 }

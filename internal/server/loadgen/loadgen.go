@@ -41,6 +41,24 @@ type Config struct {
 	Seed int64
 	// Prefix namespaces the keys.
 	Prefix string
+
+	// Retry dials session-bound retrying clients (client.DialRetry): the
+	// workers survive injected connection kills and server restarts by
+	// reconnecting and replaying unacked requests under the server's dedup
+	// window. Policy tunes it (each worker gets its own session id).
+	Retry  bool
+	Policy client.RetryPolicy
+	// UniqueKeys switches the key stream from a random reuse domain to a
+	// never-repeating per-worker sequence ("prefix-worker-seq"), making
+	// each acked PUT an individually checkable durability obligation for
+	// the chaos soak's acked-prefix oracle.
+	UniqueKeys bool
+	// Record, when set, observes every acked write, called after its OK
+	// verdict arrives (batch puts report each acked op). The chaos soak
+	// collects the acked set to audit against the recovered store. The
+	// slices must not be mutated by the callee; key is freshly allocated,
+	// val is the worker's long-lived value buffer.
+	Record func(key, val []byte)
 }
 
 func (c *Config) fill() {
@@ -81,10 +99,17 @@ type Result struct {
 	OpsAcked int64 `json:"ops_acked"`
 	Busy     int64 `json:"busy"`
 	Shutdown int64 `json:"shutdown"`
-	Errors   int64 `json:"errors"`
+	// Unavail counts requests refused by a degraded shard (typed, like
+	// Busy: the server guarantees they were not applied).
+	Unavail int64 `json:"unavail"`
+	Errors  int64 `json:"errors"`
 
 	DialFailures int64 `json:"dial_failures"`
 	ConnDrops    int64 `json:"conn_drops"`
+	// Reconnects / Retries aggregate the retrying clients' repair cycles
+	// and BUSY/UNAVAIL re-submissions (zero without Config.Retry).
+	Reconnects int64 `json:"reconnects"`
+	Retries    int64 `json:"retries"`
 
 	ThroughputOps float64 `json:"throughput_ops_per_sec"`
 
@@ -96,14 +121,17 @@ type Result struct {
 
 // counters are the run's shared atomics.
 type counters struct {
-	requests atomic.Int64
-	acked    atomic.Int64
-	busy     atomic.Int64
-	shutdown atomic.Int64
-	errors   atomic.Int64
-	dialFail atomic.Int64
-	drops    atomic.Int64
-	lat      obsv.Histogram
+	requests   atomic.Int64
+	acked      atomic.Int64
+	busy       atomic.Int64
+	shutdown   atomic.Int64
+	unavail    atomic.Int64
+	errors     atomic.Int64
+	dialFail   atomic.Int64
+	drops      atomic.Int64
+	reconnects atomic.Int64
+	retries    atomic.Int64
+	lat        obsv.Histogram
 }
 
 // Run drives the configured workload and blocks until every connection
@@ -134,9 +162,12 @@ func Run(cfg Config) (Result, error) {
 		OpsAcked:     c.acked.Load(),
 		Busy:         c.busy.Load(),
 		Shutdown:     c.shutdown.Load(),
+		Unavail:      c.unavail.Load(),
 		Errors:       c.errors.Load(),
 		DialFailures: c.dialFail.Load(),
 		ConnDrops:    c.drops.Load(),
+		Reconnects:   c.reconnects.Load(),
+		Retries:      c.retries.Load(),
 		LatP50NS:     h.Quantile(0.5),
 		LatP99NS:     h.Quantile(0.99),
 		LatP999NS:    h.Quantile(0.999),
@@ -151,24 +182,43 @@ func Run(cfg Config) (Result, error) {
 	return res, nil
 }
 
-// slot tracks one in-flight request for latency and op accounting.
+// slot tracks one in-flight request for latency and op accounting; keys
+// holds a write's keys so the ack can be recorded for the chaos oracle.
 type slot struct {
-	t0  time.Time
-	ops int64
+	t0   time.Time
+	ops  int64
+	keys [][]byte
 }
 
 func worker(cfg Config, id int, deadline time.Time, c *counters) {
-	cl, err := client.Dial(cfg.Addr)
+	var cl *client.Client
+	var err error
+	if cfg.Retry {
+		pol := cfg.Policy
+		pol.SessionID = 0 // each worker is its own dedup session
+		cl, err = client.DialRetry(cfg.Addr, pol)
+	} else {
+		cl, err = client.Dial(cfg.Addr)
+	}
 	if err != nil {
 		c.dialFail.Add(1)
 		return
 	}
-	defer cl.Close()
+	defer func() {
+		c.reconnects.Add(cl.Reconnects())
+		c.retries.Add(cl.Retries())
+		cl.Close()
+	}()
 
 	rng := rand.New(rand.NewSource(cfg.Seed + int64(id)))
 	val := make([]byte, cfg.ValueSize)
 	rng.Read(val)
+	seq := 0
 	key := func() []byte {
+		if cfg.UniqueKeys {
+			seq++
+			return []byte(fmt.Sprintf("%s-%03d-%08d", cfg.Prefix, id, seq))
+		}
 		return []byte(fmt.Sprintf("%s-%08d", cfg.Prefix, rng.Intn(cfg.KeySpace)))
 	}
 	ops := make([]wire.BatchOp, cfg.BatchSize)
@@ -183,12 +233,20 @@ func worker(cfg Config, id int, deadline time.Time, c *counters) {
 			cl.QueueGet(key())
 		case cfg.BatchSize > 1:
 			for i := range ops {
-				ops[i] = wire.BatchOp{Kind: wire.KindPut, Key: key(), Val: val}
+				k := key()
+				ops[i] = wire.BatchOp{Kind: wire.KindPut, Key: k, Val: val}
+				if cfg.Record != nil {
+					s.keys = append(s.keys, k)
+				}
 			}
 			cl.QueueBatch(ops)
 			s.ops = int64(cfg.BatchSize)
 		default:
-			cl.QueuePut(key(), val)
+			k := key()
+			cl.QueuePut(k, val)
+			if cfg.Record != nil {
+				s.keys = append(s.keys, k)
+			}
 		}
 		window = append(window, s)
 		c.requests.Add(1)
@@ -209,9 +267,12 @@ func worker(cfg Config, id int, deadline time.Time, c *counters) {
 				// BATCH reply: count per-op verdicts.
 				if codes, perr := wire.ParseBatchReply(payload, nil); perr == nil {
 					okN := int64(0)
-					for _, bc := range codes {
+					for i, bc := range codes {
 						if bc == wire.CodeOK {
 							okN++
+							if cfg.Record != nil && i < len(s.keys) {
+								cfg.Record(s.keys[i], val)
+							}
 						}
 					}
 					c.acked.Add(okN)
@@ -221,12 +282,17 @@ func worker(cfg Config, id int, deadline time.Time, c *counters) {
 				return true
 			}
 			c.acked.Add(1)
+			if cfg.Record != nil && len(s.keys) > 0 {
+				cfg.Record(s.keys[0], val)
+			}
 		case wire.CodeNotFound:
 			c.acked.Add(1)
 		case wire.CodeBusy:
 			c.busy.Add(1)
 		case wire.CodeShutdown:
 			c.shutdown.Add(1)
+		case wire.CodeUnavail:
+			c.unavail.Add(1)
 		default:
 			c.errors.Add(1)
 		}

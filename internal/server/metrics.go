@@ -18,6 +18,10 @@ type metrics struct {
 	rejBusy     atomic.Int64
 	rejShutdown atomic.Int64
 	rejProto    atomic.Int64
+	timeouts    atomic.Int64 // connections closed by IdleTimeout
+
+	healAttempts atomic.Int64
+	healFailures atomic.Int64
 
 	bytesIn  atomic.Int64
 	bytesOut atomic.Int64
@@ -41,6 +45,9 @@ func (m *metrics) snapshot(inFlight, limit int) obsv.ServerSnapshot {
 		RejectBusy:     m.rejBusy.Load(),
 		RejectShutdown: m.rejShutdown.Load(),
 		RejectProto:    m.rejProto.Load(),
+		Timeouts:       m.timeouts.Load(),
+		HealAttempts:   m.healAttempts.Load(),
+		HealFailures:   m.healFailures.Load(),
 		BytesIn:        m.bytesIn.Load(),
 		BytesOut:       m.bytesOut.Load(),
 		Coalesce:       m.coalesce.Snapshot(),

@@ -36,6 +36,7 @@ import (
 
 	"fasp"
 	"fasp/internal/obsv"
+	"fasp/internal/server/wire"
 )
 
 // Config tunes a Server. The zero value serves with the defaults below.
@@ -58,6 +59,35 @@ type Config struct {
 	// NoMetricsSource skips registering with the fasp /metrics endpoint
 	// (tests that assert exact scrape contents).
 	NoMetricsSource bool
+	// IdleTimeout closes a connection whose blocking read stays idle this
+	// long (0 = never). Expiry is answered with a typed CodeTimeout frame
+	// before the close; nothing is lost — the connection had no request in
+	// flight, so a client may simply reconnect.
+	IdleTimeout time.Duration
+	// WriteTimeout bounds one response flush to the socket (0 = never). A
+	// peer that stops reading can otherwise wedge a connection goroutine
+	// in the kernel send buffer forever.
+	WriteTimeout time.Duration
+	// WrapConn, when set, wraps every accepted connection before it is
+	// served — the fault-injection seam (faultx.Injector.WrapConn).
+	WrapConn func(net.Conn) net.Conn
+	// AutoHeal starts a background loop that re-runs recovery on shards
+	// that stop serving (writer fault → degraded), with capped exponential
+	// backoff + jitter per shard. Off by default: a store whose shard
+	// stays down without explanation is a diagnosable condition, and tests
+	// of the UNAVAIL path rely on degradation being sticky.
+	AutoHeal bool
+	// HealInterval is the auto-heal scan cadence and first-retry backoff
+	// (default 10ms). It also sizes the retry-after hint carried by
+	// UNAVAIL responses.
+	HealInterval time.Duration
+	// HealBackoffMax caps the per-shard heal backoff (default 500ms).
+	HealBackoffMax time.Duration
+	// DedupWindow bounds each session's write-dedup window, in sequence
+	// tokens (default 4096). See session.go.
+	DedupWindow int
+	// MaxSessions bounds the session table (default 1024).
+	MaxSessions int
 }
 
 func (c *Config) fill() {
@@ -75,6 +105,18 @@ func (c *Config) fill() {
 	}
 	if c.MaxCoalesce <= 0 {
 		c.MaxCoalesce = 1024
+	}
+	if c.HealInterval <= 0 {
+		c.HealInterval = 10 * time.Millisecond
+	}
+	if c.HealBackoffMax <= 0 {
+		c.HealBackoffMax = 500 * time.Millisecond
+	}
+	if c.DedupWindow <= 0 {
+		c.DedupWindow = 4096
+	}
+	if c.MaxSessions <= 0 {
+		c.MaxSessions = 1024
 	}
 }
 
@@ -103,10 +145,13 @@ type Server struct {
 	reqMu  sync.Mutex     // serialises reqWG.Add-from-zero against Wait
 	reqWG  sync.WaitGroup // processing rounds with undelivered responses
 
-	met    metrics
-	unreg  func()
-	downMu sync.Mutex // serialises Shutdown
-	down   bool
+	met      metrics
+	sessions *sessionTable
+	healQuit chan struct{} // non-nil when AutoHeal
+	healDone chan struct{}
+	unreg    func()
+	downMu   sync.Mutex // serialises Shutdown/Kill
+	down     bool
 }
 
 // New builds a Server over kv.
@@ -120,8 +165,14 @@ func New(kv *fasp.KV, cfg Config) *Server {
 		batchCh:   make(chan *submission, 1024),
 		batchQuit: make(chan struct{}),
 		batchDone: make(chan struct{}),
+		sessions:  newSessionTable(cfg.MaxSessions, cfg.DedupWindow),
 	}
 	go s.runBatcher()
+	if cfg.AutoHeal {
+		s.healQuit = make(chan struct{})
+		s.healDone = make(chan struct{})
+		go s.runHealer()
+	}
 	return s
 }
 
@@ -173,6 +224,12 @@ func (s *Server) Serve() error {
 			s.mu.Unlock()
 			c.Close()
 			continue
+		}
+		if s.cfg.WrapConn != nil {
+			// Wrap before registering so the shutdown sweep closes the
+			// wrapper (and through it the socket), not a bypassed inner
+			// conn.
+			c = s.cfg.WrapConn(c)
 		}
 		s.conns[c] = struct{}{}
 		s.connWG.Add(1)
@@ -232,14 +289,85 @@ func (s *Server) Shutdown() {
 	// any straggler round.
 	close(s.batchQuit)
 	<-s.batchDone
+	s.stopHealer()
 	if s.unreg != nil {
 		s.unreg()
 	}
 }
 
+// Kill is the abrupt counterpart of Shutdown, for crash-restart testing: it
+// stops accepting and closes every connection immediately, without the
+// drain or the SHUTDOWN answers — in-flight requests simply never get their
+// responses, exactly as if the process died. Reader goroutines and the
+// batcher are still waited out (an in-flight group commit finishes against
+// the KV; its acks are lost on the closed sockets), so when Kill returns no
+// server goroutine touches the KV again and the caller may Crash/Reopen it
+// and start a fresh Server on the same address.
+func (s *Server) Kill() {
+	s.downMu.Lock()
+	defer s.downMu.Unlock()
+	if s.down {
+		return
+	}
+	s.down = true
+
+	s.draining.Store(true)
+	if s.ln != nil {
+		s.ln.Close()
+	}
+	s.mu.Lock()
+	for c := range s.conns {
+		c.Close()
+	}
+	s.mu.Unlock()
+	s.connWG.Wait()
+	close(s.batchQuit)
+	<-s.batchDone
+	s.stopHealer()
+	if s.unreg != nil {
+		s.unreg()
+	}
+}
+
+func (s *Server) stopHealer() {
+	if s.healQuit != nil {
+		close(s.healQuit)
+		<-s.healDone
+	}
+}
+
 // Snapshot renders the server's metrics counters.
 func (s *Server) Snapshot() obsv.ServerSnapshot {
-	return s.met.snapshot(len(s.sem), cap(s.sem))
+	snap := s.met.snapshot(len(s.sem), cap(s.sem))
+	if s.kv.Sharded() {
+		es := s.kv.EngineStats()
+		// The gauge counts shards not serving, whatever the flavour: a
+		// crashed shard refuses requests exactly like a degraded one.
+		snap.DegradedShards = int64(es.DegradedShards + es.CrashedShards)
+	}
+	return snap
+}
+
+// retryHintMS is the retry-after hint (milliseconds) an error response of
+// the given code carries: how long the client should back off before the
+// condition can plausibly have cleared. BUSY clears as soon as in-flight
+// requests drain; UNAVAIL clears on the auto-heal cadence (or operator
+// action, for which 50ms is an honest polling hint).
+func (s *Server) retryHintMS(code wire.Code) uint32 {
+	switch code {
+	case wire.CodeBusy:
+		return 2
+	case wire.CodeUnavail:
+		if s.cfg.AutoHeal {
+			ms := 2 * s.cfg.HealInterval.Milliseconds()
+			if ms < 1 {
+				ms = 1
+			}
+			return uint32(ms)
+		}
+		return 50
+	}
+	return 0
 }
 
 // beginRound registers one processing round with undelivered responses;

@@ -403,6 +403,12 @@ func TestMetricsEndpoint(t *testing.T) {
 		t.Fatalf("get: %v", err)
 	}
 
+	// The client retry layer publishes its telemetry on the same endpoint.
+	unreg := fasp.RegisterPromSource(func(w io.Writer) {
+		obsv.WriteClientPrometheus(w, "testsrv-clients", client.PromSnapshot())
+	})
+	defer unreg()
+
 	ms, err := fasp.ServeMetrics("127.0.0.1:0")
 	if err != nil {
 		t.Fatalf("ServeMetrics: %v", err)
@@ -425,6 +431,14 @@ func TestMetricsEndpoint(t *testing.T) {
 		`fasp_server_connections_total{server="testsrv"}`,
 		`fasp_server_coalesce_width_count{server="testsrv"}`,
 		`fasp_server_rejects_total{server="testsrv",reason="busy"}`,
+		`fasp_server_conn_timeouts_total{server="testsrv"}`,
+		`fasp_server_heal_attempts_total{server="testsrv"}`,
+		`fasp_server_heal_failures_total{server="testsrv"}`,
+		`fasp_server_degraded_shards{server="testsrv"}`,
+		`fasp_client_retries_total{client="testsrv-clients",code="busy"}`,
+		`fasp_client_retries_total{client="testsrv-clients",code="conn_reset"}`,
+		`fasp_client_retries_total{client="testsrv-clients",code="unavail"}`,
+		`fasp_client_reconnects_total{client="testsrv-clients"}`,
 	} {
 		if !bytes.Contains(body, []byte(want)) {
 			t.Fatalf("scrape missing %q", want)

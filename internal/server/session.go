@@ -1,0 +1,168 @@
+package server
+
+import (
+	"sync"
+)
+
+// Session-scoped sequence-token dedup — the server half of the client retry
+// layer's exactly-once contract.
+//
+// A retrying client binds each connection to a session (HELLO, client-chosen
+// u64 id) and tags every write with a per-session sequence token
+// (PUT_SEQ/DEL_SEQ/BATCH_SEQ). When a connection dies between the server's
+// commit and the client's read of the ack, the client replays the unacked
+// frames on a fresh connection under the same session; the tokens let the
+// server tell a replay of a committed write from a genuinely new one:
+//
+//	fresh    — first sighting: execute, then complete() caches the
+//	           encoded reply frame.
+//	done     — a replay of a completed write: answer the cached frame
+//	           verbatim, execute nothing (exactly-once).
+//	inflight — the original is still racing through another connection's
+//	           commit: wait for its verdict, then re-resolve.
+//	stale    — the token fell out of the bounded window; the client gave
+//	           up on it long ago, answer a typed error.
+//
+// A write the server *refused* without applying (BUSY shed, SHUTDOWN drain)
+// calls cancel() instead: the token is forgotten, so a retry re-executes —
+// dedup protects applied writes only.
+//
+// The window is bounded (Config.DedupWindow) and the session table is
+// bounded (Config.MaxSessions), so a hostile or leaky client cannot grow
+// server state without bound. The table does not survive a server restart:
+// a replay that crosses a restart re-executes, which is safe for the
+// upsert/delete ops the retry layer replays (and pinned as such by the
+// chaos soak's unique-key oracle).
+
+// seqState is begin's verdict for one token.
+type seqState int
+
+const (
+	seqFresh seqState = iota
+	seqDone
+	seqInflight
+	seqStale
+)
+
+// seqEntry tracks one token. done closes when the write's verdict is known;
+// reply is the cached response frame (nil means canceled — not applied).
+type seqEntry struct {
+	done  chan struct{}
+	reply []byte
+}
+
+// session is one client session's dedup window.
+type session struct {
+	mu      sync.Mutex
+	win     map[uint64]*seqEntry
+	maxDone uint64 // highest completed token
+	window  uint64
+}
+
+// begin resolves one token. The caller must not hold any session lock.
+func (ss *session) begin(seq uint64) (*seqEntry, seqState) {
+	ss.mu.Lock()
+	defer ss.mu.Unlock()
+	if e := ss.win[seq]; e != nil {
+		select {
+		case <-e.done:
+			if e.reply == nil {
+				// Completed as a cancel that raced the map delete: treat
+				// as fresh.
+				e = &seqEntry{done: make(chan struct{})}
+				ss.win[seq] = e
+				return e, seqFresh
+			}
+			return e, seqDone
+		default:
+			return e, seqInflight
+		}
+	}
+	if ss.maxDone > ss.window && seq <= ss.maxDone-ss.window {
+		return nil, seqStale
+	}
+	e := &seqEntry{done: make(chan struct{})}
+	ss.win[seq] = e
+	return e, seqFresh
+}
+
+// complete records a committed write's encoded reply frame and wakes any
+// duplicate waiting on it. reply is copied.
+func (ss *session) complete(seq uint64, reply []byte) {
+	ss.mu.Lock()
+	e := ss.win[seq]
+	if e == nil {
+		ss.mu.Unlock()
+		return
+	}
+	e.reply = append(make([]byte, 0, len(reply)), reply...)
+	if seq > ss.maxDone {
+		ss.maxDone = seq
+	}
+	close(e.done)
+	// Evict tokens that fell out of the window; amortised so the common
+	// case is O(1).
+	if ss.maxDone > ss.window && uint64(len(ss.win)) > 2*ss.window {
+		lo := ss.maxDone - ss.window
+		for k, old := range ss.win {
+			if k > lo {
+				continue
+			}
+			select {
+			case <-old.done:
+				delete(ss.win, k)
+			default: // still in flight; keep
+			}
+		}
+	}
+	ss.mu.Unlock()
+}
+
+// cancel forgets a token whose write was refused without being applied
+// (BUSY/SHUTDOWN shed); a retry re-executes under a fresh entry. Duplicate
+// waiters see done with a nil reply and re-begin.
+func (ss *session) cancel(seq uint64) {
+	ss.mu.Lock()
+	e := ss.win[seq]
+	if e != nil {
+		delete(ss.win, seq)
+		close(e.done)
+	}
+	ss.mu.Unlock()
+}
+
+// sessionTable is the server's bounded session registry.
+type sessionTable struct {
+	mu     sync.Mutex
+	m      map[uint64]*session
+	cap    int
+	window uint64
+}
+
+func newSessionTable(capacity, window int) *sessionTable {
+	return &sessionTable{
+		m:      make(map[uint64]*session),
+		cap:    capacity,
+		window: uint64(window),
+	}
+}
+
+// get returns (creating if needed) the session for id. At capacity an
+// arbitrary existing session is evicted — eviction only widens a victim's
+// retry semantics (its replays re-execute, same as crossing a restart).
+func (t *sessionTable) get(id uint64) *session {
+	t.mu.Lock()
+	defer t.mu.Unlock()
+	if ss := t.m[id]; ss != nil {
+		return ss
+	}
+	if len(t.m) >= t.cap {
+		for k := range t.m {
+			delete(t.m, k)
+			break
+		}
+	}
+	ss := &session{win: make(map[uint64]*seqEntry), window: t.window}
+	t.m[id] = ss
+	return ss
+}

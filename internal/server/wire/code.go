@@ -47,6 +47,11 @@ const (
 	CodeProto Code = 8
 	// CodeInternal is any engine error outside the taxonomy above.
 	CodeInternal Code = 9
+	// CodeTimeout reports that the server expired the connection's idle
+	// deadline (Config.IdleTimeout) and is closing it. Nothing was lost —
+	// the connection had no request in flight — so a client may simply
+	// reconnect.
+	CodeTimeout Code = 10
 )
 
 func (c Code) String() string {
@@ -71,6 +76,8 @@ func (c Code) String() string {
 		return "proto"
 	case CodeInternal:
 		return "internal"
+	case CodeTimeout:
+		return "timeout"
 	}
 	return fmt.Sprintf("code(%d)", uint8(c))
 }
@@ -143,6 +150,7 @@ var (
 	ErrRemoteKeyAbsent = errors.New("wire: key not found")
 	ErrRemoteTooLarge  = errors.New("wire: record too large")
 	ErrRemoteProto     = errors.New("wire: protocol error reported by peer")
+	ErrRemoteTimeout   = errors.New("wire: connection idle timeout")
 	ErrRemote          = errors.New("wire: server error")
 )
 
@@ -164,6 +172,8 @@ func (c Code) sentinel() error {
 		return ErrRemoteTooLarge
 	case CodeProto:
 		return ErrRemoteProto
+	case CodeTimeout:
+		return ErrRemoteTimeout
 	}
 	return ErrRemote
 }

@@ -26,6 +26,13 @@ func FuzzWireFrame(f *testing.F) {
 	f.Add(AppendScan(nil, nil, nil, false, false, 0))
 	f.Add(AppendScan(nil, nil, []byte("hi"), true, true, 1))
 	f.Add([]byte{0, 0, 0, 6, OpScan, ScanExclHi, 0, 0, 0, 0}) // exclusive hi without a hi bound
+	f.Add(AppendHello(nil, 0x1234567890ab))
+	f.Add(AppendPutSeq(nil, 42, []byte("k"), []byte("v")))
+	f.Add(AppendDelSeq(nil, 43, []byte("k")))
+	f.Add(AppendBatchSeq(nil, 44, []BatchOp{{Kind: KindInsert, Key: []byte("a"), Val: []byte("1")}}))
+	f.Add([]byte{0, 0, 0, 5, OpHello, 1, 2, 3, 4})                    // torn hello sid
+	f.Add([]byte{0, 0, 0, 4, OpPutSeq, 0, 0, 0})                      // torn seq prefix
+	f.Add([]byte{0, 0, 0, 10, OpBatchSeq, 0, 0, 0, 0, 0, 0, 0, 1, 0}) // seq batch, torn count
 	f.Add(AppendEmptyReq(nil, OpCount))
 	f.Add(AppendEmptyReq(nil, OpStats))
 	f.Add(AppendEmptyReq(nil, OpPing))

@@ -39,10 +39,35 @@ const (
 	OpStats byte = 7 // payload: empty
 	OpPing  byte = 8 // payload: empty
 
+	// Session opcodes back the client retry layer's exactly-once
+	// semantics. HELLO binds the connection to a session id; the *Seq
+	// write variants prefix the base payload with a per-session sequence
+	// token the server dedups within a bounded window, so a write
+	// replayed after a reconnect is acknowledged from the cached verdict
+	// instead of applied twice.
+	OpHello    byte = 9  // payload: u64 session id
+	OpPutSeq   byte = 10 // payload: u64 seq, then OpPut's payload
+	OpDelSeq   byte = 11 // payload: u64 seq, then OpDel's payload
+	OpBatchSeq byte = 12 // payload: u64 seq, then OpBatch's payload
+
 	// NumOps bounds the opcode space (valid opcodes are 1..NumOps-1);
 	// per-op metric arrays index by opcode.
-	NumOps = 9
+	NumOps = 13
 )
+
+// BaseOp maps a sequenced write opcode to the base opcode it wraps; other
+// opcodes map to themselves.
+func BaseOp(op byte) byte {
+	switch op {
+	case OpPutSeq:
+		return OpPut
+	case OpDelSeq:
+		return OpDel
+	case OpBatchSeq:
+		return OpBatch
+	}
+	return op
+}
 
 // OpName labels an opcode for metrics and logs.
 func OpName(op byte) string {
@@ -63,6 +88,14 @@ func OpName(op byte) string {
 		return "stats"
 	case OpPing:
 		return "ping"
+	case OpHello:
+		return "hello"
+	case OpPutSeq:
+		return "put_seq"
+	case OpDelSeq:
+		return "del_seq"
+	case OpBatchSeq:
+		return "batch_seq"
 	}
 	return "unknown"
 }
@@ -132,6 +165,9 @@ type Request struct {
 	Rev    bool
 	ExclHi bool   // SCAN: hi bound is exclusive
 	Limit  uint32 // SCAN: max pairs (0 = server default)
+	SID    uint64 // HELLO: session id
+	Seq    uint64 // PUT_SEQ/DEL_SEQ/BATCH_SEQ: dedup sequence token
+	HasSeq bool   // true for the sequenced write opcodes
 }
 
 // ReadFrame reads one frame from br, reusing buf when it is large enough,
@@ -290,6 +326,43 @@ func AppendEmptyReq(dst []byte, op byte) []byte {
 	return EndFrame(dst, start)
 }
 
+// AppendHello appends a HELLO frame binding the connection to session sid.
+func AppendHello(dst []byte, sid uint64) []byte {
+	dst, start := BeginFrame(dst, OpHello)
+	dst = appendU64(dst, sid)
+	return EndFrame(dst, start)
+}
+
+// AppendPutSeq appends a sequenced PUT frame.
+func AppendPutSeq(dst []byte, seq uint64, key, val []byte) []byte {
+	dst, start := BeginFrame(dst, OpPutSeq)
+	dst = appendU64(dst, seq)
+	dst = appendBytes(dst, key)
+	dst = append(dst, val...)
+	return EndFrame(dst, start)
+}
+
+// AppendDelSeq appends a sequenced DEL frame.
+func AppendDelSeq(dst []byte, seq uint64, key []byte) []byte {
+	dst, start := BeginFrame(dst, OpDelSeq)
+	dst = appendU64(dst, seq)
+	dst = append(dst, key...)
+	return EndFrame(dst, start)
+}
+
+// AppendBatchSeq appends a sequenced BATCH frame.
+func AppendBatchSeq(dst []byte, seq uint64, ops []BatchOp) []byte {
+	dst, start := BeginFrame(dst, OpBatchSeq)
+	dst = appendU64(dst, seq)
+	dst = appendU32(dst, uint32(len(ops)))
+	for i := range ops {
+		dst = append(dst, ops[i].Kind)
+		dst = appendBytes(dst, ops[i].Key)
+		dst = appendBytes(dst, ops[i].Val)
+	}
+	return EndFrame(dst, start)
+}
+
 // --- Request decoding ------------------------------------------------------
 
 // rd is a bounds-checked cursor over one payload.
@@ -313,6 +386,15 @@ func (r *rd) u32() (uint32, error) {
 	}
 	v := binary.BigEndian.Uint32(r.b[r.off:])
 	r.off += 4
+	return v, nil
+}
+
+func (r *rd) u64() (uint64, error) {
+	if r.off+8 > len(r.b) {
+		return 0, fmt.Errorf("%w: truncated u64 field", ErrMalformed)
+	}
+	v := binary.BigEndian.Uint64(r.b[r.off:])
+	r.off += 8
 	return v, nil
 }
 
@@ -347,7 +429,24 @@ func (r *rd) done() error {
 func ParseRequest(op byte, payload []byte, req *Request) error {
 	*req = Request{Op: op, Ops: req.Ops[:0]}
 	r := rd{b: payload}
+	base := op
 	switch op {
+	case OpHello:
+		sid, err := r.u64()
+		if err != nil {
+			return err
+		}
+		req.SID = sid
+		return r.done()
+	case OpPutSeq, OpDelSeq, OpBatchSeq:
+		seq, err := r.u64()
+		if err != nil {
+			return err
+		}
+		req.Seq, req.HasSeq = seq, true
+		base = BaseOp(op)
+	}
+	switch base {
 	case OpGet, OpDel:
 		req.Key = r.rest()
 		return nil
@@ -368,7 +467,7 @@ func ParseRequest(op byte, payload []byte, req *Request) error {
 		}
 		// Every op costs at least 9 bytes (kind + two u32 lengths), so a
 		// forged count cannot force an allocation beyond the frame's size.
-		if uint64(n)*9 > uint64(len(payload)) {
+		if uint64(n)*9 > uint64(len(r.b)-r.off) {
 			return fmt.Errorf("%w: batch count %d exceeds frame capacity", ErrMalformed, n)
 		}
 		for i := uint32(0); i < n; i++ {
@@ -455,22 +554,31 @@ func ParseCount(payload []byte) (uint64, error) {
 }
 
 // AppendErr appends an error response: code, the shard the failure is
-// pinned to (-1 when not shard-specific), and the error text.
-func AppendErr(dst []byte, code Code, shard int32, msg string) []byte {
+// pinned to (-1 when not shard-specific), a retry-after hint in
+// milliseconds (0 = none; meaningful for BUSY and UNAVAIL, where it tells a
+// retrying client how long the condition is expected to last — e.g. the
+// server's auto-Heal cadence for a degraded shard), and the error text.
+func AppendErr(dst []byte, code Code, shard int32, retryMS uint32, msg string) []byte {
 	dst, start := BeginFrame(dst, byte(code))
 	dst = appendU32(dst, uint32(shard))
+	dst = appendU32(dst, retryMS)
 	dst = append(dst, msg...)
 	return EndFrame(dst, start)
 }
 
 // ParseErr decodes an error response payload. Responses produced by older
-// or foreign peers without the shard prefix yield shard -1 and the whole
-// payload as message.
-func ParseErr(payload []byte) (shard int32, msg string) {
-	if len(payload) < 4 {
-		return -1, string(payload)
+// or foreign peers without the shard/retry prefix yield shard -1, hint 0,
+// and the whole payload as message.
+func ParseErr(payload []byte) (shard int32, retryMS uint32, msg string) {
+	if len(payload) < 8 {
+		if len(payload) >= 4 {
+			return int32(binary.BigEndian.Uint32(payload)), 0, string(payload[4:])
+		}
+		return -1, 0, string(payload)
 	}
-	return int32(binary.BigEndian.Uint32(payload)), string(payload[4:])
+	return int32(binary.BigEndian.Uint32(payload)),
+		binary.BigEndian.Uint32(payload[4:]),
+		string(payload[8:])
 }
 
 // AppendBatchReply appends a BATCH response: one Code per op, aligned with

@@ -130,6 +130,66 @@ func TestRequestRoundTrip(t *testing.T) {
 	}
 }
 
+func TestSeqRequestRoundTrip(t *testing.T) {
+	var req Request
+
+	op, payload := readOne(t, AppendHello(nil, 0xdeadbeefcafe))
+	if err := ParseRequest(op, payload, &req); err != nil {
+		t.Fatalf("hello: %v", err)
+	}
+	if req.Op != OpHello || req.SID != 0xdeadbeefcafe {
+		t.Fatalf("hello round trip: %+v", req)
+	}
+
+	op, payload = readOne(t, AppendPutSeq(nil, 7, []byte("k"), []byte("v")))
+	if err := ParseRequest(op, payload, &req); err != nil {
+		t.Fatalf("put_seq: %v", err)
+	}
+	if req.Op != OpPutSeq || !req.HasSeq || req.Seq != 7 ||
+		string(req.Key) != "k" || string(req.Val) != "v" {
+		t.Fatalf("put_seq round trip: %+v", req)
+	}
+
+	op, payload = readOne(t, AppendDelSeq(nil, 8, []byte("gone")))
+	if err := ParseRequest(op, payload, &req); err != nil {
+		t.Fatalf("del_seq: %v", err)
+	}
+	if req.Op != OpDelSeq || !req.HasSeq || req.Seq != 8 || string(req.Key) != "gone" {
+		t.Fatalf("del_seq round trip: %+v", req)
+	}
+
+	ops := []BatchOp{
+		{Kind: KindInsert, Key: []byte("a"), Val: []byte("1")},
+		{Kind: KindDelete, Key: []byte("b")},
+	}
+	op, payload = readOne(t, AppendBatchSeq(nil, 9, ops))
+	if err := ParseRequest(op, payload, &req); err != nil {
+		t.Fatalf("batch_seq: %v", err)
+	}
+	if req.Op != OpBatchSeq || !req.HasSeq || req.Seq != 9 || len(req.Ops) != 2 {
+		t.Fatalf("batch_seq round trip: %+v", req)
+	}
+
+	// A plain request must not report a sequence token.
+	op, payload = readOne(t, AppendPut(nil, []byte("k"), []byte("v")))
+	if err := ParseRequest(op, payload, &req); err != nil || req.HasSeq {
+		t.Fatalf("plain put HasSeq: err=%v req=%+v", err, req)
+	}
+
+	// Truncated seq prefix is malformed, not a panic.
+	if err := ParseRequest(OpPutSeq, []byte{1, 2, 3}, &req); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short put_seq: %v", err)
+	}
+	if err := ParseRequest(OpHello, nil, &req); !errors.Is(err, ErrMalformed) {
+		t.Fatalf("short hello: %v", err)
+	}
+
+	if BaseOp(OpPutSeq) != OpPut || BaseOp(OpDelSeq) != OpDel ||
+		BaseOp(OpBatchSeq) != OpBatch || BaseOp(OpGet) != OpGet || BaseOp(OpHello) != OpHello {
+		t.Fatal("BaseOp mapping")
+	}
+}
+
 func TestResponseRoundTrip(t *testing.T) {
 	code, payload := readOne(t, AppendOK(nil))
 	if Code(code) != CodeOK || len(payload) != 0 {
@@ -153,18 +213,23 @@ func TestResponseRoundTrip(t *testing.T) {
 		t.Fatalf("short count err: %v", err)
 	}
 
-	code, payload = readOne(t, AppendErr(nil, CodeUnavail, 3, "writer faulted"))
+	code, payload = readOne(t, AppendErr(nil, CodeUnavail, 3, 40, "writer faulted"))
 	if Code(code) != CodeUnavail {
 		t.Fatalf("err code: %d", code)
 	}
-	sh, msg := ParseErr(payload)
-	if sh != 3 || msg != "writer faulted" {
-		t.Fatalf("err payload: shard=%d msg=%q", sh, msg)
+	sh, retryMS, msg := ParseErr(payload)
+	if sh != 3 || retryMS != 40 || msg != "writer faulted" {
+		t.Fatalf("err payload: shard=%d retry=%d msg=%q", sh, retryMS, msg)
 	}
-	code, payload = readOne(t, AppendErr(nil, CodeBusy, -1, "shed"))
-	sh, _ = ParseErr(payload)
-	if sh != -1 {
-		t.Fatalf("unpinned err shard: %d", sh)
+	code, payload = readOne(t, AppendErr(nil, CodeBusy, -1, 0, "shed"))
+	sh, retryMS, _ = ParseErr(payload)
+	if sh != -1 || retryMS != 0 {
+		t.Fatalf("unpinned err: shard=%d retry=%d", sh, retryMS)
+	}
+	// Legacy 4-byte shard-only payload still parses (no hint).
+	legacy := []byte{0xff, 0xff, 0xff, 0xfe, 'x'} // shard -2, then message
+	if sh, retryMS, msg = ParseErr(legacy); sh != -2 || retryMS != 0 || msg != "x" {
+		t.Fatalf("legacy err payload: shard=%d retry=%d msg=%q", sh, retryMS, msg)
 	}
 
 	in := []Code{CodeOK, CodeDup, CodeKeyAbsent, CodeOK}

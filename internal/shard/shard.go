@@ -119,6 +119,13 @@ type Config struct {
 	// fragmentation, and leaves at or above the threshold are rewritten
 	// during idle group-commit slots. 0 disables.
 	DefragThreshold float64
+	// FaultHook, when set, runs at the top of every group commit with the
+	// shard index, inside the contained writer section: a panic degrades
+	// just that shard (wrapped ErrShardDown until Heal re-runs recovery), a
+	// sleep stalls that shard's batch while the others keep serving. The
+	// fault-injection harness (internal/faultx) plugs in here; production
+	// leaves it nil.
+	FaultHook func(shard int)
 }
 
 func (c *Config) fill() error {
@@ -251,6 +258,9 @@ type state struct {
 	quit chan struct{}
 	done chan struct{}
 
+	// faultHook is Config.FaultHook (nil in production).
+	faultHook func(int)
+
 	// rec/evFn are the observability hooks (nil when metrics are off).
 	// evFn is bound once at construction; it reads be.Store at call time,
 	// so it stays correct across Heal's store replacement.
@@ -321,6 +331,8 @@ func New(cfg Config) (*Engine, error) {
 			quit:  make(chan struct{}),
 			done:  make(chan struct{}),
 			rec:   cfg.Recorder,
+
+			faultHook: cfg.FaultHook,
 		}
 		s.frag = -1
 		s.liveBatch.Store(int64(cfg.MaxBatch))
@@ -510,6 +522,9 @@ func (s *state) applyLocked(maxBatch int, ops []Op, errs []error) {
 		tc0 = s.counters()
 	}
 	crashed, fault := s.runContained(func() {
+		if s.faultHook != nil {
+			s.faultHook(s.id)
+		}
 		s.batches += ApplyOps(s.tree, maxBatch, ops, errs)
 	})
 	if s.rec != nil {
