@@ -20,11 +20,11 @@ import (
 	"fasp/internal/experiment"
 )
 
-// defaultShards maps the shared -shards flag (0 = unset) to the
-// serverbench default of 8 partitions.
-func defaultShards(n int) int {
+// defaultShards maps the shared -shards flag (0 = unset) to a
+// mode-specific default partition count.
+func defaultShards(n, def int) int {
 	if n <= 0 {
-		return 8
+		return def
 	}
 	return n
 }
@@ -70,7 +70,7 @@ func main() {
 	if *chaos != "" {
 		err := runChaosBench(chaosBenchConfig{
 			out: *chaos, spec: *chaosSpec, dur: *chaosDur,
-			conns: *chaosConns, shards: defaultShards(*shards),
+			conns: *chaosConns, shards: defaultShards(*shards, 8),
 		})
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faspbench: chaos: %v\n", err)
@@ -83,7 +83,11 @@ func main() {
 		err := runServerBench(serverBenchConfig{
 			out: *serverbench, conns: *sbConns, dur: *sbDur, valueSize: *sbValue,
 			batchSize: *sbBatch, pipeline: *sbPipeline, overInflit: *sbOverInfl,
-			shards: defaultShards(*shards), scheme: *sbScheme, pageSize: *pageSize, maxBatch: *maxBatch, seed: *seed,
+			// Serverbench defaults to 16 partitions: the pipelined-vs-global
+			// A/B needs enough shards that the global batcher's per-round
+			// all-shards barrier binds (at 8 the width amortisation alone
+			// nearly cancels it).
+			shards: defaultShards(*shards, 16), scheme: *sbScheme, pageSize: *pageSize, maxBatch: *maxBatch, seed: *seed,
 			metricsAddr: *mAddr, scrape: *scrape, strict: *sbStrict,
 		})
 		if err != nil {

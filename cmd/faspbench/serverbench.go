@@ -2,21 +2,27 @@ package main
 
 // Network server benchmark mode (-serverbench): starts an in-process
 // faspserver over a sharded KV and drives it with the many-client load
-// generator, producing the BENCH_PR7.json trajectory point. Three arms:
+// generator, producing the BENCH_PR10.json trajectory point. Four arms:
 //
 //   conns=1      — the single-connection baseline (no cross-connection
 //                  coalescing possible);
-//   conns=N      — the many-client arm (default 256), where the per-shard
-//                  mailboxes drain many connections' writes into combined
-//                  group commits;
+//   conns=N      — the many-client arm (default 256) on the per-shard
+//                  commit pipelines, where each shard's loop drains many
+//                  connections' writes into combined group commits while
+//                  the next round accumulates;
+//   global       — the same many-client workload on the global-batcher
+//                  fallback (Config.GlobalBatcher), the pre-pipeline
+//                  architecture: one round at a time, all shards barriered
+//                  per round. This is the A/B control arm.
 //   overload     — a deliberately tiny in-flight gate flooded by the same
 //                  client count, asserting the shedding contract: typed
 //                  BUSY responses, zero dropped connections.
 //
 // The acceptance targets (mean commit width > 1 and throughput ≥ 4× the
-// 1-connection arm at the many-client point; overload sheds with BUSY,
-// not disconnects) are recorded in the report; -sb-strict makes a missed
-// target a non-zero exit.
+// 1-connection arm at the many-client point; pipelined simulated write
+// throughput ≥ 1.5× the global-batcher arm with per-shard coalesce width
+// > 1; overload sheds with BUSY, not disconnects) are recorded in the
+// report; -sb-strict makes a missed target a non-zero exit.
 
 import (
 	"encoding/json"
@@ -63,18 +69,30 @@ import (
 // Cross-connection group commit then shows up in the ratio twice, as it
 // would on real hardware: many clients keep every shard busy, and the
 // per-commit protocol cost is amortised across the coalesced batch.
+// The global-batcher control arm additionally pays its architecture's
+// barrier: rounds are serialized — round k+1 cannot start until round k
+// commits on every shard it touched — so its simulated elapsed is the sum
+// over rounds of the busiest shard in each round (BarrierSimNS, sampled
+// by the server around every round), whichever of the three bounds binds.
 type ServerArm struct {
 	Name string `json:"name"`
 	loadgen.Result
 	Pipeline        int     `json:"pipeline"`
+	GlobalBatcher   bool    `json:"global_batcher,omitempty"`
 	EngineOps       int64   `json:"engine_ops"`
 	EngineBatches   int64   `json:"engine_batches"`
 	MeanCommitWidth float64 `json:"mean_commit_width"`
 	CoalesceMean    float64 `json:"server_submit_width_mean"`
-	SimMaxNS        int64   `json:"sim_max_ns"`
-	SimSumNS        int64   `json:"sim_sum_ns"`
-	SimElapsedNS    int64   `json:"sim_elapsed_ns"`
-	SimOpsPerSec    float64 `json:"sim_ops_per_sec"`
+	// ShardCoalesceMean / PipeOccupancyMean are the per-shard pipeline's
+	// round width and per-round connection join count (zero on the
+	// global-batcher arm, which has no per-shard rounds).
+	ShardCoalesceMean float64 `json:"shard_coalesce_mean,omitempty"`
+	PipeOccupancyMean float64 `json:"pipe_occupancy_mean,omitempty"`
+	BarrierSimNS      int64   `json:"barrier_sim_ns,omitempty"`
+	SimMaxNS          int64   `json:"sim_max_ns"`
+	SimSumNS          int64   `json:"sim_sum_ns"`
+	SimElapsedNS      int64   `json:"sim_elapsed_ns"`
+	SimOpsPerSec      float64 `json:"sim_ops_per_sec"`
 }
 
 // ServerBenchReport is the JSON document emitted by -serverbench.
@@ -93,11 +111,16 @@ type ServerBenchReport struct {
 	// SpeedupVs1Conn is the machine-independent (simulated) throughput
 	// ratio of the many-client arm over the 1-connection arm; WallSpeedup
 	// is the host wall-clock ratio for reference (≈1 on a 1-CPU host).
-	SpeedupVs1Conn float64  `json:"throughput_speedup_vs_1conn"`
-	WallSpeedup    float64  `json:"wall_speedup_vs_1conn"`
-	TargetSpeedup  float64  `json:"target_speedup"`
-	TargetsMet     bool     `json:"targets_met"`
-	Notes          []string `json:"notes,omitempty"`
+	SpeedupVs1Conn float64 `json:"throughput_speedup_vs_1conn"`
+	WallSpeedup    float64 `json:"wall_speedup_vs_1conn"`
+	TargetSpeedup  float64 `json:"target_speedup"`
+	// SpeedupVsGlobal is the A/B headline: the pipelined many-client
+	// arm's simulated write throughput over the global-batcher arm's on
+	// the same workload and config.
+	SpeedupVsGlobal       float64  `json:"throughput_speedup_vs_global"`
+	TargetSpeedupVsGlobal float64  `json:"target_speedup_vs_global"`
+	TargetsMet            bool     `json:"targets_met"`
+	Notes                 []string `json:"notes,omitempty"`
 }
 
 // serverBenchConfig carries the -sb-* flags.
@@ -121,14 +144,14 @@ type serverBenchConfig struct {
 
 // runServerArm opens a fresh KV+server, runs one loadgen arm against it,
 // and reports throughput plus the engine's commit-width delta.
-func runServerArm(name string, sc serverBenchConfig, conns, pipeline, maxInFlight int, scrapeNow bool) (ServerArm, error) {
-	arm := ServerArm{Name: name, Pipeline: pipeline}
+func runServerArm(name string, sc serverBenchConfig, conns, pipeline, maxInFlight int, global, scrapeNow bool) (ServerArm, error) {
+	arm := ServerArm{Name: name, Pipeline: pipeline, GlobalBatcher: global}
 	kv, err := fasp.OpenKV(fasp.Options{Shards: sc.shards, Scheme: sc.scheme, MaxBatch: sc.maxBatch, PageSize: sc.pageSize})
 	if err != nil {
 		return arm, err
 	}
 	defer kv.Close()
-	srv := server.New(kv, server.Config{MaxInFlight: maxInFlight})
+	srv := server.New(kv, server.Config{MaxInFlight: maxInFlight, GlobalBatcher: global})
 	addr, err := srv.Listen("127.0.0.1:0")
 	if err != nil {
 		return arm, err
@@ -156,12 +179,17 @@ func runServerArm(name string, sc serverBenchConfig, conns, pipeline, maxInFligh
 	if arm.EngineBatches > 0 {
 		arm.MeanCommitWidth = float64(arm.EngineOps) / float64(arm.EngineBatches)
 	}
-	arm.CoalesceMean = srv.Snapshot().Coalesce.Mean()
+	snap := srv.Snapshot()
+	arm.CoalesceMean = snap.Coalesce.Mean()
+	arm.ShardCoalesceMean = snap.ShardCoalesce.Mean()
+	arm.PipeOccupancyMean = snap.PipeOccupancy.Mean()
+	arm.BarrierSimNS = snap.BarrierSimNS
 	arm.SimMaxNS = st1.SimMaxNS - st0.SimMaxNS
 	arm.SimSumNS = st1.SimSumNS - st0.SimSumNS
 	// Makespan lower bound at the arm's offered concurrency (see the
 	// ServerArm doc comment): busiest shard, or total work spread over the
-	// shards the arm's in-flight ops can occupy, whichever binds.
+	// shards the arm's in-flight ops can occupy, whichever binds — and,
+	// on the global-batcher arm, the serialized-round barrier sum.
 	occupancy := conns * pipeline * sc.batchSize
 	if occupancy > sc.shards {
 		occupancy = sc.shards
@@ -172,6 +200,9 @@ func runServerArm(name string, sc serverBenchConfig, conns, pipeline, maxInFligh
 	arm.SimElapsedNS = arm.SimMaxNS
 	if work := arm.SimSumNS / int64(occupancy); work > arm.SimElapsedNS {
 		arm.SimElapsedNS = work
+	}
+	if arm.BarrierSimNS > arm.SimElapsedNS {
+		arm.SimElapsedNS = arm.BarrierSimNS
 	}
 	if arm.SimElapsedNS > 0 {
 		arm.SimOpsPerSec = float64(arm.EngineOps) / (float64(arm.SimElapsedNS) / 1e9)
@@ -228,14 +259,15 @@ func scrapeServerMetrics(addr string, scrape bool) error {
 // runServerBench runs all three arms and writes the report.
 func runServerBench(sc serverBenchConfig) error {
 	rep := ServerBenchReport{
-		Generated:     time.Now().UTC().Format(time.RFC3339),
-		GoVersion:     runtime.Version(),
-		CPUs:          runtime.NumCPU(),
-		Shards:        sc.shards,
-		ValueSize:     sc.valueSize,
-		Pipeline:      sc.pipeline,
-		BatchSize:     sc.batchSize,
-		TargetSpeedup: 4,
+		Generated:             time.Now().UTC().Format(time.RFC3339),
+		GoVersion:             runtime.Version(),
+		CPUs:                  runtime.NumCPU(),
+		Shards:                sc.shards,
+		ValueSize:             sc.valueSize,
+		Pipeline:              sc.pipeline,
+		BatchSize:             sc.batchSize,
+		TargetSpeedup:         4,
+		TargetSpeedupVsGlobal: 1.5,
 	}
 
 	report := func(a ServerArm) {
@@ -248,21 +280,30 @@ func runServerBench(sc serverBenchConfig) error {
 	// The baseline is the canonical single client: one connection, one
 	// request outstanding (pipeline 1), so every commit is the full
 	// serial round trip a lone caller experiences.
-	base, err := runServerArm("conns1", sc, 1, 1, 0, false)
+	base, err := runServerArm("conns1", sc, 1, 1, 0, false, false)
 	if err != nil {
 		return fmt.Errorf("conns1 arm: %w", err)
 	}
 	report(base)
 	rep.Arms = append(rep.Arms, base)
 
-	many, err := runServerArm(fmt.Sprintf("conns%d", sc.conns), sc, sc.conns, sc.pipeline, 0, true)
+	many, err := runServerArm(fmt.Sprintf("conns%d", sc.conns), sc, sc.conns, sc.pipeline, 0, false, true)
 	if err != nil {
 		return fmt.Errorf("many-client arm: %w", err)
 	}
 	report(many)
 	rep.Arms = append(rep.Arms, many)
 
-	over, err := runServerArm("overload", sc, sc.conns, sc.pipeline, sc.overInflit, false)
+	// A/B control: identical workload and config on the global-batcher
+	// fallback — the pre-pipeline architecture.
+	global, err := runServerArm("global", sc, sc.conns, sc.pipeline, 0, true, false)
+	if err != nil {
+		return fmt.Errorf("global-batcher arm: %w", err)
+	}
+	report(global)
+	rep.Arms = append(rep.Arms, global)
+
+	over, err := runServerArm("overload", sc, sc.conns, sc.pipeline, sc.overInflit, false, false)
 	if err != nil {
 		return fmt.Errorf("overload arm: %w", err)
 	}
@@ -286,6 +327,15 @@ func runServerBench(sc serverBenchConfig) error {
 	if many.MeanCommitWidth <= 1 {
 		miss("mean commit width %.2f at conns=%d not > 1", many.MeanCommitWidth, many.Conns)
 	}
+	if global.SimOpsPerSec > 0 {
+		rep.SpeedupVsGlobal = many.SimOpsPerSec / global.SimOpsPerSec
+	}
+	if rep.SpeedupVsGlobal < rep.TargetSpeedupVsGlobal {
+		miss("pipelined vs global speedup %.2fx < target %.1fx", rep.SpeedupVsGlobal, rep.TargetSpeedupVsGlobal)
+	}
+	if many.ShardCoalesceMean <= 1 {
+		miss("per-shard coalesce width %.2f in pipelined arm not > 1", many.ShardCoalesceMean)
+	}
 	if over.Busy == 0 {
 		miss("overload arm saw no BUSY sheds")
 	}
@@ -295,8 +345,9 @@ func runServerBench(sc serverBenchConfig) error {
 	if over.Errors != 0 {
 		miss("overload arm saw %d untyped errors", over.Errors)
 	}
-	fmt.Fprintf(os.Stderr, "speedup vs 1 conn: %.2fx (target %.0fx); targets met: %v %v\n",
-		rep.SpeedupVs1Conn, rep.TargetSpeedup, rep.TargetsMet, rep.Notes)
+	fmt.Fprintf(os.Stderr, "speedup vs 1 conn: %.2fx (target %.0fx); pipelined vs global: %.2fx (target %.1fx, shard width %.1f); targets met: %v %v\n",
+		rep.SpeedupVs1Conn, rep.TargetSpeedup, rep.SpeedupVsGlobal, rep.TargetSpeedupVsGlobal,
+		many.ShardCoalesceMean, rep.TargetsMet, rep.Notes)
 
 	out, err := json.MarshalIndent(&rep, "", "  ")
 	if err != nil {

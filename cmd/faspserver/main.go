@@ -28,6 +28,7 @@ func main() {
 	var (
 		addr     = flag.String("addr", "127.0.0.1:4440", "wire-protocol listen address")
 		mAddr    = flag.String("metrics-addr", "", "serve /metrics (Prometheus text) on this address")
+		pprofOn  = flag.Bool("pprof", false, "also mount net/http/pprof under /debug/pprof/ on the metrics address (off by default)")
 		shards   = flag.Int("shards", 8, "hash-partitioned shards")
 		scheme   = flag.String("scheme", "", "commit scheme (fast+, fast, nvwal, wal, journal; default fast+)")
 		pageSize = flag.Int("pagesize", 4096, "slotted-page size in bytes")
@@ -58,12 +59,22 @@ func main() {
 
 	var ms *fasp.MetricsServer
 	if *mAddr != "" {
-		ms, err = fasp.ServeMetrics(*mAddr)
+		if *pprofOn {
+			ms, err = fasp.ServeMetricsPprof(*mAddr)
+		} else {
+			ms, err = fasp.ServeMetrics(*mAddr)
+		}
 		if err != nil {
 			fmt.Fprintf(os.Stderr, "faspserver: metrics: %v\n", err)
 			os.Exit(1)
 		}
 		fmt.Printf("faspserver: metrics on http://%s/metrics\n", ms.Addr())
+		if *pprofOn {
+			fmt.Printf("faspserver: pprof on http://%s/debug/pprof/\n", ms.Addr())
+		}
+	} else if *pprofOn {
+		fmt.Fprintln(os.Stderr, "faspserver: -pprof requires -metrics-addr")
+		os.Exit(1)
 	}
 
 	srv := server.New(kv, server.Config{

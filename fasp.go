@@ -499,6 +499,44 @@ func (kv *KV) MaxBatch() int {
 	return kv.opts.MaxBatch
 }
 
+// ShardOf returns the shard index key routes to: the engine's FNV-1a
+// placement on a sharded store, always 0 on a single store. It is
+// deterministic and stable for the life of the store (the hash is part of
+// the on-disk contract), so callers may pre-partition work by shard —
+// the server's per-shard commit pipelines do exactly that.
+func (kv *KV) ShardOf(key []byte) int {
+	if kv.eng != nil {
+		return kv.eng.ShardFor(key)
+	}
+	return 0
+}
+
+// SubmitShard applies ops — every key must route to shard si under
+// ShardOf — as one submission on that shard's writer, blocking until errs
+// (len(ops)) is filled. It is the per-shard pipeline entry point: unlike
+// DoBatch there is no cross-shard barrier, and the request carries the
+// caller's slices directly (zero-copy), so the caller must not touch ops
+// or errs until it returns. On a single store it falls back to the locked
+// deterministic batch path.
+func (kv *KV) SubmitShard(si int, ops []Op, errs []error) {
+	if kv.eng != nil {
+		kv.eng.SubmitShard(si, ops, errs)
+		return
+	}
+	copy(errs, kv.ApplyBatch(ops))
+}
+
+// SimClocks fills dst (grown if needed) with each shard's simulated clock
+// as of its last completed mutation — the lock-free per-device time
+// samples the serving layer's makespan accounting needs. It returns nil
+// on a single store.
+func (kv *KV) SimClocks(dst []int64) []int64 {
+	if kv.eng != nil {
+		return kv.eng.SimClocks(dst)
+	}
+	return nil
+}
+
 // Put inserts or replaces key's value in one transaction — a single
 // upsert either way, so per-op phase accounting matches the sharded
 // path's OpPut (which has always upserted inside one transaction) instead
@@ -539,6 +577,18 @@ func (kv *KV) Get(key []byte) ([]byte, bool, error) {
 	v, ok, err := kv.tree.Get(key)
 	kv.endOp(sp, obsv.OpGet)
 	return v, ok, err
+}
+
+// GetInto is Get with a caller-supplied destination buffer: on a sharded
+// store's optimistic read path the value is appended to dst[:0], so a
+// steady-state reader that recycles its buffer performs no heap
+// allocation. The locked fallbacks (single store, unhealthy shard,
+// optimism disabled) ignore dst and allocate as Get does.
+func (kv *KV) GetInto(key, dst []byte) ([]byte, bool, error) {
+	if kv.eng != nil {
+		return kv.eng.GetInto(key, dst)
+	}
+	return kv.Get(key)
 }
 
 // Delete removes key.

@@ -2,36 +2,184 @@ package server
 
 import (
 	"runtime"
+	"sync/atomic"
 
 	"fasp"
 )
 
-// submission is one connection's flushed write-set: ops to commit, a
-// parallel error slice the batcher fills, and a reusable completion
-// channel. Each conn owns exactly one submission value and blocks on done
-// until its verdicts are in, so the buffers are safely reused per round.
+// submission is one connection's flushed write-set and its completion
+// join. Each conn owns exactly one submission value and blocks on done
+// until every verdict is in, so the buffers are safely reused per round.
+//
+// Under the per-shard pipelines (the default), ops/errs are laid out
+// shard-major and pending counts the shards still committing: each pipe
+// decrements it as its slice of the write-set commits, and the last one
+// signals done — the connection is acked as soon as *its* shards
+// complete, not when any global round does. Under Config.GlobalBatcher,
+// ops/errs are in request order, pending stays 0 and the single batcher
+// loop signals done directly.
 type submission struct {
-	ops  []fasp.Op
-	errs []error
-	done chan struct{}
+	ops     []fasp.Op
+	errs    []error
+	done    chan struct{}
+	pending atomic.Int32
 }
 
-// runBatcher is the server's cross-connection group-commit loop. Reader
-// goroutines never call the engine directly for writes: they enqueue
-// their write-sets here, and the batcher combines everything enqueued
-// into one KV.DoBatch — one engine submission, one set of per-shard
-// group commits, serving many connections.
+// shardSub is the slice of one connection's write-set bound for a single
+// shard: a view into the owning submission's shard-major ops/errs. Each
+// conn owns one shardSub per shard, reused across flushes — a value is in
+// flight only while its conn blocks on the submission join, so there is
+// never concurrent reuse.
+type shardSub struct {
+	si   int
+	ops  []fasp.Op
+	errs []error
+	sub  *submission
+}
+
+// runPipe is one shard's commit pipeline: accumulate a round of shardSubs
+// from the pipe channel, flatten, and commit it through the engine's
+// blocking per-shard entry point. Accumulation of round k+1 overlaps the
+// commit of round k naturally — while SubmitShard blocks in the shard's
+// writer, new sub-submissions queue on the pipe channel and are drained
+// into the next round the moment the commit returns — so the device-side
+// pipeline stays full without any cross-shard barrier: a slow shard stalls
+// only the connections that touched it.
+//
+// The accumulation spin (see Config.BatchSpin) mirrors the global
+// batcher's: a channel send readies the receiver ahead of the run queue,
+// so without a yield the first round after an idle period would commit at
+// width ~1 even with many runnable connections about to flush.
+func (s *Server) runPipe(si int) {
+	defer s.pipeWG.Done()
+	ch := s.pipes[si]
+	var (
+		round []*shardSub
+		ops   []fasp.Op
+		errs  []error
+	)
+	drain := func(n int) int {
+		for n < s.cfg.MaxCoalesce {
+			select {
+			case ss := <-ch:
+				round = append(round, ss)
+				n += len(ss.ops)
+			default:
+				return n
+			}
+		}
+		return n
+	}
+	for {
+		select {
+		case ss := <-ch:
+			round = append(round[:0], ss)
+			n := len(ss.ops)
+			for spin := 0; spin < s.spins && n < s.cfg.MaxCoalesce; spin++ {
+				runtime.Gosched()
+				n = drain(n)
+			}
+			n = drain(n)
+			s.commitShardRound(si, round, &ops, &errs)
+		case <-s.batchQuit:
+			// Serve any straggling sub-submissions, then exit. Shutdown
+			// closes batchQuit only after every connection reader has
+			// exited, so the channel can no longer grow.
+			for {
+				select {
+				case ss := <-ch:
+					round = append(round[:0], ss)
+					s.commitShardRound(si, round, &ops, &errs)
+				default:
+					return
+				}
+			}
+		}
+	}
+}
+
+// commitShardRound flattens one shard's round, commits it as one blocking
+// per-shard engine submission (the engine chunks oversized rounds at
+// MaxBatch internally, so a deep backlog still commits at full group
+// width), scatters the verdicts back, and resolves each submission whose
+// last shard this was. The single-sub round skips the flatten entirely
+// and hands the connection's slices straight to the engine — the
+// steady-state zero-copy path.
+func (s *Server) commitShardRound(si int, round []*shardSub, ops *[]fasp.Op, errs *[]error) {
+	if len(round) == 1 {
+		ss := round[0]
+		s.kv.SubmitShard(si, ss.ops, ss.errs)
+		s.met.coalesce.Observe(int64(len(ss.ops)))
+		s.met.shardCoalesce.Observe(int64(len(ss.ops)))
+		s.met.pipeOccupancy.Observe(1)
+		s.resolve(ss)
+		return
+	}
+	flat := (*ops)[:0]
+	for _, ss := range round {
+		flat = append(flat, ss.ops...)
+	}
+	ferrs := (*errs)[:0]
+	for range flat {
+		ferrs = append(ferrs, nil)
+	}
+	s.kv.SubmitShard(si, flat, ferrs)
+	s.met.coalesce.Observe(int64(len(flat)))
+	s.met.shardCoalesce.Observe(int64(len(flat)))
+	s.met.pipeOccupancy.Observe(int64(len(round)))
+	k := 0
+	for _, ss := range round {
+		copy(ss.errs, ferrs[k:k+len(ss.ops)])
+		k += len(ss.ops)
+		s.resolve(ss)
+	}
+	*ops, *errs = flat, ferrs
+}
+
+// resolve signals a sub-submission's completion join: the submission is
+// done when its last outstanding shard resolves.
+func (s *Server) resolve(ss *shardSub) {
+	if ss.sub.pending.Add(-1) == 0 {
+		ss.sub.done <- struct{}{}
+	}
+}
+
+// commitSharded submits a connection's partitioned write-set to the
+// per-shard pipelines and blocks until every involved shard's verdicts
+// are in. subs holds the per-shard views (only shards with ops are sent);
+// sub.pending was set by the caller. If the pipelines have already been
+// stopped (a straggler racing Shutdown), the remaining sub-submissions go
+// to the engine directly.
+func (s *Server) commitSharded(sub *submission, subs []*shardSub) {
+	for _, ss := range subs {
+		select {
+		case s.pipes[ss.si] <- ss:
+		case <-s.batchQuit:
+			s.kv.SubmitShard(ss.si, ss.ops, ss.errs)
+			s.resolve(ss)
+		}
+	}
+	<-sub.done
+}
+
+// runBatcher is the Config.GlobalBatcher fallback: the PR 7 single
+// cross-connection group-commit loop, kept for A/B comparison against the
+// per-shard pipelines. Reader goroutines enqueue their write-sets here,
+// and the batcher combines everything enqueued into one KV.DoBatch — one
+// engine submission fanned over every shard, with an all-shards barrier
+// per round: accumulation never overlaps commit, and the slowest shard in
+// a round stalls every connection in it.
 //
 // After the first submission of a round arrives, the batcher yields the
-// processor a couple of times (runtime.Gosched) before committing. The
+// processor (Config.BatchSpin times, default 2) before committing. The
 // yields matter: a channel send readies the receiver ahead of the run
 // queue, so without them the batcher would wake after a single enqueue
 // and commit width would collapse to ~1 under any load. Yielding lets
 // every runnable connection flush its write-set into the round first —
 // under load the round grows toward MaxCoalesce, while an idle server
-// pays only two scheduler yields of extra latency.
+// pays only the configured yields of extra latency.
 func (s *Server) runBatcher() {
-	defer close(s.batchDone)
+	defer s.pipeWG.Done()
 	var (
 		round []*submission
 		ops   []fasp.Op
@@ -53,7 +201,7 @@ func (s *Server) runBatcher() {
 		case sub := <-s.batchCh:
 			round = append(round[:0], sub)
 			n := len(sub.ops)
-			for spin := 0; spin < 2 && n < s.cfg.MaxCoalesce; spin++ {
+			for spin := 0; spin < s.spins && n < s.cfg.MaxCoalesce; spin++ {
 				runtime.Gosched()
 				n = drain(n)
 			}
@@ -76,13 +224,28 @@ func (s *Server) runBatcher() {
 }
 
 // commitRound flattens a round's submissions into one engine batch,
-// commits, and hands each connection its verdict slice.
+// commits, and hands each connection its verdict slice. Around the commit
+// it samples the engine's per-shard simulated clocks and accumulates the
+// round's barrier cost — the busiest shard's simulated time for this
+// round — into the barrier counter: rounds are strictly serial here, so
+// the sum over rounds of the per-round maximum is the simulated makespan
+// this architecture imposes, which is what the A/B benchmark charges the
+// fallback arm.
 func (s *Server) commitRound(round []*submission, ops *[]fasp.Op) {
 	flat := (*ops)[:0]
 	for _, sub := range round {
 		flat = append(flat, sub.ops...)
 	}
+	s.clk0 = s.kv.SimClocks(s.clk0)
 	errs := s.kv.DoBatch(flat)
+	s.clk1 = s.kv.SimClocks(s.clk1)
+	var barrier int64
+	for i := range s.clk1 {
+		if d := s.clk1[i] - s.clk0[i]; d > barrier {
+			barrier = d
+		}
+	}
+	s.met.barrierSimNS.Add(barrier)
 	s.met.coalesce.Observe(int64(len(flat)))
 	k := 0
 	for _, sub := range round {
@@ -93,10 +256,11 @@ func (s *Server) commitRound(round []*submission, ops *[]fasp.Op) {
 	*ops = flat
 }
 
-// commit submits one connection's write-set to the group-commit loop and
-// blocks until its verdicts are filled in. If the batcher has already
-// been stopped (a straggler round racing Shutdown), the write-set goes to
-// the engine directly — the engine's own Close contract then decides.
+// commit submits one connection's write-set to the global group-commit
+// loop and blocks until its verdicts are filled in. If the batcher has
+// already been stopped (a straggler round racing Shutdown), the write-set
+// goes to the engine directly — the engine's own Close contract then
+// decides.
 func (s *Server) commit(sub *submission) {
 	select {
 	case s.batchCh <- sub:

@@ -20,9 +20,13 @@ import (
 const maxScanBytes = 256 << 10
 
 // opRef is one deferred write op, as offsets into the connection's arena —
-// offsets, not subslices, because the arena reallocates as it grows.
+// offsets, not subslices, because the arena reallocates as it grows. si is
+// the op's shard placement, computed at decode time (the key bytes are
+// hashed before the arena copy) so the flush can partition the write-set
+// without re-hashing; unused under the global batcher.
 type opRef struct {
 	kind       uint8
+	si         int32
 	koff, klen int
 	voff, vlen int
 }
@@ -65,6 +69,19 @@ type conn struct {
 	codes []wire.Code // scratch for batch replies
 	sub   submission  // this connection's slot in the group-commit round
 	sess  *session    // bound by HELLO; nil until then
+	val   []byte      // GET fast-path value buffer (GetInto destination)
+
+	// Per-shard partition scratch (pipelined mode, all reused): order maps
+	// each ref's request-order index to its shard-major position in
+	// sub.ops (empty = identity, the global arm); counts/offs/cur are the
+	// per-shard bucket counters; ssubs holds one shardSub per shard and
+	// subsOut the non-empty ones sent to the pipes.
+	order   []int32
+	counts  []int32
+	offs    []int32
+	cur     []int32
+	ssubs   []shardSub
+	subsOut []*shardSub
 }
 
 func newConn(s *Server, c net.Conn) *conn {
@@ -211,7 +228,13 @@ func (cn *conn) process(op byte, payload []byte) (fatal bool) {
 			cn.shedBusy(op, t0)
 			return false
 		}
-		v, ok, err := cn.s.kv.Get(cn.req.Key)
+		// Fast path: answered right here on the reader goroutine — no pend,
+		// no batcher round trip — with the value read into the connection's
+		// reusable buffer (zero heap allocation at steady state).
+		v, ok, err := cn.s.kv.GetInto(cn.req.Key, cn.val[:0])
+		if cap(v) > cap(cn.val) {
+			cn.val = v
+		}
 		cn.s.release()
 		switch {
 		case err != nil:
@@ -314,6 +337,9 @@ func (cn *conn) deferWrite(op byte, t0 time.Time, ops ...wire.BatchOp) {
 	}
 	for _, b := range ops {
 		r := opRef{kind: b.Kind, koff: len(cn.arena), klen: len(b.Key)}
+		if cn.s.pipes != nil {
+			r.si = int32(cn.s.kv.ShardOf(b.Key))
+		}
 		cn.arena = append(cn.arena, b.Key...)
 		r.voff, r.vlen = len(cn.arena), len(b.Val)
 		cn.arena = append(cn.arena, b.Val...)
@@ -343,32 +369,34 @@ func verdictApplied(c wire.Code) bool {
 	return true
 }
 
-// flushWrites submits every deferred write op to the server's
-// cross-connection group-commit loop and emits the pending responses in
-// request order. The arena is reusable immediately after: commit blocks
-// until all verdicts are in, and the engine's writers copy what they
-// persist.
+// flushWrites submits every deferred write op — partitioned by shard to
+// the per-shard commit pipelines, or flat to the global group-commit loop
+// under Config.GlobalBatcher — and emits the pending responses in request
+// order. The arena and scratch are reusable immediately after: the commit
+// join blocks until every involved shard's verdicts are in, and the
+// engine's writers copy what they persist.
 func (cn *conn) flushWrites() {
 	if len(cn.pends) == 0 {
 		return
 	}
-	cn.ops = cn.ops[:0]
-	for _, r := range cn.refs {
-		o := fasp.Op{Kind: fasp.OpKind(r.kind), Key: cn.arena[r.koff : r.koff+r.klen]}
-		if fasp.OpKind(r.kind) != fasp.OpDelete {
-			o.Val = cn.arena[r.voff : r.voff+r.vlen]
-		}
-		cn.ops = append(cn.ops, o)
-	}
 	var errs []error
-	if len(cn.ops) > 0 {
-		cn.sub.ops = cn.ops
-		cn.sub.errs = cn.sub.errs[:0]
-		for range cn.ops {
-			cn.sub.errs = append(cn.sub.errs, nil)
+	cn.order = cn.order[:0] // empty order = request-order verdicts
+	if len(cn.refs) > 0 {
+		if cn.s.pipes != nil {
+			errs = cn.flushSharded()
+		} else {
+			cn.ops = cn.ops[:0]
+			for _, r := range cn.refs {
+				cn.ops = append(cn.ops, cn.materialise(&r))
+			}
+			cn.sub.ops = cn.ops
+			cn.sub.errs = cn.sub.errs[:0]
+			for range cn.ops {
+				cn.sub.errs = append(cn.sub.errs, nil)
+			}
+			cn.s.commit(&cn.sub)
+			errs = cn.sub.errs
 		}
-		cn.s.commit(&cn.sub)
-		errs = cn.sub.errs
 	}
 	vi := 0
 	admitted := 0
@@ -395,8 +423,8 @@ func (cn *conn) flushWrites() {
 			cn.codes = cn.codes[:0]
 			failed := false
 			applied = false
-			for _, err := range errs[vi : vi+p.nops] {
-				c := wire.CodeFor(err)
+			for j := 0; j < p.nops; j++ {
+				c := wire.CodeFor(cn.errAt(errs, vi+j))
 				if c != wire.CodeOK {
 					failed = true
 				}
@@ -412,7 +440,7 @@ func (cn *conn) flushWrites() {
 			}
 		default: // single PUT/DEL
 			admitted++
-			err := errs[vi]
+			err := cn.errAt(errs, vi)
 			vi++
 			if err == nil {
 				cn.out = wire.AppendOK(cn.out)
@@ -439,6 +467,88 @@ func (cn *conn) flushWrites() {
 	cn.pends = cn.pends[:0]
 	cn.refs = cn.refs[:0]
 	cn.arena = cn.arena[:0]
+}
+
+// materialise rebuilds one deferred op from its arena offsets.
+func (cn *conn) materialise(r *opRef) fasp.Op {
+	o := fasp.Op{Kind: fasp.OpKind(r.kind), Key: cn.arena[r.koff : r.koff+r.klen]}
+	if fasp.OpKind(r.kind) != fasp.OpDelete {
+		o.Val = cn.arena[r.voff : r.voff+r.vlen]
+	}
+	return o
+}
+
+// errAt reads verdict i of the current flush in request order, through
+// the shard-major order mapping when the write-set was partitioned.
+func (cn *conn) errAt(errs []error, i int) error {
+	if len(cn.order) == 0 {
+		return errs[i]
+	}
+	return errs[cn.order[i]]
+}
+
+// flushSharded partitions the deferred write-set by shard into one
+// shard-major ops/errs layout, submits each shard's slice to its commit
+// pipeline, and blocks on the multi-shard join. order records each
+// request-order op's shard-major position for the in-order response walk.
+// Everything here — buckets, layout, sub-submission values — is conn-owned
+// and reused, so a steady-state flush performs no heap allocation.
+func (cn *conn) flushSharded() []error {
+	ns := cn.s.nshards
+	cn.counts = cn.counts[:0]
+	for i := 0; i < ns; i++ {
+		cn.counts = append(cn.counts, 0)
+	}
+	for i := range cn.refs {
+		cn.counts[cn.refs[i].si]++
+	}
+	cn.offs, cn.cur = cn.offs[:0], cn.cur[:0]
+	var sum, nsubs int32
+	for _, c := range cn.counts {
+		cn.offs = append(cn.offs, sum)
+		cn.cur = append(cn.cur, sum)
+		sum += c
+		if c > 0 {
+			nsubs++
+		}
+	}
+	n := len(cn.refs)
+	cn.ops = cn.ops[:0]
+	cn.sub.errs = cn.sub.errs[:0]
+	for i := 0; i < n; i++ {
+		cn.ops = append(cn.ops, fasp.Op{})
+		cn.order = append(cn.order, 0)
+		cn.sub.errs = append(cn.sub.errs, nil)
+	}
+	for i := range cn.refs {
+		r := &cn.refs[i]
+		pos := cn.cur[r.si]
+		cn.cur[r.si] = pos + 1
+		cn.ops[pos] = cn.materialise(r)
+		cn.order[i] = pos
+	}
+	cn.sub.ops = cn.ops
+	cn.sub.pending.Store(nsubs)
+	if cap(cn.ssubs) < ns {
+		cn.ssubs = make([]shardSub, ns)
+	}
+	cn.ssubs = cn.ssubs[:ns]
+	cn.subsOut = cn.subsOut[:0]
+	for si := 0; si < ns; si++ {
+		c := cn.counts[si]
+		if c == 0 {
+			continue
+		}
+		ss := &cn.ssubs[si]
+		lo := cn.offs[si]
+		ss.si = si
+		ss.ops = cn.ops[lo : lo+c]
+		ss.errs = cn.sub.errs[lo : lo+c]
+		ss.sub = &cn.sub
+		cn.subsOut = append(cn.subsOut, ss)
+	}
+	cn.s.commitSharded(&cn.sub, cn.subsOut)
+	return cn.sub.errs
 }
 
 // appendError encodes an engine error with its wire code, shard pin, and

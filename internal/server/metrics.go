@@ -33,24 +33,38 @@ type metrics struct {
 	// coalesce observes the write-op count of every engine submission —
 	// the cross-connection group-commit width at the server layer.
 	coalesce obsv.Histogram
+	// shardCoalesce observes ops per per-shard commit round and
+	// pipeOccupancy the connection sub-submissions joined per round —
+	// the pipeline-health pair for the per-shard batcher loops.
+	shardCoalesce obsv.Histogram
+	pipeOccupancy obsv.Histogram
+	// barrierSimNS accumulates each global-batcher round's busiest-shard
+	// simulated time (the serialized-round makespan; zero under the
+	// pipelines). dedupBytes gauges cached dedup replies across sessions.
+	barrierSimNS atomic.Int64
+	dedupBytes   atomic.Int64
 }
 
 // snapshot renders the counters; inFlight/limit come from the gate.
 func (m *metrics) snapshot(inFlight, limit int) obsv.ServerSnapshot {
 	s := obsv.ServerSnapshot{
-		ConnsOpen:      m.connsOpen.Load(),
-		ConnsTotal:     m.connsTotal.Load(),
-		InFlight:       int64(inFlight),
-		InFlightLimit:  int64(limit),
-		RejectBusy:     m.rejBusy.Load(),
-		RejectShutdown: m.rejShutdown.Load(),
-		RejectProto:    m.rejProto.Load(),
-		Timeouts:       m.timeouts.Load(),
-		HealAttempts:   m.healAttempts.Load(),
-		HealFailures:   m.healFailures.Load(),
-		BytesIn:        m.bytesIn.Load(),
-		BytesOut:       m.bytesOut.Load(),
-		Coalesce:       m.coalesce.Snapshot(),
+		ConnsOpen:       m.connsOpen.Load(),
+		ConnsTotal:      m.connsTotal.Load(),
+		InFlight:        int64(inFlight),
+		InFlightLimit:   int64(limit),
+		RejectBusy:      m.rejBusy.Load(),
+		RejectShutdown:  m.rejShutdown.Load(),
+		RejectProto:     m.rejProto.Load(),
+		Timeouts:        m.timeouts.Load(),
+		HealAttempts:    m.healAttempts.Load(),
+		HealFailures:    m.healFailures.Load(),
+		BytesIn:         m.bytesIn.Load(),
+		BytesOut:        m.bytesOut.Load(),
+		Coalesce:        m.coalesce.Snapshot(),
+		ShardCoalesce:   m.shardCoalesce.Snapshot(),
+		PipeOccupancy:   m.pipeOccupancy.Snapshot(),
+		DedupCacheBytes: m.dedupBytes.Load(),
+		BarrierSimNS:    m.barrierSimNS.Load(),
 	}
 	for op := byte(1); op < wire.NumOps; op++ {
 		n := m.opCount[op].Load()

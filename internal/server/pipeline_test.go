@@ -1,0 +1,307 @@
+package server
+
+import (
+	"fmt"
+	"sync/atomic"
+	"testing"
+	"time"
+
+	"fasp"
+	"fasp/internal/server/loadgen"
+	"fasp/internal/server/wire"
+)
+
+// runMixedWorkload drives one deterministic mixed workload — cross-shard
+// BATCHes with logical verdicts, single PUT/DEL, overwrites — and returns
+// every batch verdict vector in issue order.
+func runMixedWorkload(t *testing.T, addr string) [][]wire.Code {
+	t.Helper()
+	cl := dial(t, addr)
+	var verdicts [][]wire.Code
+	for round := 0; round < 20; round++ {
+		ops := make([]wire.BatchOp, 0, 16)
+		for i := 0; i < 12; i++ {
+			k := []byte(fmt.Sprintf("mix-%02d-%02d", round, i))
+			switch i % 4 {
+			case 0:
+				ops = append(ops, wire.BatchOp{Kind: wire.KindPut, Key: k, Val: []byte(fmt.Sprintf("r%d", round))})
+			case 1:
+				ops = append(ops, wire.BatchOp{Kind: wire.KindInsert, Key: k, Val: []byte("ins")})
+			case 2: // duplicate insert of the previous key → CodeDup
+				prev := []byte(fmt.Sprintf("mix-%02d-%02d", round, i-1))
+				ops = append(ops, wire.BatchOp{Kind: wire.KindInsert, Key: prev, Val: []byte("dup")})
+			case 3: // update of a never-written key → CodeKeyAbsent
+				ops = append(ops, wire.BatchOp{Kind: wire.KindUpdate, Key: []byte(fmt.Sprintf("absent-%02d-%02d", round, i)), Val: []byte("x")})
+			}
+		}
+		codes, err := cl.Batch(ops)
+		if err != nil {
+			t.Fatalf("round %d batch: %v", round, err)
+		}
+		verdicts = append(verdicts, codes)
+		if err := cl.Put([]byte(fmt.Sprintf("solo-%02d", round)), []byte("s")); err != nil {
+			t.Fatalf("round %d put: %v", round, err)
+		}
+	}
+	// Interleave deletes so both arms exercise delete verdicts too.
+	if err := cl.Del([]byte("solo-00")); err != nil {
+		t.Fatalf("del: %v", err)
+	}
+	return verdicts
+}
+
+// scanAll collects the full keyspace through the wire protocol.
+func scanAll(t *testing.T, addr string) map[string]string {
+	t.Helper()
+	cl := dial(t, addr)
+	out := map[string]string{}
+	if err := cl.Scan(nil, nil, false, func(k, v []byte) bool {
+		out[string(k)] = string(v)
+		return true
+	}); err != nil {
+		t.Fatalf("scan: %v", err)
+	}
+	return out
+}
+
+// TestPipelinedVsGlobalEquivalence pins the A/B contract: the per-shard
+// pipelines and the global-batcher fallback produce byte-identical state
+// and identical request-order verdicts for the same workload — including
+// cross-shard BATCHes whose verdicts ride the shard-major order mapping.
+func TestPipelinedVsGlobalEquivalence(t *testing.T) {
+	_, _, addrPipe := start(t, fasp.Options{Shards: 8}, Config{})
+	_, _, addrGlob := start(t, fasp.Options{Shards: 8}, Config{GlobalBatcher: true})
+
+	vPipe := runMixedWorkload(t, addrPipe)
+	vGlob := runMixedWorkload(t, addrGlob)
+	if len(vPipe) != len(vGlob) {
+		t.Fatalf("verdict rounds: %d vs %d", len(vPipe), len(vGlob))
+	}
+	for r := range vPipe {
+		for i := range vPipe[r] {
+			if vPipe[r][i] != vGlob[r][i] {
+				t.Fatalf("round %d verdict %d: pipelined %v, global %v", r, i, vPipe[r][i], vGlob[r][i])
+			}
+		}
+	}
+
+	sPipe, sGlob := scanAll(t, addrPipe), scanAll(t, addrGlob)
+	if len(sPipe) != len(sGlob) {
+		t.Fatalf("keyspace size: %d vs %d", len(sPipe), len(sGlob))
+	}
+	for k, v := range sPipe {
+		if sGlob[k] != v {
+			t.Fatalf("key %q: pipelined %q, global %q", k, v, sGlob[k])
+		}
+	}
+}
+
+// TestCrossShardBatchVerdictOrder pins the order mapping directly: one
+// BATCH whose keys hash to many shards gets its per-op codes back in
+// request order, not shard-major order.
+func TestCrossShardBatchVerdictOrder(t *testing.T) {
+	_, kv, addr := start(t, fasp.Options{Shards: 8}, Config{})
+	cl := dial(t, addr)
+
+	// Seed one key so the batch can hit a deliberate duplicate.
+	if err := cl.Put([]byte("seeded"), []byte("v")); err != nil {
+		t.Fatalf("seed: %v", err)
+	}
+	shards := map[int]bool{}
+	ops := make([]wire.BatchOp, 0, 64)
+	want := make([]wire.Code, 0, 64)
+	for i := 0; i < 64; i++ {
+		k := []byte(fmt.Sprintf("xs-%03d", i))
+		shards[kv.ShardOf(k)] = true
+		switch {
+		case i%7 == 3: // dup insert, interleaved mid-batch
+			ops = append(ops, wire.BatchOp{Kind: wire.KindInsert, Key: []byte("seeded"), Val: []byte("dup")})
+			want = append(want, wire.CodeDup)
+		case i%7 == 5: // absent update
+			ops = append(ops, wire.BatchOp{Kind: wire.KindUpdate, Key: k, Val: []byte("x")})
+			want = append(want, wire.CodeKeyAbsent)
+		default:
+			ops = append(ops, wire.BatchOp{Kind: wire.KindPut, Key: k, Val: []byte(fmt.Sprintf("%d", i))})
+			want = append(want, wire.CodeOK)
+		}
+	}
+	if len(shards) < 2 {
+		t.Fatalf("workload only touched %d shards; key scheme too narrow", len(shards))
+	}
+	codes, err := cl.Batch(ops)
+	if err != nil {
+		t.Fatalf("batch: %v", err)
+	}
+	for i := range want {
+		if codes[i] != want[i] {
+			t.Fatalf("code[%d] = %v, want %v (batch spanned %d shards)", i, codes[i], want[i], len(shards))
+		}
+	}
+	// Values landed where request order says they should.
+	for i := 0; i < 64; i++ {
+		if i%7 == 3 || i%7 == 5 {
+			continue
+		}
+		v, ok, err := cl.Get([]byte(fmt.Sprintf("xs-%03d", i)))
+		if err != nil || !ok || string(v) != fmt.Sprintf("%d", i) {
+			t.Fatalf("xs-%03d = %q ok=%v err=%v", i, v, ok, err)
+		}
+	}
+}
+
+// TestShardPipelineWidth drives concurrent pipelined load and asserts the
+// per-shard commit rounds actually coalesce: shard-round width above 1 and
+// multi-connection round occupancy observed.
+func TestShardPipelineWidth(t *testing.T) {
+	srv, _, addr := start(t, fasp.Options{Shards: 4}, Config{})
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: addr, Conns: 16, Pipeline: 16, Duration: 400 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.ConnDrops != 0 || res.Errors != 0 {
+		t.Fatalf("drops=%d errors=%d", res.ConnDrops, res.Errors)
+	}
+	snap := srv.Snapshot()
+	if snap.ShardCoalesce.Count == 0 {
+		t.Fatal("no per-shard commit rounds observed")
+	}
+	if mean := snap.ShardCoalesce.Mean(); mean <= 1 {
+		t.Fatalf("per-shard rounds coalesced nothing: mean width %.2f", mean)
+	}
+	if snap.PipeOccupancy.Count == 0 {
+		t.Fatal("no pipeline occupancy observed")
+	}
+	if snap.BarrierSimNS != 0 {
+		t.Fatalf("pipelined arm accumulated barrier time: %d", snap.BarrierSimNS)
+	}
+}
+
+// TestBatchSpinNone pins the BatchSpin knob at its -1 sentinel (no
+// accumulation yields at all): rounds still commit, verdicts are still
+// correct, and the width histogram still records every round.
+func TestBatchSpinNone(t *testing.T) {
+	srv, _, addr := start(t, fasp.Options{Shards: 4}, Config{BatchSpin: -1})
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: addr, Conns: 8, Pipeline: 8, Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.ConnDrops != 0 || res.Errors != 0 {
+		t.Fatalf("drops=%d errors=%d", res.ConnDrops, res.Errors)
+	}
+	snap := srv.Snapshot()
+	if snap.ShardCoalesce.Count == 0 {
+		t.Fatal("spin=none recorded no commit rounds")
+	}
+	// Without the accumulation yields width can legitimately collapse
+	// toward 1; the knob trades coalescing for latency. Only sanity-bound
+	// it — the round count must cover the ops served.
+	if snap.ShardCoalesce.Mean() < 1 {
+		t.Fatalf("impossible mean width %.2f", snap.ShardCoalesce.Mean())
+	}
+}
+
+// TestGlobalBatcherBarrierAccounting pins the A/B instrumentation: the
+// global-batcher arm attributes each round's busiest-shard simulated time
+// to fasp_server_barrier_sim_ns_total.
+func TestGlobalBatcherBarrierAccounting(t *testing.T) {
+	srv, _, addr := start(t, fasp.Options{Shards: 8}, Config{GlobalBatcher: true})
+	res, err := loadgen.Run(loadgen.Config{
+		Addr: addr, Conns: 8, Pipeline: 8, Duration: 300 * time.Millisecond,
+	})
+	if err != nil {
+		t.Fatalf("loadgen: %v", err)
+	}
+	if res.ConnDrops != 0 || res.Errors != 0 {
+		t.Fatalf("drops=%d errors=%d", res.ConnDrops, res.Errors)
+	}
+	snap := srv.Snapshot()
+	if snap.BarrierSimNS == 0 {
+		t.Fatal("global batcher accumulated no barrier simulated time")
+	}
+	if snap.ShardCoalesce.Count != 0 {
+		t.Fatal("global batcher observed per-shard pipeline rounds")
+	}
+}
+
+// TestDedupCacheByteBudget unit-tests the per-session reply-byte budget:
+// completed replies past the budget are evicted oldest-first, the
+// server-wide gauge tracks exactly the cached bytes, and an evicted
+// token's replay re-executes as fresh.
+func TestDedupCacheByteBudget(t *testing.T) {
+	var gauge atomic.Int64
+	tbl := newSessionTable(4, 64, 64) // 64-byte budget
+	tbl.bytes = &gauge
+	ss := tbl.get(1)
+
+	reply := make([]byte, 24)
+	for seq := uint64(1); seq <= 5; seq++ {
+		e, st := ss.begin(seq)
+		if st != seqFresh {
+			t.Fatalf("seq %d: state %v", seq, st)
+		}
+		_ = e
+		ss.complete(seq, reply)
+	}
+	ss.mu.Lock()
+	cached := ss.cached
+	ss.mu.Unlock()
+	if cached > 64 {
+		t.Fatalf("cached %d bytes > 64 budget", cached)
+	}
+	if g := gauge.Load(); g != cached {
+		t.Fatalf("gauge %d != session cached %d", g, cached)
+	}
+
+	// Oldest tokens were evicted; their replay re-executes as fresh.
+	if _, st := ss.begin(1); st != seqFresh {
+		t.Fatalf("evicted token replay state %v, want fresh", st)
+	}
+	// Newest token is still served from cache.
+	if _, st := ss.begin(5); st != seqDone {
+		t.Fatalf("newest token state %v, want done", st)
+	}
+
+	// Session-table eviction returns the victim's bytes to the gauge.
+	for id := uint64(2); id <= 6; id++ {
+		tbl.get(id)
+	}
+	// With capacity 4 and 6 distinct ids, at least two sessions were
+	// evicted; if session 1 was among them its bytes left the gauge.
+	tbl.mu.Lock()
+	_, alive := tbl.m[1]
+	tbl.mu.Unlock()
+	if !alive {
+		ss.mu.Lock()
+		left := ss.cached
+		ss.mu.Unlock()
+		if left != 0 {
+			t.Fatalf("evicted session still accounts %d bytes", left)
+		}
+	}
+	if g := gauge.Load(); g < 0 {
+		t.Fatalf("gauge went negative: %d", g)
+	}
+}
+
+// TestDedupBudgetUnbounded pins the -1 sentinel: no byte eviction, every
+// completed reply stays cached within the token window.
+func TestDedupBudgetUnbounded(t *testing.T) {
+	tbl := newSessionTable(4, 64, -1)
+	ss := tbl.get(1)
+	reply := make([]byte, 100)
+	for seq := uint64(1); seq <= 10; seq++ {
+		if _, st := ss.begin(seq); st != seqFresh {
+			t.Fatalf("seq %d: %v", seq, st)
+		}
+		ss.complete(seq, reply)
+	}
+	for seq := uint64(1); seq <= 10; seq++ {
+		if _, st := ss.begin(seq); st != seqDone {
+			t.Fatalf("seq %d evicted under unbounded budget: %v", seq, st)
+		}
+	}
+}

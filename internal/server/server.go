@@ -88,6 +88,22 @@ type Config struct {
 	DedupWindow int
 	// MaxSessions bounds the session table (default 1024).
 	MaxSessions int
+	// DedupCacheBytes bounds the reply bytes one session may cache for
+	// exactly-once replays (default 256 KiB; -1 = unbounded). Over budget,
+	// the oldest completed entries are evicted cache-first: a victim's
+	// replay re-executes, exactly as if it had crossed a server restart.
+	DedupCacheBytes int
+	// GlobalBatcher selects the single global group-commit loop (the PR 7
+	// design, kept as the A/B fallback arm) instead of the default
+	// per-shard commit pipelines. The global loop commits rounds with an
+	// all-shards barrier: accumulation never overlaps commit, and the
+	// slowest shard in a round stalls every connection in it.
+	GlobalBatcher bool
+	// BatchSpin is the number of runtime.Gosched accumulation yields a
+	// batcher (global loop or per-shard pipe) performs after a round's
+	// first submission arrives, letting runnable connections flush into
+	// the round before it commits (0 = default 2, -1 = none).
+	BatchSpin int
 }
 
 func (c *Config) fill() {
@@ -118,6 +134,12 @@ func (c *Config) fill() {
 	if c.MaxSessions <= 0 {
 		c.MaxSessions = 1024
 	}
+	if c.DedupCacheBytes == 0 {
+		c.DedupCacheBytes = 256 << 10
+	}
+	if c.BatchSpin == 0 {
+		c.BatchSpin = 2
+	}
 }
 
 // ErrServerClosed is returned by Serve after Shutdown completes the drain.
@@ -137,6 +159,19 @@ type Server struct {
 	batchCh   chan *submission
 	batchQuit chan struct{}
 	batchDone chan struct{}
+	pipeWG    sync.WaitGroup
+
+	// pipes are the per-shard commit pipelines (nil under GlobalBatcher):
+	// pipes[si] carries sub-submissions whose keys route to shard si.
+	// spins is the normalised Config.BatchSpin; nshards mirrors the KV's
+	// shard count for the conn partitioners.
+	pipes   []chan *shardSub
+	spins   int
+	nshards int
+
+	// clk0/clk1 are the global batcher's per-shard sim-clock scratch for
+	// the barrier accounting (touched only by the runBatcher goroutine).
+	clk0, clk1 []int64
 
 	mu    sync.Mutex
 	conns map[net.Conn]struct{}
@@ -165,9 +200,31 @@ func New(kv *fasp.KV, cfg Config) *Server {
 		batchCh:   make(chan *submission, 1024),
 		batchQuit: make(chan struct{}),
 		batchDone: make(chan struct{}),
-		sessions:  newSessionTable(cfg.MaxSessions, cfg.DedupWindow),
+		sessions:  newSessionTable(cfg.MaxSessions, cfg.DedupWindow, cfg.DedupCacheBytes),
 	}
-	go s.runBatcher()
+	s.sessions.bytes = &s.met.dedupBytes
+	s.spins = cfg.BatchSpin
+	if s.spins < 0 {
+		s.spins = 0
+	}
+	s.nshards = kv.Shards()
+	if cfg.GlobalBatcher {
+		s.pipeWG.Add(1)
+		go s.runBatcher()
+	} else {
+		s.pipes = make([]chan *shardSub, s.nshards)
+		for si := range s.pipes {
+			s.pipes[si] = make(chan *shardSub, 1024)
+		}
+		s.pipeWG.Add(len(s.pipes))
+		for si := range s.pipes {
+			go s.runPipe(si)
+		}
+	}
+	go func() {
+		s.pipeWG.Wait()
+		close(s.batchDone)
+	}()
 	if cfg.AutoHeal {
 		s.healQuit = make(chan struct{})
 		s.healDone = make(chan struct{})

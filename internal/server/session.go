@@ -2,6 +2,7 @@ package server
 
 import (
 	"sync"
+	"sync/atomic"
 )
 
 // Session-scoped sequence-token dedup — the server half of the client retry
@@ -51,12 +52,35 @@ type seqEntry struct {
 	reply []byte
 }
 
-// session is one client session's dedup window.
+// session is one client session's dedup window. Cached replies are
+// bounded twice: by token count (window) and by bytes (budget) — doneq
+// records completed tokens in completion order, and complete() evicts
+// oldest-first past the byte budget. An evicted token's replay simply
+// re-executes, the same semantics as crossing a server restart; the ops
+// the retry layer replays are safe to re-apply by contract.
 type session struct {
 	mu      sync.Mutex
 	win     map[uint64]*seqEntry
 	maxDone uint64 // highest completed token
 	window  uint64
+	budget  int64    // cached-reply byte budget (0 = unbounded)
+	cached  int64    // reply bytes currently cached
+	doneq   []uint64 // completed tokens, oldest first (byte-eviction order)
+
+	// bytes is the server-wide dedup-cache gauge
+	// (fasp_server_dedup_cache_bytes); nil in bare tests.
+	bytes *atomic.Int64
+}
+
+// uncache drops a cached reply's bytes from the session and server
+// accounting. Callers hold ss.mu.
+func (ss *session) uncache(e *seqEntry) {
+	if n := int64(len(e.reply)); n > 0 {
+		ss.cached -= n
+		if ss.bytes != nil {
+			ss.bytes.Add(-n)
+		}
+	}
 }
 
 // begin resolves one token. The caller must not hold any session lock.
@@ -96,6 +120,11 @@ func (ss *session) complete(seq uint64, reply []byte) {
 		return
 	}
 	e.reply = append(make([]byte, 0, len(reply)), reply...)
+	ss.cached += int64(len(e.reply))
+	if ss.bytes != nil {
+		ss.bytes.Add(int64(len(e.reply)))
+	}
+	ss.doneq = append(ss.doneq, seq)
 	if seq > ss.maxDone {
 		ss.maxDone = seq
 	}
@@ -110,10 +139,40 @@ func (ss *session) complete(seq uint64, reply []byte) {
 			}
 			select {
 			case <-old.done:
+				ss.uncache(old)
 				delete(ss.win, k)
 			default: // still in flight; keep
 			}
 		}
+	}
+	// Byte budget: evict completed entries oldest-first until under. A
+	// doneq token whose entry is gone (window eviction, cancel re-arm) is
+	// just skipped.
+	for ss.budget > 0 && ss.cached > ss.budget && len(ss.doneq) > 0 {
+		k := ss.doneq[0]
+		ss.doneq = ss.doneq[1:]
+		old := ss.win[k]
+		if old == nil || old.reply == nil {
+			continue
+		}
+		select {
+		case <-old.done:
+		default:
+			continue // re-armed as fresh; not evictable
+		}
+		ss.uncache(old)
+		delete(ss.win, k)
+	}
+	// Compact doneq once it is dominated by dead tokens, so the queue
+	// cannot outgrow the window it tracks.
+	if len(ss.doneq) > 2*len(ss.win)+16 {
+		q := ss.doneq[:0]
+		for _, k := range ss.doneq {
+			if old := ss.win[k]; old != nil && old.reply != nil {
+				q = append(q, k)
+			}
+		}
+		ss.doneq = q
 	}
 	ss.mu.Unlock()
 }
@@ -137,13 +196,22 @@ type sessionTable struct {
 	m      map[uint64]*session
 	cap    int
 	window uint64
+	budget int64 // per-session cached-reply byte budget (0 = unbounded)
+
+	// bytes is the server-wide dedup-cache gauge, shared with every
+	// session (nil in bare tests).
+	bytes *atomic.Int64
 }
 
-func newSessionTable(capacity, window int) *sessionTable {
+func newSessionTable(capacity, window, budgetBytes int) *sessionTable {
+	if budgetBytes < 0 { // -1: explicitly unbounded
+		budgetBytes = 0
+	}
 	return &sessionTable{
 		m:      make(map[uint64]*session),
 		cap:    capacity,
 		window: uint64(window),
+		budget: int64(budgetBytes),
 	}
 }
 
@@ -157,12 +225,19 @@ func (t *sessionTable) get(id uint64) *session {
 		return ss
 	}
 	if len(t.m) >= t.cap {
-		for k := range t.m {
+		for k, victim := range t.m {
+			// The victim's cached bytes leave the server-wide gauge with it.
+			victim.mu.Lock()
+			if victim.cached > 0 && t.bytes != nil {
+				t.bytes.Add(-victim.cached)
+				victim.cached = 0
+			}
+			victim.mu.Unlock()
 			delete(t.m, k)
 			break
 		}
 	}
-	ss := &session{win: make(map[uint64]*seqEntry), window: t.window}
+	ss := &session{win: make(map[uint64]*seqEntry), window: t.window, budget: t.budget, bytes: t.bytes}
 	t.m[id] = ss
 	return ss
 }

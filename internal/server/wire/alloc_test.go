@@ -1,0 +1,86 @@
+package wire
+
+import (
+	"bufio"
+	"bytes"
+	"testing"
+)
+
+// Alloc-regression pins for the wire hot path. Budgets are exact: the
+// encoders append into caller buffers and the decoders alias the frame
+// buffer, so once the reusable buffers have warmed to capacity a steady
+// request costs zero heap allocations in this package. A regression here
+// fails CI — if a change legitimately needs an allocation, move it off
+// the per-request path or re-justify the budget in this file.
+
+// TestEncodeAllocFree pins the request/response encoders at zero
+// allocations per frame once dst has capacity.
+func TestEncodeAllocFree(t *testing.T) {
+	key, val := []byte("alloc-pin-key"), bytes.Repeat([]byte("v"), 64)
+	batch := []BatchOp{
+		{Kind: KindPut, Key: key, Val: val},
+		{Kind: KindInsert, Key: key, Val: val},
+		{Kind: KindDelete, Key: key},
+	}
+	codes := []Code{CodeOK, CodeDup, CodeKeyAbsent}
+	buf := make([]byte, 0, 4096)
+
+	cases := []struct {
+		name string
+		fn   func()
+	}{
+		{"AppendGet", func() { buf = AppendGet(buf[:0], key) }},
+		{"AppendPut", func() { buf = AppendPut(buf[:0], key, val) }},
+		{"AppendDel", func() { buf = AppendDel(buf[:0], key) }},
+		{"AppendBatch", func() { buf = AppendBatch(buf[:0], batch) }},
+		{"AppendPutSeq", func() { buf = AppendPutSeq(buf[:0], 42, key, val) }},
+		{"AppendOK", func() { buf = AppendOK(buf[:0]) }},
+		{"AppendValue", func() { buf = AppendValue(buf[:0], CodeOK, val) }},
+		{"AppendBatchReply", func() { buf = AppendBatchReply(buf[:0], codes) }},
+		{"AppendErr", func() { buf = AppendErr(buf[:0], CodeBusy, 3, 5, "overloaded") }},
+	}
+	for _, tc := range cases {
+		if n := testing.AllocsPerRun(200, tc.fn); n != 0 {
+			t.Errorf("%s: %.1f allocs/frame, budget 0", tc.name, n)
+		}
+	}
+}
+
+// TestDecodeAllocFree pins ReadFrame + ParseRequest at zero allocations
+// per frame once the frame buffer and req.Ops have warmed to capacity.
+func TestDecodeAllocFree(t *testing.T) {
+	key, val := []byte("alloc-pin-key"), bytes.Repeat([]byte("v"), 64)
+	var stream []byte
+	stream = AppendPut(stream, key, val)
+	stream = AppendGet(stream, key)
+	stream = AppendBatch(stream, []BatchOp{
+		{Kind: KindPut, Key: key, Val: val},
+		{Kind: KindDelete, Key: key},
+	})
+	nframes := 3
+
+	src := bytes.NewReader(stream)
+	br := bufio.NewReader(src)
+	buf := make([]byte, 0, 4096)
+	var req Request
+	req.Ops = make([]BatchOp, 0, 8)
+
+	decodeStream := func() {
+		src.Reset(stream)
+		br.Reset(src)
+		for i := 0; i < nframes; i++ {
+			op, payload, nbuf, err := ReadFrame(br, 0, buf)
+			if err != nil {
+				t.Fatalf("ReadFrame: %v", err)
+			}
+			buf = nbuf
+			if err := ParseRequest(op, payload, &req); err != nil {
+				t.Fatalf("ParseRequest: %v", err)
+			}
+		}
+	}
+	decodeStream() // warm buffers
+	if n := testing.AllocsPerRun(200, decodeStream); n != 0 {
+		t.Errorf("decode stream: %.1f allocs, budget 0 (3 frames)", n)
+	}
+}

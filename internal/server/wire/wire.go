@@ -179,11 +179,24 @@ func ReadFrame(br *bufio.Reader, max int, buf []byte) (op byte, payload []byte, 
 	if max <= 0 {
 		max = DefaultMaxFrame
 	}
-	var hdr [4]byte
-	if _, err := io.ReadFull(br, hdr[:]); err != nil {
+	// Peek+Discard instead of ReadFull into a local array: the array would
+	// escape through the io.Reader interface and cost one heap allocation
+	// per frame (pinned at zero by TestDecodeAllocFree).
+	hdr, err := br.Peek(4)
+	if len(hdr) < 4 {
+		if err == io.EOF {
+			if len(hdr) == 0 {
+				return 0, nil, buf, io.EOF
+			}
+			err = io.ErrUnexpectedEOF
+		}
+		if err == nil {
+			err = io.ErrUnexpectedEOF
+		}
 		return 0, nil, buf, err
 	}
-	n := binary.BigEndian.Uint32(hdr[:])
+	n := binary.BigEndian.Uint32(hdr)
+	br.Discard(4)
 	if n < 1 {
 		return 0, nil, buf, fmt.Errorf("%w: zero-length frame", ErrMalformed)
 	}

@@ -95,8 +95,10 @@ func (s *state) beginMutate() {
 	}
 }
 
-// endMutate closes the write gate (sequence back to even).
+// endMutate closes the write gate (sequence back to even) and publishes
+// the machine's simulated clock into the lock-free mirror (SimClocks).
 func (s *state) endMutate() {
+	s.simNow.Store(s.be.Sys.Clock().Now())
 	s.seq.Add(1)
 }
 
@@ -164,7 +166,16 @@ func readBackoff(attempt int) {
 
 // Get reads a key from its shard, optimistically when possible.
 func (e *Engine) Get(key []byte) ([]byte, bool, error) {
-	return e.shards[e.ShardFor(key)].get(key)
+	return e.shards[e.ShardFor(key)].get(key, nil)
+}
+
+// GetInto is Get with a caller-supplied destination buffer: the value is
+// appended to dst[:0], so a steady-state reader with a large enough
+// buffer performs no heap allocation on the optimistic path. The locked
+// fallback (unhealthy shard, optimism disabled, no snapshot reader)
+// ignores dst and allocates as Get does.
+func (e *Engine) GetInto(key, dst []byte) ([]byte, bool, error) {
+	return e.shards[e.ShardFor(key)].get(key, dst)
 }
 
 // get serves one point read. The optimistic path registers in the read
@@ -174,7 +185,7 @@ func (e *Engine) Get(key []byte) ([]byte, bool, error) {
 // bounded backoff; unhealthy shards, disabled optimism and stores without a
 // snapshot reader fall back to the locked path, which owns the canonical
 // error behaviour (ErrCrashed, wrapped ErrShardDown).
-func (s *state) get(key []byte) ([]byte, bool, error) {
+func (s *state) get(key, dst []byte) ([]byte, bool, error) {
 	var t0 time.Time
 	if s.rec != nil {
 		t0 = time.Now()
@@ -189,7 +200,7 @@ func (s *state) get(key []byte) ([]byte, bool, error) {
 			s.rec.ObserveReadPath(false, attempt)
 			return s.lockedGet(key)
 		}
-		val, ok, err := v.Get(key, nil)
+		val, ok, err := v.Get(key, dst)
 		cost := v.Cost()
 		s.releaseView(v)
 		if s.rec != nil {

@@ -111,7 +111,10 @@ func (e *Engine) submit(si int, ops []Op, out []error) {
 	}
 	r := reqPool.Get().(*request)
 	r.ops = append(r.ops[:0], ops...)
-	r.errs = append(r.errs[:0], make([]error, len(ops))...)
+	r.errs = r.errs[:0]
+	for range ops {
+		r.errs = append(r.errs, nil)
+	}
 	if !e.enqueue(s, r) {
 		cause := ErrBusy
 		if e.closed.Load() {
@@ -140,6 +143,74 @@ func (e *Engine) submit(si int, ops []Op, out []error) {
 	reqPool.Put(r)
 	if s.rec != nil {
 		// Client-perceived wall latency: queueing plus the group commit.
+		wall := time.Since(t0).Nanoseconds()
+		for i := range ops {
+			s.rec.ObserveWall(kindOp[ops[i].Kind], int32(s.id), wall)
+		}
+	}
+}
+
+// ownedReqPool pools requests whose ops/errs slices are caller-owned for
+// the duration of the call (SubmitShard) rather than copied in. Kept
+// separate from reqPool so its recycled requests never carry stale
+// capacity expectations between the two call styles.
+var ownedReqPool = sync.Pool{New: func() any {
+	return &request{done: make(chan struct{}, 1)}
+}}
+
+// SubmitShard enqueues ops — every key must route to shard si under
+// ShardFor; placement is the caller's contract — as one submission on
+// that shard's mailbox and blocks until the writer fills errs
+// (len(ops)). Unlike submit it is zero-copy: the request carries the
+// caller's slices directly, so the caller must not touch ops or errs
+// until SubmitShard returns. This is the per-shard commit-pipeline entry
+// point: N independent callers keep N writers busy with no cross-shard
+// barrier, and a caller's next round can be accumulating while this one
+// commits.
+//
+// Failure behaviour matches submit: a mailbox full past the enqueue
+// timeout fails every op with ErrBusy, submissions racing or following
+// Close fail with ErrClosed, and a request that slipped into the mailbox
+// after the writer's final drain is abandoned (its request value stays
+// out of the pool — the dead mailbox still references it).
+func (e *Engine) SubmitShard(si int, ops []Op, errs []error) {
+	s := e.shards[si]
+	var t0 time.Time
+	if s.rec != nil {
+		t0 = time.Now()
+	}
+	if e.closed.Load() {
+		failAll(s, errs, ErrClosed)
+		return
+	}
+	r := ownedReqPool.Get().(*request)
+	r.ops, r.errs = ops, errs
+	if !e.enqueue(s, r) {
+		cause := ErrBusy
+		if e.closed.Load() {
+			cause = ErrClosed
+		}
+		r.ops, r.errs = nil, nil
+		ownedReqPool.Put(r)
+		failAll(s, errs, cause)
+		return
+	}
+	select {
+	case <-r.done:
+	case <-s.done:
+		// Same race as submit: the writer's shutdown path drains the
+		// backlog before closing done, so the reply may already be
+		// buffered; otherwise the request will never be served.
+		select {
+		case <-r.done:
+		default:
+			failAll(s, errs, ErrClosed)
+			return
+		}
+	}
+	r.ops, r.errs = nil, nil
+	ownedReqPool.Put(r)
+	if s.rec != nil {
 		wall := time.Since(t0).Nanoseconds()
 		for i := range ops {
 			s.rec.ObserveWall(kindOp[ops[i].Kind], int32(s.id), wall)

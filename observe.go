@@ -7,6 +7,7 @@ import (
 	"io"
 	"net"
 	"net/http"
+	"net/http/pprof"
 	"sort"
 	"strings"
 	"sync"
@@ -233,6 +234,18 @@ func (m *MetricsServer) Close() error { return m.srv.Close() }
 // Pass ":0" to bind an ephemeral port (Addr reports it). The returned
 // server runs until Close.
 func ServeMetrics(addr string) (*MetricsServer, error) {
+	return serveMetrics(addr, false)
+}
+
+// ServeMetricsPprof is ServeMetrics plus the net/http/pprof profiling
+// handlers under /debug/pprof/ (CPU, heap, goroutine, mutex, block,
+// trace). Profiling exposure is opt-in per endpoint: plain ServeMetrics
+// never mounts these handlers.
+func ServeMetricsPprof(addr string) (*MetricsServer, error) {
+	return serveMetrics(addr, true)
+}
+
+func serveMetrics(addr string, withPprof bool) (*MetricsServer, error) {
 	expvarOnce.Do(func() {
 		expvar.Publish("fasp", expvar.Func(func() any {
 			names, kvs := registeredKVs()
@@ -259,6 +272,13 @@ func ServeMetrics(addr string) (*MetricsServer, error) {
 		}
 	})
 	mux.Handle("/debug/vars", expvar.Handler())
+	if withPprof {
+		mux.HandleFunc("/debug/pprof/", pprof.Index)
+		mux.HandleFunc("/debug/pprof/cmdline", pprof.Cmdline)
+		mux.HandleFunc("/debug/pprof/profile", pprof.Profile)
+		mux.HandleFunc("/debug/pprof/symbol", pprof.Symbol)
+		mux.HandleFunc("/debug/pprof/trace", pprof.Trace)
+	}
 	srv := &http.Server{Handler: mux}
 	go srv.Serve(ln)
 	return &MetricsServer{ln: ln, srv: srv}, nil
